@@ -1,0 +1,172 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  1. CommitNotify multicast off: sibling subclusters must discover the
+//     split commit through elections + pull — completion latency grows.
+//  2. Pull recovery off: a subcluster that misses SplitLeaveJoint can never
+//     save itself — the liveness the paper proves is lost.
+//  3. Per-follower pipelining depth: throughput under concurrent clients.
+#include "bench/bench_util.h"
+
+namespace recraft::bench {
+namespace {
+
+/// Split a 6-node cluster with the leader's sibling group partitioned away
+/// right at SplitLeaveJoint; heal afterwards and measure how long the
+/// missed-out subcluster needs to complete.
+struct MissedSubResult {
+  bool completed = false;
+  double recovery_ms = 0;
+};
+
+MissedSubResult MissedSubcluster(bool commit_notify, bool pull,
+                                 uint64_t seed) {
+  auto opts = CloudProfile(seed);
+  opts.node.enable_commit_notify = commit_notify;
+  opts.node.enable_pull = pull;
+  harness::World w(opts);
+  auto c = w.CreateCluster(6);
+  if (!w.WaitForLeader(c)) return {};
+  (void)w.Put(c, "a", "1");
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+  NodeId leader = w.LeaderOf(c);
+  if (std::find(g1.begin(), g1.end(), leader) == g1.end()) std::swap(g1, g2);
+
+  raft::AdminSplit body;
+  body.groups = {g1, g2};
+  body.split_keys = {"k00050000"};
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = body;
+  w.net().Send(harness::kAdminId, leader,
+               raft::MakeMessage(raft::Message(req)), 128);
+  w.RunUntil(
+      [&]() {
+        return w.node(leader).config().mode == raft::ConfigMode::kSplitLeaving;
+      },
+      5 * kSecond);
+  w.net().SetPartitions({g1, g2});
+  // g1 completes alone.
+  w.RunUntil(
+      [&]() {
+        for (NodeId id : g1) {
+          if (w.node(id).epoch() != 1) return false;
+        }
+        return true;
+      },
+      20 * kSecond);
+  w.net().ClearPartitions();
+  TimePoint healed = w.now();
+  MissedSubResult r;
+  r.completed = w.RunUntil(
+      [&]() {
+        for (NodeId id : g2) {
+          if (w.node(id).epoch() != 1) return false;
+        }
+        return w.LeaderOf(g2) != kNoNode;
+      },
+      30 * kSecond);
+  r.recovery_ms = Ms(w.now() - healed);
+  return r;
+}
+
+double ThroughputWithInflight(size_t max_inflight, uint64_t seed) {
+  auto opts = CloudProfile(seed);
+  opts.node.max_inflight_appends = max_inflight;
+  harness::World w(opts);
+  auto cluster = w.CreateCluster(3);
+  if (!w.WaitForLeader(cluster)) return 0;
+  harness::Router router;
+  router.SetClusters({harness::Router::Entry{cluster, KeyRange::Full()}});
+  harness::ClientFleet fleet(w, router, 64, PaperClient());
+  fleet.Start();
+  w.RunFor(2 * kSecond);
+  uint64_t before = fleet.TotalOps();
+  w.RunFor(8 * kSecond);
+  uint64_t ops = fleet.TotalOps() - before;
+  fleet.Stop();
+  return static_cast<double>(ops) / 8.0;
+}
+
+}  // namespace
+}  // namespace recraft::bench
+
+namespace recraft::bench {
+namespace {
+
+/// Normal (fault-free) split: how long after the leader's subcluster
+/// completes does the *sibling* subcluster complete? With CommitNotify the
+/// siblings learn of the commit immediately; without it they must time out,
+/// campaign, receive a PULL response and catch up.
+double SiblingCompletionLagMs(bool commit_notify, uint64_t seed) {
+  auto opts = CloudProfile(seed);
+  opts.node.enable_commit_notify = commit_notify;
+  harness::World w(opts);
+  auto c = w.CreateCluster(6);
+  if (!w.WaitForLeader(c)) return -1;
+  (void)w.Put(c, "a", "1");
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+  NodeId leader = w.LeaderOf(c);
+  if (std::find(g1.begin(), g1.end(), leader) == g1.end()) std::swap(g1, g2);
+  raft::AdminSplit body;
+  body.groups = {g1, g2};
+  body.split_keys = {"k00050000"};
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = body;
+  w.net().Send(harness::kAdminId, leader,
+               raft::MakeMessage(raft::Message(req)), 128);
+  if (!w.RunUntil([&]() { return w.node(leader).epoch() == 1; },
+                  20 * kSecond)) {
+    return -1;
+  }
+  TimePoint leader_done = w.now();
+  bool ok = w.RunUntil(
+      [&]() {
+        for (NodeId id : g2) {
+          if (w.node(id).epoch() != 1) return false;
+        }
+        return w.LeaderOf(g2) != kNoNode;
+      },
+      30 * kSecond);
+  return ok ? Ms(w.now() - leader_done) : -1;
+}
+
+}  // namespace
+}  // namespace recraft::bench
+
+int main() {
+  using namespace recraft::bench;
+  PrintHeader("Ablation 1: CommitNotify multicast (sibling subcluster "
+              "completion lag in a fault-free split)");
+  {
+    double on = 0, off = 0;
+    for (uint64_t s = 0; s < 3; ++s) {
+      on += SiblingCompletionLagMs(true, 40 + s);
+      off += SiblingCompletionLagMs(false, 50 + s);
+    }
+    std::printf("  notify ON : sibling completes %.0f ms after the leader\n",
+                on / 3);
+    std::printf("  notify OFF: sibling completes %.0f ms after the leader "
+                "(election timeout + pull)\n",
+                off / 3);
+  }
+
+  PrintHeader("Ablation 2: pull recovery (liveness of a missed subcluster)");
+  {
+    auto with_pull = MissedSubcluster(true, true, 23);
+    auto without = MissedSubcluster(true, false, 24);
+    std::printf("  pull ON : missed subcluster completed=%d (%.0f ms)\n",
+                with_pull.completed, with_pull.recovery_ms);
+    std::printf("  pull OFF: missed subcluster completed=%d (paper: stuck "
+                "forever — liveness lost)\n",
+                without.completed);
+  }
+
+  PrintHeader("Ablation 3: replication pipelining depth (64 clients)");
+  for (size_t depth : {1u, 4u, 16u, 64u}) {
+    std::printf("  max_inflight=%-3zu -> %.0f req/s\n", depth,
+                ThroughputWithInflight(depth, 30 + depth));
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 5: the number of additional votes ReCraft requires during the
+// intermediate membership-change configuration, compared to the best and
+// worst cases of Raft's joint consensus, for every reconfiguration between
+// cluster sizes 2..9.
+//
+// ReCraft's intermediate quorum: Q_new-q = max(N_old, N_new) - Q_old + 1.
+// JC best:  V = max(Q_old, Q_new); worst: V = |N_new - N_old| +
+// min(Q_old, Q_new). Values are analytic; a sample of cells is cross-checked
+// against the implementation's QuorumSpec accounting.
+#include "bench/bench_util.h"
+#include "raft/config.h"
+
+namespace recraft::bench {
+namespace {
+
+using raft::AddResizeQuorum;
+using raft::JointBestVotes;
+using raft::JointWorstVotes;
+using raft::MajorityOf;
+using raft::RemoveResizeQuorum;
+
+int RecraftVotes(size_t n_old, size_t n_new) {
+  size_t q = n_new > n_old ? AddResizeQuorum(n_old, n_new - n_old)
+                           : RemoveResizeQuorum(n_old);
+  // A one-step change whose Q_new-q equals the new majority skips the
+  // intermediate configuration entirely.
+  if (q == MajorityOf(n_new)) q = MajorityOf(n_new);
+  return static_cast<int>(q);
+}
+
+void PrintMatrix(const char* title, bool versus_best) {
+  std::printf("\n%s\n         ", title);
+  for (size_t n_old = 2; n_old <= 9; ++n_old) {
+    std::printf("Cold=%zu ", n_old);
+  }
+  std::printf("\n");
+  for (size_t n_new = 2; n_new <= 9; ++n_new) {
+    std::printf("Cnew=%zu  ", n_new);
+    for (size_t n_old = 2; n_old <= 9; ++n_old) {
+      if (n_old == n_new) {
+        std::printf("%6s ", "-");
+        continue;
+      }
+      // 5 -> 2 style shrinks (r >= Q_old) need chained removals; mark them.
+      if (n_new < n_old && n_old - n_new >= MajorityOf(n_old)) {
+        std::printf("%6s ", "multi");
+        continue;
+      }
+      int rc = RecraftVotes(n_old, n_new);
+      int jc = static_cast<int>(versus_best ? JointBestVotes(n_old, n_new)
+                                            : JointWorstVotes(n_old, n_new));
+      std::printf("%6d ", rc - jc);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace recraft::bench
+
+int main() {
+  using namespace recraft::bench;
+  using namespace recraft::raft;
+  PrintHeader(
+      "Figure 5: extra votes of ReCraft vs joint consensus (negative = "
+      "ReCraft needs fewer)");
+  PrintMatrix("Compared to JC best cases:", /*versus_best=*/true);
+  PrintMatrix("Compared to JC worst cases:", /*versus_best=*/false);
+
+  // Cross-check a few cells against the implementation's quorum machinery.
+  std::printf("\ncross-checks against QuorumSpec:\n");
+  {
+    // Fig. 1: 2 -> 5. ReCraft C_new-q: fixed quorum 4 of 5.
+    auto rc = QuorumSpec::Fixed({1, 2, 3, 4, 5}, AddResizeQuorum(2, 3));
+    auto jc = QuorumSpec::JointOldNew({1, 2}, {1, 2, 3, 4, 5});
+    std::printf("  2->5: ReCraft needs %zu votes; JC best %zu / worst %zu\n",
+                rc.MinSatisfyingVotes(), jc.MinSatisfyingVotes(),
+                JointWorstVotes(2, 5));
+  }
+  {
+    // 5 -> 3 removal.
+    auto rc = QuorumSpec::Fixed({1, 2, 3}, RemoveResizeQuorum(5));
+    auto jc = QuorumSpec::JointOldNew({1, 2, 3, 4, 5}, {1, 2, 3});
+    std::printf("  5->3: ReCraft needs %zu votes; JC best %zu / worst %zu\n",
+                rc.MinSatisfyingVotes(), jc.MinSatisfyingVotes(),
+                JointWorstVotes(5, 3));
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Elastic rebalancing: a load spike triggers a split; when the load drops
+// the shards merge back (cluster-level 2PC + snapshot exchange) and the
+// merged cluster is shrunk with RemoveAndResize — the full elasticity loop
+// the paper's introduction motivates, with no external coordinator.
+//
+//   $ ./elastic_rebalance
+#include <cstdio>
+
+#include "harness/client.h"
+#include "harness/world.h"
+
+using namespace recraft;
+
+static double MeasureThroughput(harness::World& w, harness::Router& router,
+                                size_t clients, Duration window) {
+  harness::ClientOptions copts;
+  copts.value_bytes = 512;
+  copts.key_space = 10000;
+  harness::ClientFleet fleet(w, router, clients, copts);
+  fleet.Start();
+  w.RunFor(window / 2);  // warmup
+  uint64_t before = fleet.TotalOps();
+  w.RunFor(window);
+  uint64_t ops = fleet.TotalOps() - before;
+  fleet.Stop();
+  return static_cast<double>(ops) /
+         (static_cast<double>(window) / static_cast<double>(kSecond));
+}
+
+int main() {
+  harness::WorldOptions opts;
+  opts.seed = 99;
+  opts.net.base_latency = 2 * kMillisecond;
+  // Model a storage-bound leader so sharding actually buys throughput.
+  opts.node.max_client_requests_per_tick = 10;
+  harness::World world(opts);
+
+  auto cluster = world.CreateCluster(6);
+  world.WaitForLeader(cluster);
+  for (int i = 0; i < 50; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%08d", i * 199);
+    world.Put(cluster, key, "data").ok();
+  }
+
+  harness::Router router;
+  router.SetClusters({harness::Router::Entry{cluster, KeyRange::Full()}});
+  double single = MeasureThroughput(world, router, 64, 4 * kSecond);
+  std::printf("phase 1: one 6-node cluster     -> %6.0f req/s\n", single);
+
+  // Load spike: split into two shards; aggregate capacity doubles.
+  std::vector<NodeId> a{cluster[0], cluster[1], cluster[2]};
+  std::vector<NodeId> b{cluster[3], cluster[4], cluster[5]};
+  Status s = world.AdminSplit(cluster, {a, b}, {"k00005000"});
+  std::printf("phase 2: split (%s)\n", s.ToString().c_str());
+  world.WaitForLeader(a);
+  world.WaitForLeader(b);
+  router.SetClusters({harness::Router::Entry{a, world.ConfigOf(a).range},
+                      harness::Router::Entry{b, world.ConfigOf(b).range}});
+  double sharded = MeasureThroughput(world, router, 64, 4 * kSecond);
+  std::printf("phase 2: two 3-node shards      -> %6.0f req/s (%.1fx)\n",
+              sharded, sharded / single);
+
+  // Load drops: merge the shards back (the clusters decide by consensus;
+  // the contacted shard coordinates the 2PC).
+  s = world.AdminMerge({a, b});
+  std::printf("phase 3: merge (%s)\n", s.ToString().c_str());
+  std::vector<NodeId> merged = cluster;
+  std::sort(merged.begin(), merged.end());
+  world.RunUntil(
+      [&]() {
+        for (NodeId id : merged) {
+          if (world.node(id).config().members != merged ||
+              world.node(id).merge_exchange_pending()) {
+            return false;
+          }
+        }
+        return world.LeaderOf(merged) != kNoNode;
+      },
+      60 * kSecond);
+  router.SetClusters({harness::Router::Entry{merged, KeyRange::Full()}});
+  std::printf("phase 3: merged cluster %s at epoch %u\n",
+              raft::NodesToString(world.ConfigOf(merged).members).c_str(),
+              world.node(world.LeaderOf(merged)).epoch());
+
+  // Six nodes are more than the light load needs: shrink to 3 with a single
+  // RemoveAndResize step (r = 3 < Q_old = 4).
+  std::vector<NodeId> lean{merged[0], merged[1], merged[2]};
+  auto steps = world.AdminResizeTo(merged, lean);
+  std::printf("phase 4: RemoveAndResize to 3 nodes: %s (%d consensus "
+              "step(s))\n",
+              steps.ok() ? "OK" : steps.status().ToString().c_str(),
+              steps.ok() ? *steps : -1);
+  router.SetClusters({harness::Router::Entry{lean, KeyRange::Full()}});
+  double lean_tput = MeasureThroughput(world, router, 8, 4 * kSecond);
+  std::printf("phase 4: lean 3-node cluster    -> %6.0f req/s under light "
+              "load\n",
+              lean_tput);
+  std::printf("done (simulated time: %s)\n", FormatTime(world.now()).c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "common/codec.h"
+
+namespace recraft {
+
+Result<uint8_t> Decoder::GetU8() {
+  if (auto s = Need(1); !s.ok()) return s;
+  return buf_[pos_++];
+}
+
+Result<uint32_t> Decoder::GetU32() {
+  if (auto s = Need(4); !s.ok()) return s;
+  uint32_t v;
+  std::memcpy(&v, buf_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Decoder::GetU64() {
+  if (auto s = Need(8); !s.ok()) return s;
+  uint64_t v;
+  std::memcpy(&v, buf_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<bool> Decoder::GetBool() {
+  auto v = GetU8();
+  if (!v.ok()) return v.status();
+  return *v != 0;
+}
+
+Result<std::string> Decoder::GetString() {
+  auto n = GetU32();
+  if (!n.ok()) return n.status();
+  if (auto s = Need(*n); !s.ok()) return s;
+  std::string out(reinterpret_cast<const char*>(buf_.data() + pos_), *n);
+  pos_ += *n;
+  return out;
+}
+
+const char* CodeName(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kNotLeader: return "NOT_LEADER";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kRejected: return "REJECTED";
+    case Code::kBusy: return "BUSY";
+    case Code::kTimeout: return "TIMEOUT";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kConflict: return "CONFLICT";
+    case Code::kOutOfRange: return "OUT_OF_RANGE";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string s = CodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace recraft

@@ -1,0 +1,60 @@
+// Simple binary encoder/decoder used to serialize snapshots and to account
+// for on-wire sizes. Little-endian, length-prefixed strings, varint-free for
+// simplicity (fixed-width integers).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace recraft {
+
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<bool> GetBool();
+  Result<std::string> GetString();
+
+  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > buf_.size()) return Internal("codec: truncated buffer");
+    return OkStatus();
+  }
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace recraft

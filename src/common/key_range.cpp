@@ -1,0 +1,89 @@
+#include "common/key_range.h"
+
+#include <algorithm>
+
+namespace recraft {
+
+KeyRange::KeyRange(std::string lo, std::string hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)), hi_inf_(hi_.empty()) {}
+
+KeyRange KeyRange::Empty() {
+  KeyRange r;
+  r.lo_ = "\x01";
+  r.hi_ = "\x01";
+  r.hi_inf_ = false;
+  return r;
+}
+
+bool KeyRange::empty() const { return !hi_inf_ && lo_ >= hi_; }
+
+bool KeyRange::Contains(const std::string& key) const {
+  if (key < lo_) return false;
+  return hi_inf_ || key < hi_;
+}
+
+bool KeyRange::ContainsRange(const KeyRange& other) const {
+  if (other.empty()) return true;
+  if (other.lo_ < lo_) return false;
+  if (hi_inf_) return true;
+  if (other.hi_inf_) return false;
+  return other.hi_ <= hi_;
+}
+
+bool KeyRange::Overlaps(const KeyRange& other) const {
+  if (empty() || other.empty()) return false;
+  bool this_below = !hi_inf_ && hi_ <= other.lo_;
+  bool other_below = !other.hi_inf_ && other.hi_ <= lo_;
+  return !this_below && !other_below;
+}
+
+bool KeyRange::AdjacentBefore(const KeyRange& other) const {
+  return !hi_inf_ && hi_ == other.lo_;
+}
+
+Result<std::vector<KeyRange>> KeyRange::SplitAt(
+    const std::vector<std::string>& keys) const {
+  if (keys.empty()) return Rejected("split needs at least one split key");
+  std::string prev = lo_;
+  for (const auto& k : keys) {
+    if (k <= prev) return Rejected("split keys must be increasing and > lo");
+    if (!hi_inf_ && k >= hi_) return Rejected("split key outside range");
+    prev = k;
+  }
+  std::vector<KeyRange> out;
+  out.reserve(keys.size() + 1);
+  std::string lo = lo_;
+  for (const auto& k : keys) {
+    out.emplace_back(lo, k);
+    lo = k;
+  }
+  out.emplace_back(lo, hi_inf_ ? std::string() : hi_);
+  return out;
+}
+
+Result<KeyRange> KeyRange::MergeAdjacent(const std::vector<KeyRange>& parts) {
+  if (parts.empty()) return Rejected("nothing to merge");
+  std::vector<KeyRange> sorted = parts;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const KeyRange& a, const KeyRange& b) { return a.lo() < b.lo(); });
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (!sorted[i].AdjacentBefore(sorted[i + 1])) {
+      return Rejected("ranges not adjacent: " + sorted[i].ToString() + " / " +
+                      sorted[i + 1].ToString());
+    }
+  }
+  const KeyRange& last = sorted.back();
+  return KeyRange(sorted.front().lo(),
+                  last.hi_is_inf() ? std::string() : last.hi());
+}
+
+bool KeyRange::operator==(const KeyRange& o) const {
+  return lo_ == o.lo_ && hi_inf_ == o.hi_inf_ && (hi_inf_ || hi_ == o.hi_);
+}
+
+std::string KeyRange::ToString() const {
+  return "[" + (lo_.empty() ? "-inf" : lo_) + ", " + (hi_inf_ ? "+inf" : hi_) +
+         ")";
+}
+
+}  // namespace recraft

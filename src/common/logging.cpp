@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace recraft {
+
+std::string FormatTime(TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llus",
+                static_cast<unsigned long long>(t / kSecond),
+                static_cast<unsigned long long>((t % kSecond) / kMillisecond));
+  return buf;
+}
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Log(LogLevel lvl, const char* tag, const std::string& msg) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  TimePoint now = now_fn_ ? now_fn_(now_ctx_) : 0;
+  std::fprintf(stderr, "[%s %-5s %s] %s\n", FormatTime(now).c_str(),
+               kNames[static_cast<int>(lvl)], tag, msg.c_str());
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace recraft

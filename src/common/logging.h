@@ -1,0 +1,54 @@
+// Minimal leveled logger aware of simulated time. Logging is off by default
+// in tests/benches and can be enabled per-run for debugging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.h"
+
+namespace recraft {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& Global();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+
+  /// The world installs a clock callback so log lines carry simulated time.
+  using NowFn = TimePoint (*)(void*);
+  void set_clock(NowFn fn, void* ctx) {
+    now_fn_ = fn;
+    now_ctx_ = ctx;
+  }
+
+  bool Enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  void Log(LogLevel lvl, const char* tag, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::kOff;
+  NowFn now_fn_ = nullptr;
+  void* now_ctx_ = nullptr;
+};
+
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define RLOG(lvl, tag, ...)                                              \
+  do {                                                                   \
+    if (::recraft::Logger::Global().Enabled(lvl)) {                      \
+      ::recraft::Logger::Global().Log(lvl, tag,                          \
+                                      ::recraft::StrFormat(__VA_ARGS__)); \
+    }                                                                    \
+  } while (0)
+
+#define RLOG_TRACE(tag, ...) RLOG(::recraft::LogLevel::kTrace, tag, __VA_ARGS__)
+#define RLOG_DEBUG(tag, ...) RLOG(::recraft::LogLevel::kDebug, tag, __VA_ARGS__)
+#define RLOG_INFO(tag, ...) RLOG(::recraft::LogLevel::kInfo, tag, __VA_ARGS__)
+#define RLOG_WARN(tag, ...) RLOG(::recraft::LogLevel::kWarn, tag, __VA_ARGS__)
+#define RLOG_ERROR(tag, ...) RLOG(::recraft::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace recraft

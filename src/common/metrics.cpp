@@ -1,0 +1,42 @@
+#include "common/metrics.h"
+
+namespace recraft {
+
+double LatencyRecorder::MeanUs() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (auto s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+Duration LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::sort(samples_.begin(), samples_.end());
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t i = static_cast<size_t>(rank);
+  return samples_[std::min(i, samples_.size() - 1)];
+}
+
+Duration LatencyRecorder::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+Duration LatencyRecorder::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double ThroughputSeries::Rate(uint64_t i) const {
+  auto it = buckets_.find(i);
+  if (it == buckets_.end()) return 0.0;
+  return static_cast<double>(it->second) /
+         (static_cast<double>(window_) / static_cast<double>(kSecond));
+}
+
+uint64_t ThroughputSeries::NumWindows() const {
+  if (buckets_.empty()) return 0;
+  return buckets_.rbegin()->first + 1;
+}
+
+}  // namespace recraft

@@ -1,0 +1,69 @@
+// Measurement primitives for the benchmark harness: latency histograms,
+// windowed throughput counters and simple summary statistics.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace recraft {
+
+/// Collects duration samples; percentiles computed on demand.
+class LatencyRecorder {
+ public:
+  void Record(Duration d) { samples_.push_back(d); }
+  size_t count() const { return samples_.size(); }
+  void Clear() { samples_.clear(); }
+
+  double MeanUs() const;
+  Duration Percentile(double p) const;  // p in [0,100]
+  Duration Min() const;
+  Duration Max() const;
+
+  const std::vector<Duration>& samples() const { return samples_; }
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+ private:
+  mutable std::vector<Duration> samples_;
+};
+
+/// Counts events into fixed-width time windows so benches can print
+/// per-second throughput series (Fig. 7a / 8a).
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(Duration window = kSecond) : window_(window) {}
+
+  void Record(TimePoint t, uint64_t n = 1) { buckets_[t / window_] += n; }
+
+  /// Requests per second in window `i` (0-based).
+  double Rate(uint64_t i) const;
+  uint64_t NumWindows() const;
+  Duration window() const { return window_; }
+
+ private:
+  Duration window_;
+  std::map<uint64_t, uint64_t> buckets_;
+};
+
+/// Named monotonically increasing counters (messages sent, elections, ...).
+class CounterSet {
+ public:
+  void Add(const std::string& name, uint64_t n = 1) { counters_[name] += n; }
+  uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, uint64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace recraft

@@ -1,0 +1,45 @@
+// Fundamental identifier and time types shared by every ReCraft module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace recraft {
+
+/// Identifies a node (process) in the simulated world. Node ids are global:
+/// a node keeps its id across splits, merges and membership changes.
+using NodeId = uint32_t;
+
+/// Identifies an actor that is not a consensus node (clients, cluster
+/// managers, the naming service). Shares the NodeId space so the simulated
+/// network can route to anything.
+using ActorId = NodeId;
+
+/// Log position, 1-based; 0 means "no entry".
+using Index = uint64_t;
+
+/// Simulated time in microseconds since the start of the run.
+using TimePoint = uint64_t;
+
+/// Simulated duration in microseconds.
+using Duration = uint64_t;
+
+/// A stable identity for a logical cluster. The genesis cluster has uid 0;
+/// split children and merged clusters derive fresh uids (see cluster_uid()).
+using ClusterUid = uint64_t;
+
+/// Identifies a merge transaction (cluster-level 2PC).
+using TxId = uint64_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr Index kNoIndex = 0;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+/// Render a simulated time as "12.345s" for logs and bench output.
+std::string FormatTime(TimePoint t);
+
+}  // namespace recraft

@@ -1,0 +1,160 @@
+// Single-cluster membership change (§IV): ReCraft's AddAndResize /
+// RemoveAndResize / ResizeQuorum family plus the two Raft baselines
+// (AR-RPC and joint consensus), all wait-free, all gated by P1/P2'/P3.
+#include "common/logging.h"
+#include "core/node.h"
+
+namespace recraft::core {
+
+Status Node::CheckReconfigPreconditions() const {
+  const auto& cfg = config_.Current();
+  // P1: all prior reconfiguration entries committed and no multi-step
+  // reconfiguration (split phase, joint mode, merge transaction) unresolved.
+  if (config_.CurrentIndex() > commit_) {
+    return Rejected("P1: uncommitted configuration entry");
+  }
+  if (cfg.ReconfigPending()) {
+    return Rejected("P1: reconfiguration in progress");
+  }
+  // P3: the leader has committed an entry in its current term (the no-op it
+  // proposes on election). Terms are monotone in the log, so checking the
+  // term at the commit index suffices.
+  if (commit_ == 0 || log_.TermAt(commit_) != term_) {
+    return Busy("P3: no entry committed in current term yet");
+  }
+  return OkStatus();
+}
+
+Status Node::ValidateMemberChange(const raft::MemberChange& mc) const {
+  const auto& cfg = config_.Current();
+  const size_t n_old = cfg.members.size();
+  auto is_member = [&](NodeId n) { return cfg.IsMember(n); };
+  switch (mc.kind) {
+    case raft::MemberChangeKind::kAddAndResize: {
+      if (!opts_.enable_recraft) return Rejected("recraft features disabled");
+      if (mc.nodes.empty()) return Rejected("no nodes to add");
+      for (NodeId n : mc.nodes) {
+        if (is_member(n)) {
+          return Rejected("node " + std::to_string(n) + " already a member");
+        }
+      }
+      return OkStatus();
+    }
+    case raft::MemberChangeKind::kRemoveAndResize: {
+      if (!opts_.enable_recraft) return Rejected("recraft features disabled");
+      if (mc.nodes.empty()) return Rejected("no nodes to remove");
+      for (NodeId n : mc.nodes) {
+        if (!is_member(n)) {
+          return Rejected("node " + std::to_string(n) + " not a member");
+        }
+      }
+      // P2' cap (§IV-A): removing r >= Q_old nodes cannot preserve quorum
+      // overlap in one step; the caller must chain multiple removals.
+      if (mc.nodes.size() >= raft::MajorityOf(n_old)) {
+        return Rejected("RemoveAndResize: must remove fewer than Q_old nodes");
+      }
+      return OkStatus();
+    }
+    case raft::MemberChangeKind::kResizeQuorum:
+      if (!opts_.enable_recraft) return Rejected("recraft features disabled");
+      if (cfg.fixed_quorum == 0) {
+        return Rejected("quorum already at majority");
+      }
+      return OkStatus();
+    case raft::MemberChangeKind::kAddServer:
+      if (mc.nodes.size() != 1) return Rejected("AddServer takes one node");
+      if (is_member(mc.nodes[0])) return Rejected("already a member");
+      return OkStatus();
+    case raft::MemberChangeKind::kRemoveServer:
+      if (mc.nodes.size() != 1) return Rejected("RemoveServer takes one node");
+      if (!is_member(mc.nodes[0])) return Rejected("not a member");
+      if (n_old == 1) return Rejected("cannot empty the cluster");
+      return OkStatus();
+    case raft::MemberChangeKind::kJointEnter:
+      if (mc.nodes.empty()) return Rejected("empty target membership");
+      return OkStatus();
+    case raft::MemberChangeKind::kJointLeave:
+      if (!cfg.vanilla_joint) return Rejected("not in joint mode");
+      return OkStatus();
+  }
+  return Rejected("unknown change kind");
+}
+
+Status Node::StartMemberChange(const raft::MemberChange& mc) {
+  if (role_ != Role::kLeader) return NotLeader();
+  if (Status s = ValidateMemberChange(mc); !s.ok()) return s;
+  // Leaving joint mode and resizing the quorum are the *second* step of a
+  // pending reconfiguration: P1's "in progress" clause does not apply, but
+  // the first step must be committed.
+  bool second_step = mc.kind == raft::MemberChangeKind::kJointLeave ||
+                     mc.kind == raft::MemberChangeKind::kResizeQuorum;
+  if (second_step) {
+    if (config_.CurrentIndex() > commit_) {
+      return Rejected("P1: previous step not committed");
+    }
+  } else {
+    if (Status s = CheckReconfigPreconditions(); !s.ok()) return s;
+  }
+  auto idx = Propose(raft::ConfMember{mc});
+  if (!idx.ok()) return idx.status();
+  counters_.Add("member.proposed");
+  RLOG_INFO("member", "n%u proposed %s at %llu", id_,
+            mc.ToString().c_str(), static_cast<unsigned long long>(*idx));
+  return OkStatus();
+}
+
+void Node::OnMemberChangeCommitted(const raft::ConfMember& cm, Index index) {
+  (void)index;
+  const auto& cfg = config_.Current();
+  counters_.Add("member.committed");
+
+  bool membership_changed = cm.change.kind != raft::MemberChangeKind::kResizeQuorum &&
+                            cm.change.kind != raft::MemberChangeKind::kJointLeave;
+  if (membership_changed) {
+    raft::ReconfigRecord rec;
+    rec.kind = raft::ReconfigRecord::Kind::kMember;
+    rec.epoch = current_et().epoch();  // membership changes keep the epoch
+    rec.uid = cfg.uid;
+    rec.members = cfg.members;
+    rec.range = cfg.range;
+    history_.push_back(std::move(rec));
+  }
+
+  if (role_ != Role::kLeader) return;
+
+  // Wait-free chaining of the second consensus step.
+  if (opts_.auto_resize_quorum && cfg.fixed_quorum > 0 &&
+      (cm.change.kind == raft::MemberChangeKind::kAddAndResize ||
+       cm.change.kind == raft::MemberChangeKind::kRemoveAndResize)) {
+    raft::MemberChange resize;
+    resize.kind = raft::MemberChangeKind::kResizeQuorum;
+    Status s = StartMemberChange(resize);
+    if (!s.ok()) {
+      RLOG_WARN("member", "n%u auto ResizeQuorum failed: %s", id_,
+                s.ToString().c_str());
+    }
+  }
+  if (opts_.auto_joint_leave &&
+      cm.change.kind == raft::MemberChangeKind::kJointEnter) {
+    raft::MemberChange leave;
+    leave.kind = raft::MemberChangeKind::kJointLeave;
+    Status s = StartMemberChange(leave);
+    if (!s.ok()) {
+      RLOG_WARN("member", "n%u auto JointLeave failed: %s", id_,
+                s.ToString().c_str());
+    }
+  }
+
+  if (!cfg.ReconfigPending() && cfg.fixed_quorum == 0) {
+    RegisterWithNaming();
+  }
+
+  // A leader that committed its own removal steps down (Raft dissertation
+  // §4.2.2); the remaining members elect among themselves.
+  if (!cfg.IsMember(id_)) {
+    RLOG_INFO("member", "n%u removed itself; stepping down", id_);
+    BecomeFollower(current_et(), kNoNode);
+  }
+}
+
+}  // namespace recraft::core

@@ -1,0 +1,717 @@
+// The ReCraft merge protocol (§III-C): a cluster-level two-phase commit
+// whose prepare/commit decisions are themselves committed through each
+// participating cluster's Raft log, followed by a snapshot exchange and
+// resumption of the merged cluster at (E_new, term 0).
+//
+// The cluster contacted by the admin becomes the coordinator; its leader
+// drives the 2PC and, because every step is recorded in the coordinator
+// cluster's log, any new leader of that cluster resumes an interrupted
+// transaction (ResumeMergeAsLeader) — the coordinator is as robust as a
+// Raft cluster, unlike TiKV/CockroachDB's external cluster manager.
+#include "common/logging.h"
+#include "core/node.h"
+
+namespace recraft::core {
+
+namespace {
+KeyRange MergedRange(const raft::MergePlan& plan) {
+  std::vector<KeyRange> parts;
+  parts.reserve(plan.sources.size());
+  for (const auto& s : plan.sources) parts.push_back(s.range);
+  auto merged = KeyRange::MergeAdjacent(parts);
+  return merged.ok() ? *merged : KeyRange::Empty();
+}
+}  // namespace
+
+Status Node::StartMerge(const raft::AdminMerge& req, uint64_t req_id,
+                        NodeId client) {
+  if (!opts_.enable_recraft) return Rejected("recraft features disabled");
+  if (role_ != Role::kLeader) return NotLeader();
+  if (Status s = CheckReconfigPreconditions(); !s.ok()) return s;
+  if (merge_.phase != MergePhase::kIdle) return Busy("merge already running");
+
+  raft::MergePlan plan = req.draft;
+  if (plan.tx == 0) return Rejected("merge needs a transaction id");
+  if (plan.sources.size() < 2) return Rejected("merge needs >= 2 clusters");
+  if (plan.coordinator < 0 ||
+      plan.coordinator >= static_cast<int>(plan.sources.size())) {
+    return Rejected("bad coordinator index");
+  }
+  const auto& cfg = config_.Current();
+  const auto& coord = plan.sources[static_cast<size_t>(plan.coordinator)];
+  if (coord.members != cfg.members || !(coord.range == cfg.range)) {
+    return Rejected("coordinator source does not match this cluster");
+  }
+  KeyRange merged = MergedRange(plan);
+  if (merged.empty()) return Rejected("source ranges are not adjacent");
+  if (!plan.resume_members.empty()) {
+    // Resize-at-merge safety (§III-C.2): the resumed set must contain every
+    // member of at least one source so its quorums overlap a source quorum.
+    auto all = plan.AllMembers();
+    for (NodeId n : plan.resume_members) {
+      if (!std::binary_search(all.begin(), all.end(), n)) {
+        return Rejected("resume member not in any source");
+      }
+    }
+    bool covers_one = false;
+    for (const auto& s : plan.sources) {
+      bool all_in = true;
+      for (NodeId n : s.members) {
+        if (std::find(plan.resume_members.begin(), plan.resume_members.end(),
+                      n) == plan.resume_members.end()) {
+          all_in = false;
+          break;
+        }
+      }
+      if (all_in) {
+        covers_one = true;
+        break;
+      }
+    }
+    if (!covers_one) {
+      return Rejected("resume set must contain all members of some source");
+    }
+  }
+  plan.new_uid = raft::DeriveMergeUid(plan.tx);
+  plan.new_range = merged;
+
+  // MergePrepare (Fig. 4): commit the local OK decision to our own cluster,
+  // then fan the prepare out to the other clusters.
+  auto idx = Propose(raft::ConfMergeTx{plan, /*decision_ok=*/true});
+  if (!idx.ok()) return idx.status();
+
+  merge_ = MergeRuntime{};
+  merge_.phase = MergePhase::kPreparing;
+  merge_.plan = plan;
+  merge_.retry_countdown = opts_.merge_retry_ticks;
+  merge_.admin_req_id = req_id;
+  merge_.admin_client = client;
+  for (size_t j = 0; j < plan.sources.size(); ++j) {
+    if (static_cast<int>(j) == plan.coordinator) continue;
+    merge_.contact[static_cast<int>(j)] = plan.sources[j].members.front();
+  }
+  SendPrepares();
+  counters_.Add("merge.started");
+  return OkStatus();
+}
+
+void Node::SendPrepares() {
+  for (size_t j = 0; j < merge_.plan.sources.size(); ++j) {
+    int sj = static_cast<int>(j);
+    if (sj == merge_.plan.coordinator) continue;
+    if (merge_.prepare_replies.count(sj) > 0) continue;
+    raft::MergePrepareReq req;
+    req.from = id_;
+    req.plan = merge_.plan;
+    Send(merge_.contact[sj], std::move(req));
+  }
+}
+
+void Node::SendCommits() {
+  for (size_t j = 0; j < merge_.plan.sources.size(); ++j) {
+    int sj = static_cast<int>(j);
+    if (sj == merge_.plan.coordinator) continue;
+    if (merge_.commit_acks.count(sj) > 0) continue;
+    raft::MergeCommitReq req;
+    req.from = id_;
+    req.tx = merge_.plan.tx;
+    req.commit = merge_.outcome_is_commit;
+    req.plan = merge_.plan;
+    Send(merge_.contact[sj], std::move(req));
+  }
+}
+
+void Node::MergeTick() {
+  if (merge_.phase == MergePhase::kIdle) return;
+  if (--merge_.retry_countdown > 0) return;
+  merge_.retry_countdown = opts_.merge_retry_ticks;
+  // Rotate contacts for sources that have not answered, then retransmit
+  // (handlers are idempotent by transaction id).
+  for (auto& [sj, contact] : merge_.contact) {
+    bool answered = merge_.phase == MergePhase::kPreparing
+                        ? merge_.prepare_replies.count(sj) > 0
+                        : merge_.commit_acks.count(sj) > 0;
+    if (answered) continue;
+    const auto& members = merge_.plan.sources[static_cast<size_t>(sj)].members;
+    auto it = std::find(members.begin(), members.end(), contact);
+    contact = members[(static_cast<size_t>(it - members.begin()) + 1) %
+                      members.size()];
+  }
+  if (merge_.phase == MergePhase::kPreparing) {
+    SendPrepares();
+  } else {
+    SendCommits();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Participant side.
+
+void Node::HandleMergePrepareReq(NodeId from, const raft::MergePrepareReq& m) {
+  const auto& cfg = config_.Current();
+  // Already merged under this transaction: the prepare is a stale retry.
+  if (cfg.uid == m.plan.new_uid) return;
+  if (role_ != Role::kLeader) {
+    raft::MergePrepareReply reply;
+    reply.from = id_;
+    reply.tx = m.plan.tx;
+    reply.source_index = m.plan.SourceOf(id_);
+    reply.retry = true;
+    reply.leader_hint = leader_;
+    Send(from, std::move(reply));
+    return;
+  }
+  int my_source = m.plan.SourceOf(id_);
+  if (my_source < 0 || my_source == m.plan.coordinator) return;
+
+  if (cfg.merge_tx.has_value()) {
+    if (cfg.merge_tx->tx == m.plan.tx) {
+      // Duplicate prepare: if our CTX' already committed, re-send the
+      // recorded decision; otherwise the reply fires when it applies.
+      if (cfg.merge_tx_index <= commit_) {
+        raft::MergePrepareReply reply;
+        reply.from = id_;
+        reply.tx = m.plan.tx;
+        reply.source_index = my_source;
+        reply.ok = cfg.merge_decision_ok;
+        reply.epoch = current_et().epoch();
+        Send(from, std::move(reply));
+      }
+      return;
+    }
+    // A different merge is in flight: vote NO without recording (presumed
+    // abort is safe — this transaction cannot commit without our OK).
+    raft::MergePrepareReply reply;
+    reply.from = id_;
+    reply.tx = m.plan.tx;
+    reply.source_index = my_source;
+    reply.ok = false;
+    Send(from, std::move(reply));
+    return;
+  }
+
+  Status pre = CheckReconfigPreconditions();
+  if (!pre.ok()) {
+    if (pre.code() == Code::kBusy) {
+      // P3 not established yet (fresh leader): the no-op is in flight;
+      // have the coordinator retry shortly.
+      raft::MergePrepareReply reply;
+      reply.from = id_;
+      reply.tx = m.plan.tx;
+      reply.source_index = my_source;
+      reply.retry = true;
+      reply.leader_hint = id_;
+      Send(from, std::move(reply));
+    } else {
+      // P1 violated (reconfiguration in progress): vote NO, unrecorded.
+      raft::MergePrepareReply reply;
+      reply.from = id_;
+      reply.tx = m.plan.tx;
+      reply.source_index = my_source;
+      reply.ok = false;
+      Send(from, std::move(reply));
+    }
+    return;
+  }
+  // HandleMergePrepare (Fig. 4 lines 29-36): commit CTX' with the local OK
+  // decision; the reply is sent once it applies.
+  auto idx = Propose(raft::ConfMergeTx{m.plan, /*decision_ok=*/true});
+  if (!idx.ok()) {
+    raft::MergePrepareReply reply;
+    reply.from = id_;
+    reply.tx = m.plan.tx;
+    reply.source_index = my_source;
+    reply.retry = true;
+    Send(from, std::move(reply));
+  }
+  counters_.Add("merge.prepared");
+}
+
+void Node::OnMergeTxApplied(const raft::ConfMergeTx& tx, Index index) {
+  (void)index;
+  if (role_ != Role::kLeader) return;
+  const raft::MergePlan& plan = tx.plan;
+  int my_source = plan.SourceOf(id_);
+  if (my_source == plan.coordinator) {
+    if (merge_.phase == MergePhase::kPreparing &&
+        merge_.plan.tx == plan.tx) {
+      merge_.local_tx_applied = true;
+      MaybeFinishPrepare();
+    }
+    return;
+  }
+  // Participant leader: the decision is durable; answer the coordinator.
+  // The reply goes to every coordinator-cluster member — whichever is the
+  // current coordinator leader picks it up (robust to leader changes).
+  raft::MergePrepareReply reply;
+  reply.from = id_;
+  reply.tx = plan.tx;
+  reply.source_index = my_source;
+  reply.ok = tx.decision_ok;
+  reply.epoch = current_et().epoch();
+  for (NodeId n :
+       plan.sources[static_cast<size_t>(plan.coordinator)].members) {
+    Send(n, reply);
+  }
+}
+
+void Node::HandleMergeCommitReq(NodeId from, const raft::MergeCommitReq& m) {
+  const auto& cfg = config_.Current();
+  if (cfg.uid == m.plan.new_uid) {
+    // Already transitioned: ack from any member, leader or not.
+    raft::MergeCommitReply reply;
+    reply.from = id_;
+    reply.tx = m.tx;
+    reply.source_index = m.plan.SourceOf(id_);
+    reply.ok = true;
+    Send(from, std::move(reply));
+    return;
+  }
+  if (role_ != Role::kLeader) {
+    raft::MergeCommitReply reply;
+    reply.from = id_;
+    reply.tx = m.tx;
+    reply.source_index = m.plan.SourceOf(id_);
+    reply.retry = true;
+    reply.leader_hint = leader_;
+    Send(from, std::move(reply));
+    return;
+  }
+  int my_source = m.plan.SourceOf(id_);
+  if (!cfg.merge_tx.has_value() || cfg.merge_tx->tx != m.tx) {
+    // We never saw (or already resolved) this transaction.
+    raft::MergeCommitReply reply;
+    reply.from = id_;
+    reply.tx = m.tx;
+    reply.source_index = my_source;
+    reply.retry = true;
+    Send(from, std::move(reply));
+    return;
+  }
+  if (cfg.merge_outcome_index > 0) {
+    // Outcome already proposed; ack fires when it applies.
+    return;
+  }
+  auto idx = Propose(raft::ConfMergeOutcome{m.plan, m.commit});
+  (void)idx;
+  counters_.Add("merge.commit_received");
+}
+
+// --------------------------------------------------------------------------
+// Coordinator side.
+
+void Node::HandleMergePrepareReply(NodeId from,
+                                   const raft::MergePrepareReply& m) {
+  if (role_ != Role::kLeader || merge_.phase != MergePhase::kPreparing) return;
+  if (m.tx != merge_.plan.tx) return;
+  if (m.retry) {
+    if (m.leader_hint != kNoNode && m.leader_hint != from) {
+      merge_.contact[m.source_index] = m.leader_hint;
+      SendPrepares();
+    }
+    return;
+  }
+  if (m.source_index < 0) return;
+  merge_.prepare_replies.emplace(m.source_index, m);
+  MaybeFinishPrepare();
+}
+
+void Node::MaybeFinishPrepare() {
+  if (merge_.phase != MergePhase::kPreparing || !merge_.local_tx_applied) {
+    return;
+  }
+  size_t expected = merge_.plan.sources.size() - 1;
+  if (merge_.prepare_replies.size() < expected) return;
+  bool unanimous = true;
+  uint32_t max_epoch = current_et().epoch();
+  for (const auto& [sj, reply] : merge_.prepare_replies) {
+    unanimous = unanimous && reply.ok;
+    max_epoch = std::max(max_epoch, reply.epoch);
+  }
+  // Resumption epoch: E_new = E_max + 1, collected during phase one
+  // (§III-C.2 "Resumption").
+  merge_.plan.new_epoch = max_epoch + 1;
+  ProposeMergeOutcome(unanimous);
+}
+
+void Node::ProposeMergeOutcome(bool commit) {
+  merge_.phase = MergePhase::kCommitting;
+  merge_.outcome_is_commit = commit;
+  merge_.retry_countdown = opts_.merge_retry_ticks;
+  auto idx = Propose(raft::ConfMergeOutcome{merge_.plan, commit});
+  if (!idx.ok()) {
+    RLOG_ERROR("merge", "n%u failed to propose outcome: %s", id_,
+               idx.status().ToString().c_str());
+    return;
+  }
+  counters_.Add(commit ? "merge.outcome_commit" : "merge.outcome_abort");
+  SendCommits();
+}
+
+void Node::HandleMergeCommitReply(NodeId from,
+                                  const raft::MergeCommitReply& m) {
+  if (role_ != Role::kLeader || merge_.phase != MergePhase::kCommitting) {
+    return;
+  }
+  if (m.tx != merge_.plan.tx) return;
+  if (m.retry) {
+    if (m.leader_hint != kNoNode && m.leader_hint != from) {
+      merge_.contact[m.source_index] = m.leader_hint;
+      SendCommits();
+    }
+    return;
+  }
+  if (!m.ok || m.source_index < 0) return;
+  merge_.commit_acks.insert(m.source_index);
+  if (merge_.outcome_applied_self &&
+      merge_.commit_acks.size() == merge_.plan.sources.size() - 1) {
+    FinishMergeAsCoordinator();
+  }
+}
+
+void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
+                                 Index index) {
+  const raft::MergePlan& plan = oc.plan;
+  if (!oc.commit) {
+    // C_abort: clear the pending transaction; normal operation resumes.
+    raft::ConfigState cleared = config_.Current();
+    cleared.merge_tx.reset();
+    cleared.merge_tx_index = 0;
+    cleared.merge_decision_ok = false;
+    cleared.merge_outcome_index = 0;
+    cleared.merge_outcome_commit = false;
+    cleared.merge_outcome_plan.reset();
+    config_.ForceState(std::move(cleared), index);
+    counters_.Add("merge.aborted");
+    if (role_ == Role::kLeader && merge_.phase != MergePhase::kIdle &&
+        merge_.plan.tx == plan.tx) {
+      if (merge_.admin_client != kNoNode) {
+        ReplyToClient(merge_.admin_client, merge_.admin_req_id,
+                      Rejected("merge aborted by participant vote"));
+      }
+      merge_ = MergeRuntime{};
+    }
+    // Participant leaders ack the abort so the coordinator can finish.
+    int my_source = plan.SourceOf(id_);
+    if (role_ == Role::kLeader && my_source != plan.coordinator) {
+      raft::MergeCommitReply reply;
+      reply.from = id_;
+      reply.tx = plan.tx;
+      reply.source_index = my_source;
+      reply.ok = true;
+      for (NodeId n :
+           plan.sources[static_cast<size_t>(plan.coordinator)].members) {
+        Send(n, reply);
+      }
+    }
+    return;
+  }
+
+  // C_new committed: seal this node's data at the pre-merge boundary so the
+  // exchanged snapshots of every member of this source are identical.
+  int sealed_source = plan.SourceOf(id_);
+  exchange_store_[{plan.tx, sealed_source}] = store_.TakeSnapshot();
+  // Answer anyone who asked before we sealed.
+  auto waiters = exchange_waiters_.find({plan.tx, sealed_source});
+  if (waiters != exchange_waiters_.end()) {
+    raft::SnapPullReply push;
+    push.from = id_;
+    push.tx = plan.tx;
+    push.source_index = sealed_source;
+    push.ready = true;
+    push.snap = exchange_store_[{plan.tx, sealed_source}];
+    for (NodeId n : waiters->second) Send(n, push);
+    exchange_waiters_.erase(waiters);
+  }
+
+  int my_source = plan.SourceOf(id_);
+  if (my_source == plan.coordinator) {
+    // Coordinator cluster applies last (§III-C.1). The leader waits for all
+    // 2PC acks, then multicasts MergeFinalize; followers wait for that
+    // signal (or infer from E_new traffic in ObserveEt).
+    if (role_ == Role::kLeader) {
+      if (merge_.phase == MergePhase::kIdle || merge_.plan.tx != plan.tx) {
+        // Fresh leader that applied the outcome before ResumeMergeAsLeader
+        // rebuilt the runtime (it runs on election; this path covers the
+        // outcome committing during our own election round).
+        merge_.phase = MergePhase::kCommitting;
+        merge_.plan = plan;
+        merge_.outcome_is_commit = true;
+        merge_.retry_countdown = opts_.merge_retry_ticks;
+        for (size_t j = 0; j < plan.sources.size(); ++j) {
+          if (static_cast<int>(j) == plan.coordinator) continue;
+          merge_.contact[static_cast<int>(j)] = plan.sources[j].members.front();
+        }
+        SendCommits();
+      }
+      merge_.plan = plan;  // adopt the final plan (with new_epoch)
+      merge_.outcome_applied_self = true;
+      if (merge_.commit_acks.size() == merge_.plan.sources.size() - 1) {
+        FinishMergeAsCoordinator();
+      }
+    }
+    return;
+  }
+
+  // Participant: ack the coordinator, then transition immediately.
+  if (role_ == Role::kLeader) {
+    raft::MergeCommitReply reply;
+    reply.from = id_;
+    reply.tx = plan.tx;
+    reply.source_index = my_source;
+    reply.ok = true;
+    for (NodeId n :
+         plan.sources[static_cast<size_t>(plan.coordinator)].members) {
+      Send(n, reply);
+    }
+  }
+  TransitionToMerged(plan);
+}
+
+void Node::FinishMergeAsCoordinator() {
+  raft::MergePlan plan = merge_.plan;
+  if (merge_.admin_client != kNoNode) {
+    ReplyToClient(merge_.admin_client, merge_.admin_req_id, OkStatus());
+  }
+  raft::MergeFinalize fin;
+  fin.from = id_;
+  fin.tx = plan.tx;
+  for (NodeId n :
+       plan.sources[static_cast<size_t>(plan.coordinator)].members) {
+    if (n != id_) Send(n, fin);
+  }
+  merge_ = MergeRuntime{};
+  counters_.Add("merge.finalized");
+  TransitionToMerged(plan);
+}
+
+void Node::HandleMergeFinalize(NodeId from, const raft::MergeFinalize& m) {
+  (void)from;
+  const auto& cfg = config_.Current();
+  if (cfg.merge_outcome_index == 0 || !cfg.merge_outcome_commit ||
+      !cfg.merge_outcome_plan || cfg.merge_outcome_plan->tx != m.tx) {
+    return;
+  }
+  if (cfg.merge_outcome_index > commit_) {
+    // We hold the outcome entry but have not seen it commit; the finalize
+    // implies it is committed cluster-wide.
+    commit_ = cfg.merge_outcome_index;
+    ApplyCommitted();
+  }
+  // If the apply above ran OnMergeOutcomeApplied as a coordinator follower,
+  // we still hold the old config; transition now.
+  const auto& cfg2 = config_.Current();
+  if (cfg2.merge_outcome_plan && cfg2.merge_outcome_plan->tx == m.tx &&
+      cfg2.merge_outcome_index <= applied_) {
+    raft::MergePlan plan = *cfg2.merge_outcome_plan;
+    TransitionToMerged(plan);
+  }
+}
+
+void Node::ResumeMergeAsLeader() {
+  const auto& cfg = config_.Current();
+  if (!cfg.merge_tx.has_value()) return;
+  int my_source = cfg.merge_tx->SourceOf(id_);
+  if (my_source != cfg.merge_tx->coordinator) return;  // participants react
+
+  merge_ = MergeRuntime{};
+  merge_.retry_countdown = opts_.merge_retry_ticks;
+  if (cfg.merge_outcome_index > 0 && cfg.merge_outcome_plan) {
+    merge_.phase = MergePhase::kCommitting;
+    merge_.plan = *cfg.merge_outcome_plan;
+    merge_.outcome_is_commit = cfg.merge_outcome_commit;
+    merge_.outcome_applied_self = cfg.merge_outcome_index <= applied_;
+    for (size_t j = 0; j < merge_.plan.sources.size(); ++j) {
+      if (static_cast<int>(j) == merge_.plan.coordinator) continue;
+      merge_.contact[static_cast<int>(j)] =
+          merge_.plan.sources[j].members.front();
+    }
+    SendCommits();
+  } else {
+    merge_.phase = MergePhase::kPreparing;
+    merge_.plan = *cfg.merge_tx;
+    merge_.local_tx_applied = cfg.merge_tx_index <= applied_;
+    for (size_t j = 0; j < merge_.plan.sources.size(); ++j) {
+      if (static_cast<int>(j) == merge_.plan.coordinator) continue;
+      merge_.contact[static_cast<int>(j)] =
+          merge_.plan.sources[j].members.front();
+    }
+    SendPrepares();
+  }
+  counters_.Add("merge.resumed");
+}
+
+// --------------------------------------------------------------------------
+// Transition + snapshot exchange.
+
+void Node::TransitionToMerged(const raft::MergePlan& plan) {
+  RLOG_INFO("merge", "n%u transitions to merged cluster (tx=%llu, E=%u)", id_,
+            static_cast<unsigned long long>(plan.tx), plan.new_epoch);
+  counters_.Add("merge.transitioned");
+  FailPendingClients(Code::kUnavailable);
+
+  raft::ReconfigRecord rec;
+  rec.kind = raft::ReconfigRecord::Kind::kMerge;
+  rec.epoch = plan.new_epoch;
+  rec.uid = plan.new_uid;
+  rec.members = plan.ResumeMembers();
+  rec.range = plan.new_range;
+  history_.push_back(std::move(rec));
+
+  // The merged cluster starts fresh: the log begins with the C_new entry,
+  // committed at term 0 of E_new (§III-C.2 "Resumption").
+  term_ = EpochTerm::Make(plan.new_epoch, 0).raw();
+  voted_for_ = kNoNode;
+  log_.Reset(0, 0);
+  raft::LogEntry genesis;
+  genesis.index = 1;
+  genesis.term = term_;
+  genesis.payload = raft::ConfMergeOutcome{plan, true};
+  log_.Append(genesis);
+  commit_ = 1;
+  applied_ = 1;
+  snapshot_.reset();
+
+  raft::ConfigState ns;
+  ns.mode = raft::ConfigMode::kStable;
+  ns.members = plan.ResumeMembers();
+  std::sort(ns.members.begin(), ns.members.end());
+  ns.range = plan.new_range;
+  ns.uid = plan.new_uid;
+  config_.ForceState(std::move(ns), 1);
+
+  role_ = Role::kFollower;
+  leader_ = kNoNode;
+  votes_.clear();
+  progress_.clear();
+  merge_ = MergeRuntime{};
+  ResetElectionTimer();
+  RegisterWithNaming();
+
+  if (IsRetired()) {
+    // Resize-at-merge dropped us; we keep serving our sealed snapshot to
+    // the resumed members but hold no merged state ourselves.
+    store_ = kv::Store(KeyRange::Empty());
+    return;
+  }
+  StartExchange(plan);
+}
+
+void Node::StartExchange(const raft::MergePlan& plan) {
+  Exchange ex;
+  ex.plan = plan;
+  ex.my_source = plan.SourceOf(id_);
+  ex.retry_countdown = opts_.merge_retry_ticks;
+  for (size_t j = 0; j < plan.sources.size(); ++j) {
+    int sj = static_cast<int>(j);
+    auto it = exchange_store_.find({plan.tx, sj});
+    if (it != exchange_store_.end()) {
+      ex.have[sj] = it->second;
+    } else {
+      ex.contact[sj] = plan.sources[j].members.front();
+    }
+  }
+  exchange_ = std::move(ex);
+  // Fan the pull out to every member of each missing source: whichever has
+  // sealed its snapshot answers (and the rest push on sealing), so a single
+  // lagging contact cannot stall the exchange.
+  for (const auto& [sj, contact] : exchange_->contact) {
+    (void)contact;
+    for (NodeId n :
+         exchange_->plan.sources[static_cast<size_t>(sj)].members) {
+      if (n == id_) continue;
+      raft::SnapPullReq req;
+      req.from = id_;
+      req.tx = exchange_->plan.tx;
+      req.source_index = sj;
+      Send(n, req);
+    }
+  }
+  MaybeFinishExchange();
+}
+
+void Node::ExchangeTick() {
+  if (!exchange_.has_value()) return;
+  if (--exchange_->retry_countdown > 0) return;
+  exchange_->retry_countdown = opts_.merge_retry_ticks;
+  for (auto& [sj, contact] : exchange_->contact) {
+    (void)contact;
+    if (exchange_->have.count(sj) > 0) continue;
+    for (NodeId n :
+         exchange_->plan.sources[static_cast<size_t>(sj)].members) {
+      if (n == id_) continue;
+      raft::SnapPullReq req;
+      req.from = id_;
+      req.tx = exchange_->plan.tx;
+      req.source_index = sj;
+      Send(n, req);
+    }
+  }
+}
+
+void Node::HandleSnapPullReq(NodeId from, const raft::SnapPullReq& m) {
+  raft::SnapPullReply reply;
+  reply.from = id_;
+  reply.tx = m.tx;
+  reply.source_index = m.source_index;
+  auto it = exchange_store_.find({m.tx, m.source_index});
+  if (it != exchange_store_.end()) {
+    reply.ready = true;
+    reply.snap = it->second;
+  } else {
+    // Not sealed yet (e.g. a deferring coordinator-cluster member): push
+    // the snapshot the moment it becomes available.
+    exchange_waiters_[{m.tx, m.source_index}].insert(from);
+  }
+  Send(from, std::move(reply));
+}
+
+void Node::HandleSnapPullReply(NodeId from, const raft::SnapPullReply& m) {
+  (void)from;
+  if (!exchange_.has_value() || exchange_->plan.tx != m.tx) return;
+  if (!m.ready || !m.snap) return;
+  exchange_->have[m.source_index] = m.snap;
+  MaybeFinishExchange();
+}
+
+void Node::MaybeFinishExchange() {
+  if (!exchange_.has_value()) return;
+  if (exchange_->have.size() < exchange_->plan.sources.size()) return;
+
+  // Assemble the merged store: restore the lowest range, then absorb the
+  // rest in key order (ranges are adjacent by construction).
+  std::vector<kv::SnapshotPtr> snaps;
+  snaps.reserve(exchange_->have.size());
+  for (const auto& [sj, snap] : exchange_->have) snaps.push_back(snap);
+  std::sort(snaps.begin(), snaps.end(),
+            [](const kv::SnapshotPtr& a, const kv::SnapshotPtr& b) {
+              return a->range.lo() < b->range.lo();
+            });
+  store_.Restore(*snaps.front());
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    Status s = store_.MergeIn(*snaps[i]);
+    if (!s.ok()) {
+      RLOG_ERROR("merge", "n%u snapshot merge failed: %s", id_,
+                 s.ToString().c_str());
+    }
+  }
+  raft::MergePlan plan = exchange_->plan;
+  exchange_.reset();
+  counters_.Add("merge.exchange_done");
+  RLOG_INFO("merge", "n%u finished snapshot exchange (%zu keys)", id_,
+            store_.size());
+  // Entries replicated while we were exchanging can now apply.
+  ApplyCommitted();
+  ResetElectionTimer();
+  // Expedite the first election of the merged cluster: the lowest resumed
+  // member campaigns immediately instead of waiting for a full election
+  // timeout (a deterministic choice, so no duelling candidates). Everyone
+  // else keeps the normal randomized timeout as the fallback.
+  auto resume = plan.ResumeMembers();
+  if (!resume.empty() && id_ == *std::min_element(resume.begin(), resume.end()) &&
+      role_ == Role::kFollower && leader_ == kNoNode && CanCampaign()) {
+    StartElection();
+  }
+}
+
+}  // namespace recraft::core

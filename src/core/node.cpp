@@ -1,0 +1,591 @@
+// Node lifecycle, message dispatch, the apply path and client handling.
+#include "core/node.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace recraft::core {
+
+const char* RoleName(Role r) {
+  switch (r) {
+    case Role::kFollower: return "follower";
+    case Role::kCandidate: return "candidate";
+    case Role::kLeader: return "leader";
+  }
+  return "?";
+}
+
+Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
+           SendFn send)
+    : id_(id),
+      opts_(opts),
+      send_(std::move(send)),
+      rng_(rng),
+      store_(genesis.range) {
+  bool bootstrap = !genesis.members.empty();
+  raft::ConfInit init;
+  init.members = genesis.members;
+  init.range = genesis.range;
+  init.uid = genesis.uid;
+  config_.Init(std::move(genesis));
+  if (bootstrap) {
+    // Write the genesis configuration as entry 1 so the log is
+    // self-contained for nodes added later (they replay membership from the
+    // log instead of relying on out-of-band genesis state).
+    raft::LogEntry e;
+    e.index = 1;
+    e.term = 0;
+    e.payload = std::move(init);
+    log_.Append(e);
+    commit_ = 1;
+    applied_ = 1;
+  }
+  ResetElectionTimer();
+  // Stagger initial timeouts so the first election converges quickly.
+  ticks_since_heard_ = static_cast<int>(rng_.Uniform(
+      0, static_cast<uint64_t>(opts_.election_timeout_min_ticks)));
+}
+
+void Node::Send(NodeId to, raft::Message m) {
+  counters_.Add("msg.sent");
+  send_(to, raft::MakeMessage(std::move(m)));
+}
+
+void Node::ResetElectionTimer() {
+  ticks_since_heard_ = 0;
+  election_timeout_ = static_cast<int>(
+      rng_.Uniform(static_cast<uint64_t>(opts_.election_timeout_min_ticks),
+                   static_cast<uint64_t>(opts_.election_timeout_max_ticks)));
+}
+
+bool Node::CanCampaign() const {
+  if (exchange_.has_value()) return false;  // §III-C: merge snapshots first
+  if (IsRetired()) return false;
+  return true;
+}
+
+void Node::BecomeFollower(EpochTerm et, NodeId leader) {
+  bool term_changed = et.raw() != term_;
+  if (term_changed) {
+    term_ = et.raw();
+    voted_for_ = kNoNode;
+  }
+  if (role_ == Role::kLeader) {
+    counters_.Add("leader.stepdown");
+    FailPendingClients(Code::kNotLeader);
+  }
+  role_ = Role::kFollower;
+  votes_.clear();
+  progress_.clear();
+  leader_ = leader;
+}
+
+bool Node::ObserveEt(EpochTerm et, NodeId from) {
+  EpochTerm cur(term_);
+  if (et.raw() <= cur.raw()) return true;
+  if (et.epoch() == cur.epoch()) {
+    BecomeFollower(et, kNoNode);
+    return true;
+  }
+  // Higher epoch: the sender completed a reconfiguration we have not.
+  const auto& cfg = config_.Current();
+
+  // A coordinator-cluster leader deliberately lags its own merge's epoch
+  // while it collects 2PC commit acks ("applies last", §III-C.1): traffic
+  // from already-transitioned members is expected, not an epoch gap.
+  if (role_ == Role::kLeader && merge_.phase == MergePhase::kCommitting &&
+      merge_.outcome_is_commit && merge_.plan.new_epoch == et.epoch()) {
+    return false;
+  }
+
+  if (cfg.mode == raft::ConfigMode::kSplitLeaving &&
+      log_.HasEntry(cfg.cnew_index)) {
+    // An epoch can only advance past ours once our split's C_new committed
+    // (§III-B): complete our own side, then re-examine the message.
+    commit_ = std::max(commit_, cfg.cnew_index);
+    ApplyCommitted();  // runs CompleteSplit when the C_new entry applies
+    return ObserveEt(et, from);
+  }
+
+  // A committed merge outcome whose E_new matches the observed epoch: the
+  // merged cluster is live; transition now (we deferred as a coordinator-
+  // cluster member, or lost the MergeFinalize).
+  if (cfg.merge_outcome_index > 0 && cfg.merge_outcome_index <= commit_ &&
+      cfg.merge_outcome_commit && cfg.merge_outcome_plan &&
+      cfg.merge_outcome_plan->new_epoch == et.epoch()) {
+    raft::MergePlan plan = *cfg.merge_outcome_plan;
+    TransitionToMerged(plan);
+    return ObserveEt(et, from);
+  }
+
+  // We miss the reconfiguration entirely: recover by pulling from the
+  // sender (§III-B "Pulling through EnterElection and HandleVote").
+  counters_.Add("recovery.epoch_gap");
+  StartPull(from);
+  return false;
+}
+
+void Node::Tick() {
+  // Fresh admission budget; serve requests deferred by a saturated leader.
+  tick_budget_used_ = 0;
+  while (!deferred_requests_.empty() &&
+         (opts_.max_client_requests_per_tick == 0 ||
+          tick_budget_used_ < opts_.max_client_requests_per_tick)) {
+    auto [from, req] = std::move(deferred_requests_.front());
+    deferred_requests_.pop_front();
+    HandleClientRequest(from, req);
+  }
+  if (exchange_.has_value()) {
+    ExchangeTick();
+    return;
+  }
+  if (pull_target_ != kNoNode) {
+    PullTick();
+  }
+  if (role_ == Role::kLeader) {
+    if (--heartbeat_countdown_ <= 0) {
+      heartbeat_countdown_ = opts_.heartbeat_ticks;
+      BroadcastAppend(/*heartbeat=*/true);
+    }
+    // CheckQuorum (Raft dissertation §6.2): a leader that cannot reach an
+    // election quorum within two election timeouts steps down, so a
+    // partitioned leader stops serving (and Table I's "operation stops"
+    // failure counts are observable).
+    bool any_peer = false;
+    for (auto& [peer, p] : progress_) {
+      ++p.ticks_since_ack;
+      any_peer = true;
+    }
+    if (any_peer) {
+      std::set<NodeId> live{id_};
+      int lease = 2 * opts_.election_timeout_max_ticks;
+      for (const auto& [peer, p] : progress_) {
+        if (p.ticks_since_ack < lease) live.insert(peer);
+      }
+      if (!raft::ElectionQuorum(config_.Current()).Satisfied(live)) {
+        counters_.Add("leader.lost_quorum");
+        BecomeFollower(current_et(), kNoNode);
+        ResetElectionTimer();
+        return;
+      }
+    }
+    MergeTick();
+    silent_ticks_ = 0;
+    return;
+  }
+  ++ticks_since_heard_;
+  if (ticks_since_heard_ >= election_timeout_) {
+    ++silent_ticks_;
+    if (opts_.naming_fallback_ticks > 0 &&
+        silent_ticks_ >= opts_.naming_fallback_ticks &&
+        opts_.naming_service != kNoNode && !naming_query_inflight_) {
+      naming_query_inflight_ = true;
+      counters_.Add("recovery.naming_lookup");
+      Send(opts_.naming_service, raft::NamingLookupReq{id_});
+    }
+    if (CanCampaign()) {
+      StartElection();
+    } else {
+      ResetElectionTimer();
+    }
+  }
+}
+
+void Node::Receive(NodeId from, const raft::Message& m) {
+  counters_.Add("msg.recv");
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, raft::RequestVote>) {
+          HandleRequestVote(from, body);
+        } else if constexpr (std::is_same_v<T, raft::VoteReply>) {
+          HandleVoteReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::AppendEntries>) {
+          HandleAppendEntries(from, body);
+        } else if constexpr (std::is_same_v<T, raft::AppendReply>) {
+          HandleAppendReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::InstallSnapshot>) {
+          HandleInstallSnapshot(from, body);
+        } else if constexpr (std::is_same_v<T, raft::InstallSnapshotReply>) {
+          HandleInstallSnapshotReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::CommitNotify>) {
+          HandleCommitNotify(from, body);
+        } else if constexpr (std::is_same_v<T, raft::PullRequest>) {
+          HandlePullRequest(from, body);
+        } else if constexpr (std::is_same_v<T, raft::PullReply>) {
+          HandlePullReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::MergePrepareReq>) {
+          HandleMergePrepareReq(from, body);
+        } else if constexpr (std::is_same_v<T, raft::MergePrepareReply>) {
+          HandleMergePrepareReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::MergeCommitReq>) {
+          HandleMergeCommitReq(from, body);
+        } else if constexpr (std::is_same_v<T, raft::MergeCommitReply>) {
+          HandleMergeCommitReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::MergeFinalize>) {
+          HandleMergeFinalize(from, body);
+        } else if constexpr (std::is_same_v<T, raft::SnapPullReq>) {
+          HandleSnapPullReq(from, body);
+        } else if constexpr (std::is_same_v<T, raft::SnapPullReply>) {
+          HandleSnapPullReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::ClientRequest>) {
+          HandleClientRequest(from, body);
+        } else if constexpr (std::is_same_v<T, raft::RangeSnapReq>) {
+          HandleRangeSnapReq(from, body);
+        } else if constexpr (std::is_same_v<T, raft::BootstrapReq>) {
+          HandleBootstrapReq(from, body);
+        } else if constexpr (std::is_same_v<T, raft::NamingLookupReply>) {
+          HandleNamingLookupReply(body);
+        }
+        // NamingRegister / NamingLookupReq are handled by the naming actor.
+      },
+      m);
+}
+
+void Node::OnCrash() {
+  counters_.Add("node.crash");
+  // The network already drops traffic; nothing to do here. State is kept as
+  // the "persisted" image.
+}
+
+void Node::OnRestart() {
+  counters_.Add("node.restart");
+  role_ = Role::kFollower;
+  leader_ = kNoNode;
+  votes_.clear();
+  progress_.clear();
+  pending_.clear();
+  deferred_requests_.clear();
+  ResetElectionTimer();
+  // A coordinator mid-2PC recovers from its committed log when it next
+  // becomes leader (ResumeMergeAsLeader); forget the volatile runtime.
+  merge_ = MergeRuntime{};
+  // Snapshot exchange must resume: contacts and collected remote snapshots
+  // are volatile, the plan and our own snapshot are not.
+  if (exchange_.has_value()) {
+    raft::MergePlan plan = exchange_->plan;
+    exchange_.reset();
+    StartExchange(plan);
+  }
+  pull_target_ = kNoNode;
+  pull_countdown_ = 0;
+  silent_ticks_ = 0;
+  naming_query_inflight_ = false;
+}
+
+const KeyRange& Node::EffectiveRange() const {
+  const auto& cfg = config_.Current();
+  if (cfg.mode == raft::ConfigMode::kSplitLeaving) {
+    int sub = cfg.split.SubOf(id_);
+    if (sub >= 0) return cfg.split.subs[static_cast<size_t>(sub)].range;
+  }
+  return cfg.range;
+}
+
+// --------------------------------------------------------------------------
+// Apply path.
+
+void Node::ApplyCommitted() {
+  while (applied_ < commit_) {
+    // Defer application while a merge's snapshot exchange is incomplete:
+    // the log replicates normally but the store lacks the other
+    // subclusters' data (§III-C.2).
+    if (exchange_.has_value()) break;
+    // ApplyEntry can reset the whole log (merge resumption); re-read state
+    // every iteration.
+    Index next = applied_ + 1;
+    if (!log_.HasEntry(next)) break;  // reset underneath us
+    raft::LogEntry entry = log_.At(next);
+    applied_ = next;
+    ApplyEntry(entry);
+  }
+  MaybeCompact();  // every replica compacts, not just the leader
+}
+
+void Node::RecordApplied(const raft::LogEntry& e) {
+  if (!opts_.trace_applied) return;
+  AppliedRecord rec;
+  rec.uid = config_.Current().uid;
+  rec.epoch = current_et().epoch();
+  rec.index = e.index;
+  rec.term = e.term;
+  if (const auto* cmd = std::get_if<kv::Command>(&e.payload)) {
+    rec.payload_hash = std::hash<std::string>{}(cmd->key) * 31 +
+                       std::hash<std::string>{}(cmd->value) * 7 +
+                       static_cast<size_t>(cmd->op) + cmd->client_id * 131 +
+                       cmd->seq * 17;
+    rec.is_kv = true;
+    rec.cmd = *cmd;
+  } else {
+    rec.payload_hash = std::hash<std::string>{}(e.Describe());
+  }
+  applied_trace_.push_back(std::move(rec));
+}
+
+void Node::ApplyEntry(const raft::LogEntry& e) {
+  RecordApplied(e);
+  counters_.Add("entries.applied");
+  if (const auto* cmd = std::get_if<kv::Command>(&e.payload)) {
+    kv::OpResult res = store_.Apply(*cmd);
+    auto it = pending_.find(e.index);
+    if (it != pending_.end()) {
+      ReplyToClient(it->second.client, it->second.req_id, res.status,
+                    res.value);
+      pending_.erase(it);
+    }
+    return;
+  }
+  if (std::holds_alternative<raft::NoOp>(e.payload)) {
+    auto it = pending_.find(e.index);
+    if (it != pending_.end()) {
+      ReplyToClient(it->second.client, it->second.req_id, OkStatus());
+      pending_.erase(it);
+    }
+    return;
+  }
+  if (std::holds_alternative<raft::ConfInit>(e.payload)) {
+    // Replayed only by nodes that joined after bootstrap: adopt the genesis
+    // range for the (still empty) store. Membership was applied wait-free
+    // on append by the config tracker.
+    if (store_.range().empty() || store_.size() == 0) {
+      store_ = kv::Store(config_.StateAtOrBefore(e.index).range);
+    }
+    return;
+  }
+  if (std::holds_alternative<raft::ConfSplitJoint>(e.payload)) {
+    OnSplitJointCommitted(e.index);
+    return;
+  }
+  if (std::holds_alternative<raft::ConfSplitNew>(e.payload)) {
+    // Commit of the split C_new entry: this node's split is decided;
+    // complete it (notify, shrink, epoch bump).
+    CompleteSplit();
+    return;
+  }
+  if (const auto* cm = std::get_if<raft::ConfMember>(&e.payload)) {
+    OnMemberChangeCommitted(*cm, e.index);
+    return;
+  }
+  if (const auto* tx = std::get_if<raft::ConfMergeTx>(&e.payload)) {
+    OnMergeTxApplied(*tx, e.index);
+    return;
+  }
+  if (const auto* oc = std::get_if<raft::ConfMergeOutcome>(&e.payload)) {
+    OnMergeOutcomeApplied(*oc, e.index);
+    return;
+  }
+  if (const auto* sr = std::get_if<raft::ConfSetRange>(&e.payload)) {
+    if (sr->absorb) {
+      Status s = store_.MergeIn(*sr->absorb);
+      if (!s.ok()) {
+        RLOG_ERROR("range", "n%u absorb failed: %s", id_,
+                   s.ToString().c_str());
+      }
+    } else if (store_.range().ContainsRange(sr->range)) {
+      (void)store_.RestrictRange(sr->range);
+    }
+    auto it = pending_.find(e.index);
+    if (it != pending_.end()) {
+      ReplyToClient(it->second.client, it->second.req_id, OkStatus());
+      pending_.erase(it);
+    }
+    return;
+  }
+}
+
+void Node::FailPendingClients(Code code) {
+  for (const auto& [idx, pc] : pending_) {
+    ReplyToClient(pc.client, pc.req_id, Status(code), {});
+  }
+  pending_.clear();
+}
+
+void Node::ReplyToClient(NodeId client, uint64_t req_id, Status s,
+                         std::string value) {
+  if (client == kNoNode) return;
+  raft::ClientReply reply;
+  reply.req_id = req_id;
+  reply.from = id_;
+  reply.status = std::move(s);
+  reply.value = std::move(value);
+  reply.leader_hint = leader_;
+  Send(client, std::move(reply));
+}
+
+void Node::RegisterWithNaming() {
+  if (opts_.naming_service == kNoNode) return;
+  const auto& cfg = config_.Current();
+  raft::NamingRegister reg;
+  reg.uid = cfg.uid;
+  reg.epoch = current_et().epoch();
+  reg.members = cfg.members;
+  reg.range = cfg.range;
+  Send(opts_.naming_service, std::move(reg));
+}
+
+// --------------------------------------------------------------------------
+// Client / admin requests.
+
+void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
+  if (role_ != Role::kLeader) {
+    ReplyToClient(from, m.req_id, NotLeader());
+    return;
+  }
+  if (const auto* cmd = std::get_if<kv::Command>(&m.body)) {
+    if (!EffectiveRange().Contains(cmd->key)) {
+      ReplyToClient(from, m.req_id, OutOfRange(cmd->key));
+      return;
+    }
+    // Leader-side admission: past the per-tick budget, requests queue and
+    // are served on later ticks (models the storage bottleneck).
+    if (opts_.max_client_requests_per_tick > 0) {
+      if (tick_budget_used_ >= opts_.max_client_requests_per_tick) {
+        deferred_requests_.emplace_back(from, m);
+        counters_.Add("client.deferred");
+        return;
+      }
+      ++tick_budget_used_;
+    }
+    // Once a merge outcome is in the log the data is sealed: the merge
+    // blocks client traffic until the merged cluster resumes (§III-C.2).
+    if (config_.Current().merge_outcome_index > 0) {
+      ReplyToClient(from, m.req_id, Busy("merge in progress"));
+      return;
+    }
+    // Register the pending reply *before* proposing: on a single-node
+    // cluster Propose commits and applies synchronously.
+    Index next = log_.last_index() + 1;
+    pending_[next] = PendingClient{m.req_id, from};
+    auto idx = Propose(*cmd);
+    if (!idx.ok()) {
+      pending_.erase(next);
+      ReplyToClient(from, m.req_id, idx.status());
+      return;
+    }
+    counters_.Add("client.proposed");
+    return;
+  }
+  if (const auto* split = std::get_if<raft::AdminSplit>(&m.body)) {
+    Status s = StartSplit(*split);
+    // The split reply is sent on completion; failures reply immediately.
+    if (!s.ok()) {
+      ReplyToClient(from, m.req_id, s);
+    } else {
+      merge_.admin_req_id = 0;  // unrelated; splits reply via pending slot
+      split_admin_req_id_ = m.req_id;
+      split_admin_client_ = from;
+    }
+    return;
+  }
+  if (const auto* merge = std::get_if<raft::AdminMerge>(&m.body)) {
+    Status s = StartMerge(*merge, m.req_id, from);
+    if (!s.ok()) ReplyToClient(from, m.req_id, s);
+    return;
+  }
+  if (const auto* member = std::get_if<raft::AdminMember>(&m.body)) {
+    Status s = StartMemberChange(member->change);
+    ReplyToClient(from, m.req_id, s);
+    return;
+  }
+  if (const auto* sr = std::get_if<raft::AdminSetRange>(&m.body)) {
+    const auto& cfg = config_.Current();
+    if (cfg.range == sr->range && !sr->absorb) {
+      ReplyToClient(from, m.req_id, OkStatus());  // idempotent retry
+      return;
+    }
+    if (Status s = CheckReconfigPreconditions(); !s.ok()) {
+      ReplyToClient(from, m.req_id, s);
+      return;
+    }
+    Index next = log_.last_index() + 1;
+    pending_[next] = PendingClient{m.req_id, from};
+    auto idx = Propose(raft::ConfSetRange{sr->range, sr->absorb});
+    if (!idx.ok()) {
+      pending_.erase(next);
+      ReplyToClient(from, m.req_id, idx.status());
+    }
+    return;
+  }
+}
+
+void Node::HandleRangeSnapReq(NodeId from, const raft::RangeSnapReq& m) {
+  raft::RangeSnapReply reply;
+  reply.from = id_;
+  reply.range = m.range;
+  if (role_ != Role::kLeader) {
+    reply.retry = true;
+    reply.leader_hint = leader_;
+    Send(from, std::move(reply));
+    return;
+  }
+  auto snap = store_.TakeSnapshot(m.range);
+  if (!snap.ok()) {
+    reply.retry = false;
+    Send(from, std::move(reply));
+    return;
+  }
+  reply.ok = true;
+  reply.snap = *snap;
+  Send(from, std::move(reply));
+}
+
+void Node::HandleBootstrapReq(NodeId from, const raft::BootstrapReq& m) {
+  // Idempotency: if we already carry this genesis identity, just ack.
+  if (config_.Current().uid != m.genesis.uid || m.genesis.uid == 0) {
+    Reinit(m.genesis, m.data);
+  }
+  raft::BootstrapAck ack;
+  ack.from = id_;
+  ack.op_id = m.op_id;
+  Send(from, std::move(ack));
+}
+
+void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
+  counters_.Add("node.reinit");
+  term_ = 0;
+  voted_for_ = kNoNode;
+  log_.Reset(0, 0);
+  commit_ = 0;
+  applied_ = 0;
+  store_ = kv::Store(genesis.range);
+  history_.clear();
+  snapshot_.reset();
+  exchange_store_.clear();
+  role_ = Role::kFollower;
+  leader_ = kNoNode;
+  votes_.clear();
+  progress_.clear();
+  pending_.clear();
+  merge_ = MergeRuntime{};
+  exchange_.reset();
+  pull_target_ = kNoNode;
+  split_admin_client_ = kNoNode;
+
+  raft::ConfigState g = genesis;
+  bool bootstrap = !g.members.empty();
+  raft::ConfInit init;
+  init.members = g.members;
+  init.range = g.range;
+  init.uid = g.uid;
+  config_.Init(std::move(g));
+  if (bootstrap) {
+    raft::LogEntry e;
+    e.index = 1;
+    e.term = 0;
+    e.payload = std::move(init);
+    log_.Append(e);
+    commit_ = 1;
+    applied_ = 1;
+  }
+  if (data) {
+    // Installed data is the snapshot base beneath the genesis entry.
+    kv::Snapshot restricted = *data;
+    restricted.range = genesis.range;
+    store_.Restore(restricted);
+    (void)store_.RestrictRange(genesis.range);
+  }
+  ResetElectionTimer();
+}
+
+}  // namespace recraft::core

@@ -1,0 +1,322 @@
+// The ReCraft consensus node: complete Raft (leader election, log
+// replication, snapshots, membership change) extended with the paper's
+// self-contained reconfigurations:
+//
+//  * split   — SplitEnterJoint / SplitLeaveJoint with distinct election and
+//              commit quorums, CommitNotify multicast, epoch bump (§III-B);
+//  * merge   — cluster-level 2PC (prepare / commit-abort) through each
+//              cluster's own log, snapshot exchange, resumption at
+//              (E_new, term 0) (§III-C);
+//  * membership — AddAndResize / RemoveAndResize / ResizeQuorum (§IV), plus
+//              vanilla Raft AR-RPC and joint consensus as baselines;
+//  * recovery — pull-based catch-up across epochs, reconfiguration history,
+//              and the naming-service fallback (§III-B, §V).
+//
+// The node is driven entirely by Tick() and Receive(); all outbound traffic
+// goes through the send callback. It is deterministic given its RNG seed.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "kv/kv.h"
+#include "raft/config.h"
+#include "raft/config_tracker.h"
+#include "raft/epoch_term.h"
+#include "raft/log.h"
+#include "raft/messages.h"
+
+namespace recraft::core {
+
+using raft::EpochTerm;
+
+struct Options {
+  Duration tick_interval = 10 * kMillisecond;
+  int heartbeat_ticks = 1;              // heartbeat every N ticks
+  int election_timeout_min_ticks = 10;  // randomized in [min, max]
+  int election_timeout_max_ticks = 20;
+  size_t max_entries_per_append = 128;
+  size_t max_inflight_appends = 16;  // per-follower pipelining depth
+  /// Auto-propose ResizeQuorum after an Add/RemoveAndResize commits with a
+  /// non-majority quorum (the paper presents them as separate RPCs; chaining
+  /// is the common deployment).
+  bool auto_resize_quorum = true;
+  /// Auto-propose JointLeave after a JointEnter commits (vanilla JC flow).
+  bool auto_joint_leave = true;
+  /// Take a snapshot and compact the log every this many applied entries
+  /// (0 disables automatic compaction).
+  size_t snapshot_threshold = 0;
+  int pull_retry_ticks = 15;
+  int merge_retry_ticks = 10;    // 2PC and snapshot-exchange retransmission
+  /// Ticks of total silence (no leader, failed elections, failed pulls)
+  /// before falling back to the naming service (§V). 0 disables.
+  int naming_fallback_ticks = 0;
+  NodeId naming_service = kNoNode;
+  /// When false the node behaves as a plain Raft/etcd node: split, merge and
+  /// the resize RPC family are rejected and epochs never change. Used for
+  /// the Fig. 6 overhead comparison.
+  bool enable_recraft = true;
+  /// Record every applied entry for the harness's safety checkers. Off by
+  /// default (benches would accumulate unbounded traces).
+  bool trace_applied = false;
+  /// Ablation switches (bench/ablation_design): disable the CommitNotify
+  /// multicast after a split commit, or the pull recovery path entirely.
+  bool enable_commit_notify = true;
+  bool enable_pull = true;
+  /// Leader-side client-request admission per tick (0 = unlimited). Models
+  /// the per-node processing/storage bottleneck of the paper's testbed
+  /// (512 B writes on Ceph volumes): a saturated cluster's throughput then
+  /// scales by splitting, as in Fig. 7a.
+  size_t max_client_requests_per_tick = 0;
+};
+
+enum class Role : uint8_t { kFollower = 0, kCandidate, kLeader };
+const char* RoleName(Role r);
+
+/// Coordinator-side 2PC phase, exposed for fault-injection benches (Table I).
+enum class MergePhase : uint8_t {
+  kIdle = 0,
+  kPreparing,   // CTX' proposed, collecting prepare replies
+  kCommitting,  // outcome proposed, collecting commit acks
+};
+
+class Node {
+ public:
+  using SendFn = std::function<void(NodeId to, raft::MessagePtr msg)>;
+
+  /// `genesis` must list the initial members (including `id` unless the node
+  /// starts as a learner-to-be-added) with a valid range and uid.
+  Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
+       SendFn send);
+
+  // --- simulator driver -------------------------------------------------
+  void Tick();
+  void Receive(NodeId from, const raft::Message& m);
+
+  /// Crash/restart. Persistent state (term, vote, log, commit, applied KV
+  /// state, configuration, history) survives; volatile leadership state,
+  /// timers and pending client replies do not.
+  void OnCrash();
+  void OnRestart();
+
+  // --- introspection ----------------------------------------------------
+  NodeId id() const { return id_; }
+  Role role() const { return role_; }
+  bool IsLeader() const { return role_ == Role::kLeader; }
+  EpochTerm current_et() const { return EpochTerm(term_); }
+  uint32_t epoch() const { return current_et().epoch(); }
+  Index commit_index() const { return commit_; }
+  Index last_applied() const { return applied_; }
+  Index last_log_index() const { return log_.last_index(); }
+  const raft::RaftLog& log() const { return log_; }
+  const raft::ConfigState& config() const { return config_.Current(); }
+  ClusterUid cluster_uid() const { return config().uid; }
+  const kv::Store& store() const { return store_; }
+  NodeId leader_hint() const { return leader_; }
+  MergePhase merge_phase() const { return merge_.phase; }
+  bool merge_exchange_pending() const { return exchange_.has_value(); }
+  bool IsRetired() const { return !config().IsMember(id_); }
+  const std::vector<raft::ReconfigRecord>& history() const { return history_; }
+  CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
+  const Options& options() const { return opts_; }
+
+  /// The key range this node would currently accept client commands for.
+  const KeyRange& EffectiveRange() const;
+
+  /// Entries applied so far, for the harness's safety checkers: calls `fn`
+  /// for each applied (cluster uid, epoch, index, entry) tuple since the
+  /// last drain.
+  struct AppliedRecord {
+    ClusterUid uid;
+    uint32_t epoch;
+    Index index;
+    uint64_t term;
+    size_t payload_hash;
+    bool is_kv = false;
+    kv::Command cmd;  // valid when is_kv
+  };
+  std::vector<AppliedRecord> DrainApplied() { return std::move(applied_trace_); }
+
+ private:
+  friend class NodeTestPeer;
+
+  // -- helpers (node.cpp) -------------------------------------------------
+  void Send(NodeId to, raft::Message m);
+  void ResetElectionTimer();
+  bool CanCampaign() const;
+  void BecomeFollower(EpochTerm et, NodeId leader);
+  /// Handle an incoming epoch-term: adopt same-epoch higher terms, trigger
+  /// split completion or pull recovery for higher epochs. Returns true if
+  /// the message should continue to be processed under the (possibly
+  /// updated) local term.
+  bool ObserveEt(EpochTerm et, NodeId from);
+  void ApplyCommitted();
+  void ApplyEntry(const raft::LogEntry& e);
+  void RecordApplied(const raft::LogEntry& e);
+  void FailPendingClients(Code code);
+  void ReplyToClient(NodeId client, uint64_t req_id, Status s,
+                     std::string value = {});
+  void RegisterWithNaming();
+
+  // -- election (election.cpp) ---------------------------------------------
+  void StartElection();
+  void BecomeLeader();
+  void HandleRequestVote(NodeId from, const raft::RequestVote& m);
+  void HandleVoteReply(NodeId from, const raft::VoteReply& m);
+
+  // -- replication (replication.cpp) ----------------------------------------
+  struct Progress {
+    Index next = 1;
+    Index match = 0;
+    size_t inflight = 0;
+    bool snapshotting = false;
+    int ticks_since_ack = 0;  // for the leader's quorum check (lease)
+  };
+  std::vector<NodeId> ReplicationTargets() const;
+  void BroadcastAppend(bool heartbeat);
+  void MaybeSendAppend(NodeId peer, bool force_empty);
+  void HandleAppendEntries(NodeId from, const raft::AppendEntries& m);
+  void HandleAppendReply(NodeId from, const raft::AppendReply& m);
+  void HandleInstallSnapshot(NodeId from, const raft::InstallSnapshot& m);
+  void HandleInstallSnapshotReply(NodeId from,
+                                  const raft::InstallSnapshotReply& m);
+  void AdvanceCommit();
+  Result<Index> Propose(raft::Payload payload);
+  void MaybeCompact();
+  raft::RaftSnapshotPtr BuildSnapshot() const;
+
+  // -- client/admin (node.cpp) ----------------------------------------------
+  void HandleClientRequest(NodeId from, const raft::ClientRequest& m);
+  void HandleRangeSnapReq(NodeId from, const raft::RangeSnapReq& m);
+  void HandleBootstrapReq(NodeId from, const raft::BootstrapReq& m);
+  /// Wipe all state and restart as a member of a freshly bootstrapped
+  /// cluster (TC baseline's "install snapshot + config and restart" step).
+  void Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data);
+
+  // -- membership (membership.cpp) -------------------------------------------
+  Status CheckReconfigPreconditions() const;
+  Status ValidateMemberChange(const raft::MemberChange& mc) const;
+  Status StartMemberChange(const raft::MemberChange& mc);
+  void OnMemberChangeCommitted(const raft::ConfMember& cm, Index index);
+
+  // -- split (split.cpp) ------------------------------------------------------
+  Status StartSplit(const raft::AdminSplit& req);
+  Status ProposeSplitLeaveJoint();
+  void OnSplitJointCommitted(Index index);
+  void CompleteSplit();
+  void HandleCommitNotify(NodeId from, const raft::CommitNotify& m);
+
+  // -- merge (merge.cpp) ------------------------------------------------------
+  struct MergeRuntime {
+    MergePhase phase = MergePhase::kIdle;
+    raft::MergePlan plan;
+    bool local_tx_applied = false;
+    std::map<int, raft::MergePrepareReply> prepare_replies;
+    std::set<int> commit_acks;
+    bool outcome_is_commit = false;
+    bool outcome_applied_self = false;
+    std::map<int, NodeId> contact;  // per-source current contact node
+    int retry_countdown = 0;
+    uint64_t admin_req_id = 0;
+    NodeId admin_client = kNoNode;
+  };
+  /// Snapshot-exchange state after a committed merge (all members).
+  struct Exchange {
+    raft::MergePlan plan;
+    int my_source = -1;
+    std::map<int, kv::SnapshotPtr> have;
+    std::map<int, NodeId> contact;
+    int retry_countdown = 0;
+  };
+  Status StartMerge(const raft::AdminMerge& req, uint64_t req_id,
+                    NodeId client);
+  void HandleMergePrepareReq(NodeId from, const raft::MergePrepareReq& m);
+  void HandleMergePrepareReply(NodeId from, const raft::MergePrepareReply& m);
+  void HandleMergeCommitReq(NodeId from, const raft::MergeCommitReq& m);
+  void HandleMergeCommitReply(NodeId from, const raft::MergeCommitReply& m);
+  void HandleMergeFinalize(NodeId from, const raft::MergeFinalize& m);
+  void HandleSnapPullReq(NodeId from, const raft::SnapPullReq& m);
+  void HandleSnapPullReply(NodeId from, const raft::SnapPullReply& m);
+  void OnMergeTxApplied(const raft::ConfMergeTx& tx, Index index);
+  void OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc, Index index);
+  void MaybeFinishPrepare();
+  void ProposeMergeOutcome(bool commit);
+  void SendPrepares();
+  void SendCommits();
+  void ResumeMergeAsLeader();
+  void TransitionToMerged(const raft::MergePlan& plan);
+  void MergeTick();
+  void StartExchange(const raft::MergePlan& plan);
+  void ExchangeTick();
+  void MaybeFinishExchange();
+  void FinishMergeAsCoordinator();
+
+  // -- recovery (recovery.cpp) -------------------------------------------------
+  void StartPull(NodeId target);
+  void PullTick();
+  void HandlePullRequest(NodeId from, const raft::PullRequest& m);
+  void HandlePullReply(NodeId from, const raft::PullReply& m);
+  void HandleNamingLookupReply(const raft::NamingLookupReply& m);
+  void InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et);
+
+  // -- state ---------------------------------------------------------------
+  const NodeId id_;
+  const Options opts_;
+  SendFn send_;
+  Rng rng_;
+
+  // Persistent (survives crash/restart).
+  uint64_t term_ = 0;  // EpochTerm raw
+  NodeId voted_for_ = kNoNode;
+  raft::RaftLog log_;
+  Index commit_ = 0;
+  Index applied_ = 0;
+  kv::Store store_;
+  raft::ConfigTracker config_;
+  std::vector<raft::ReconfigRecord> history_;
+  raft::RaftSnapshotPtr snapshot_;  // last compaction point
+  /// Snapshots retained to serve merge data exchange: (tx, source) -> snap.
+  std::map<std::pair<TxId, int>, kv::SnapshotPtr> exchange_store_;
+  /// Requesters that asked for a snapshot we had not sealed yet; answered
+  /// as soon as it becomes available (avoids polling latency).
+  std::map<std::pair<TxId, int>, std::set<NodeId>> exchange_waiters_;
+
+  // Volatile.
+  Role role_ = Role::kFollower;
+  NodeId leader_ = kNoNode;
+  int ticks_since_heard_ = 0;
+  int election_timeout_ = 10;
+  int heartbeat_countdown_ = 1;
+  std::set<NodeId> votes_;
+  std::map<NodeId, Progress> progress_;
+  struct PendingClient {
+    uint64_t req_id;
+    NodeId client;
+  };
+  std::map<Index, PendingClient> pending_;
+  /// Client requests beyond this tick's admission budget (see
+  /// max_client_requests_per_tick), served FIFO on subsequent ticks.
+  std::deque<std::pair<NodeId, raft::ClientRequest>> deferred_requests_;
+  size_t tick_budget_used_ = 0;
+  MergeRuntime merge_;
+  std::optional<Exchange> exchange_;
+  uint64_t split_admin_req_id_ = 0;
+  NodeId split_admin_client_ = kNoNode;
+  // Pull recovery.
+  NodeId pull_target_ = kNoNode;
+  int pull_countdown_ = 0;
+  int pull_attempts_ = 0;
+  int silent_ticks_ = 0;  // for the naming-service fallback
+  bool naming_query_inflight_ = false;
+
+  std::vector<AppliedRecord> applied_trace_;
+  CounterSet counters_;
+};
+
+}  // namespace recraft::core

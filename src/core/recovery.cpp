@@ -1,0 +1,248 @@
+// Pull-based recovery across epochs (§III-B), snapshot install, and the
+// naming-service fallback for long-term failures (§V).
+//
+// Pull rules: only *committed* entries are served, only by nodes that fully
+// completed their reconfiguration (stable mode, no pending exchange), and a
+// reply never crosses the responder's epoch boundary — so a node can never
+// receive a sibling subcluster's post-split entries. When the responder has
+// compacted (or reset, after a merge) past the requested position it falls
+// back to a full snapshot.
+#include "common/logging.h"
+#include "core/node.h"
+
+namespace recraft::core {
+
+namespace {
+constexpr int kMaxPullAttempts = 8;
+}
+
+void Node::StartPull(NodeId target) {
+  if (!opts_.enable_pull) return;     // ablation: no self-rescue
+  if (exchange_.has_value()) return;  // merge exchange has its own path
+  if (pull_target_ == target && pull_countdown_ > 0) return;
+  pull_target_ = target;
+  pull_countdown_ = opts_.pull_retry_ticks;
+  pull_attempts_ = 0;
+  // A candidate that is told to pull abandons its campaign (§III-B,
+  // EnterElection returns FAILURE after pullLog).
+  if (role_ == Role::kCandidate) {
+    role_ = Role::kFollower;
+    votes_.clear();
+  }
+  counters_.Add("recovery.pull_started");
+  raft::PullRequest req;
+  req.from = id_;
+  req.epoch = current_et().epoch();
+  req.next_idx = commit_ + 1;
+  Send(target, std::move(req));
+}
+
+void Node::PullTick() {
+  if (--pull_countdown_ > 0) return;
+  if (++pull_attempts_ > kMaxPullAttempts) {
+    // Give up on this source; normal election timeouts (and the naming
+    // fallback) take over.
+    pull_target_ = kNoNode;
+    pull_attempts_ = 0;
+    return;
+  }
+  // Rotate through known peers: the original target may itself be outdated
+  // or unreachable ("the puller can contact different nodes", §III-B).
+  const auto& members = config_.Current().members;
+  if (!members.empty()) {
+    auto it = std::find(members.begin(), members.end(), pull_target_);
+    if (it != members.end() && members.size() > 1) {
+      size_t next = (static_cast<size_t>(it - members.begin()) + 1) %
+                    members.size();
+      if (members[next] != id_) pull_target_ = members[next];
+    }
+  }
+  pull_countdown_ = opts_.pull_retry_ticks;
+  raft::PullRequest req;
+  req.from = id_;
+  req.epoch = current_et().epoch();
+  req.next_idx = commit_ + 1;
+  Send(pull_target_, std::move(req));
+}
+
+void Node::HandlePullRequest(NodeId from, const raft::PullRequest& m) {
+  const auto& cfg = config_.Current();
+  // Only fully reconfigured nodes serve pulls: a node halfway through
+  // applying a split C_new must not be treated as a source (§III-B
+  // "Subtle Corner Cases").
+  if (cfg.mode != raft::ConfigMode::kStable || exchange_.has_value()) return;
+  uint32_t my_epoch = current_et().epoch();
+  if (my_epoch < m.epoch) return;
+
+  raft::PullReply reply;
+  reply.from = id_;
+  reply.epoch = my_epoch;
+
+  if (my_epoch == m.epoch) {
+    // Same-configuration catch-up (restoring an offline peer, §V). Members
+    // get committed entries; a non-member (a node that slept through its
+    // own removal) gets a snapshot whose embedded configuration tells it
+    // the world moved on. Only nodes that *address us as a peer* reach
+    // this path, so serving our committed state is safe.
+    if (!cfg.IsMember(m.from)) {
+      reply.snap = snapshot_ ? snapshot_ : BuildSnapshot();
+      Send(from, std::move(reply));
+      return;
+    }
+    if (m.next_idx <= log_.base_index()) {
+      reply.snap = snapshot_ ? snapshot_ : BuildSnapshot();
+    } else {
+      reply.entries = log_.Slice(m.next_idx, commit_);
+      reply.commit = commit_;
+    }
+    Send(from, std::move(reply));
+    return;
+  }
+
+  // Requester is behind by at least one epoch: find the boundary it must
+  // cross next — the first reconfiguration that raised our epoch past its.
+  const raft::ReconfigRecord* boundary = nullptr;
+  for (const auto& rec : history_) {
+    if (rec.epoch > m.epoch) {
+      boundary = &rec;
+      break;
+    }
+  }
+  if (boundary == nullptr) return;  // inconsistent history; stay silent
+
+  if (boundary->kind == raft::ReconfigRecord::Kind::kSplit) {
+    Index upto = boundary->boundary_index;  // the split C_new entry
+    if (m.next_idx > log_.base_index()) {
+      reply.entries = log_.Slice(m.next_idx, std::min(upto, commit_));
+      reply.commit = std::min(upto, commit_);
+      reply.capped = true;
+      Send(from, std::move(reply));
+      return;
+    }
+    // Entries below the boundary are compacted away. If the requester is a
+    // member of *our* cluster our snapshot is exactly what it needs; a
+    // sibling-subcluster node must find a peer that still has the prefix.
+    if (cfg.IsMember(m.from)) {
+      reply.snap = snapshot_ ? snapshot_ : BuildSnapshot();
+      Send(from, std::move(reply));
+    }
+    return;
+  }
+  // Merge boundary: the log restarted, index-based pulls cannot cross it.
+  // A full snapshot carries the merged state, configuration and history;
+  // non-members learn from it that (and where) the world moved on.
+  reply.snap = BuildSnapshot();
+  reply.capped = true;
+  Send(from, std::move(reply));
+}
+
+void Node::HandlePullReply(NodeId from, const raft::PullReply& m) {
+  (void)from;
+  if (m.snap != nullptr) {
+    const auto& snap = *m.snap;
+    bool i_am_member = snap.config.IsMember(id_);
+    // Install if it moves us forward. Non-members install too: the embedded
+    // history tells a retired or superseded node where its lineage went.
+    if (snap.last_index > commit_ ||
+        snap.config.uid != config_.Current().uid) {
+      InstallSnapshotState(snap, EpochTerm(snap.last_term));
+      counters_.Add(i_am_member ? "recovery.snap_installed"
+                                : "recovery.snap_retired");
+    }
+    pull_target_ = kNoNode;
+    pull_attempts_ = 0;
+    return;
+  }
+  if (m.entries.empty()) return;  // nothing useful yet; retries continue
+  for (const auto& e : m.entries) {
+    if (e.index <= log_.base_index()) continue;
+    if (log_.Matches(e.index, e.term)) continue;
+    if (e.index <= commit_) {
+      counters_.Add("invariant.committed_conflict");
+      return;
+    }
+    if (e.index <= log_.last_index()) {
+      log_.TruncateFrom(e.index);
+      config_.OnTruncate(e.index);
+    }
+    // Gap between our log end and the pulled batch: ask again from our end.
+    if (e.index != log_.last_index() + 1) break;
+    log_.Append(e);
+    config_.OnAppend(e);
+  }
+  Index new_commit = std::min<Index>(m.commit, log_.last_index());
+  if (new_commit > commit_) {
+    commit_ = new_commit;
+    ApplyCommitted();  // may run CompleteSplit and bump our epoch
+  }
+  pull_target_ = kNoNode;
+  pull_attempts_ = 0;
+  counters_.Add("recovery.pull_applied");
+}
+
+void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
+  if (snap.kv) store_.Restore(*snap.kv);
+  log_.Reset(snap.last_index, snap.last_term);
+  commit_ = snap.last_index;
+  applied_ = snap.last_index;
+  config_.ForceState(snap.config, snap.last_index);
+  // Merge histories: keep ours, add unseen records (they are ordered by
+  // epoch; a simple de-dup by (epoch, uid) suffices).
+  for (const auto& rec : snap.history) {
+    bool seen = false;
+    for (const auto& mine : history_) {
+      if (mine.epoch == rec.epoch && mine.uid == rec.uid) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) history_.push_back(rec);
+  }
+  snapshot_ = std::make_shared<raft::RaftSnapshot>(snap);
+  if (et.raw() > term_) {
+    term_ = et.raw();
+    voted_for_ = kNoNode;
+  }
+  role_ = Role::kFollower;
+  votes_.clear();
+  progress_.clear();
+  FailPendingClients(Code::kUnavailable);
+  // If we were waiting on a merge exchange and the snapshot is the merged
+  // cluster's state, the wait is over.
+  if (exchange_.has_value() &&
+      snap.config.uid == exchange_->plan.new_uid) {
+    exchange_.reset();
+  }
+  ResetElectionTimer();
+  counters_.Add("recovery.install_snapshot");
+}
+
+void Node::HandleNamingLookupReply(const raft::NamingLookupReply& m) {
+  naming_query_inflight_ = false;
+  if (m.clusters.empty()) return;
+  // Prefer a cluster that covers our key range (our lineage's successor);
+  // fall back to any cluster listing us as a member.
+  const raft::NamingRegister* best = nullptr;
+  for (const auto& c : m.clusters) {
+    if (c.uid == config_.Current().uid && c.epoch <= current_et().epoch()) {
+      continue;  // that's us
+    }
+    if (c.range.Overlaps(EffectiveRange())) {
+      if (best == nullptr || c.epoch > best->epoch) best = &c;
+    }
+  }
+  if (best == nullptr) {
+    for (const auto& c : m.clusters) {
+      if (std::find(c.members.begin(), c.members.end(), id_) !=
+          c.members.end()) {
+        best = &c;
+        break;
+      }
+    }
+  }
+  if (best == nullptr || best->members.empty()) return;
+  silent_ticks_ = 0;
+  StartPull(best->members.front());
+}
+
+}  // namespace recraft::core

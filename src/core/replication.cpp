@@ -1,0 +1,304 @@
+// Log replication, commit-quorum accounting (including the split's mixed
+// quorums), snapshot install and log compaction.
+#include "common/logging.h"
+#include "core/node.h"
+
+namespace recraft::core {
+
+std::vector<NodeId> Node::ReplicationTargets() const {
+  const auto& cfg = config_.Current();
+  std::set<NodeId> t(cfg.members.begin(), cfg.members.end());
+  // Under vanilla joint consensus entries must reach both configurations.
+  if (cfg.vanilla_joint) t.insert(cfg.jc_old.begin(), cfg.jc_old.end());
+  t.erase(id_);
+  return {t.begin(), t.end()};
+}
+
+void Node::BroadcastAppend(bool heartbeat) {
+  for (NodeId peer : ReplicationTargets()) {
+    MaybeSendAppend(peer, heartbeat);
+  }
+}
+
+void Node::MaybeSendAppend(NodeId peer, bool force_empty) {
+  // Applying a committed entry can demote us mid-call (merge resumption,
+  // split completion, self-removal): never emit replication traffic unless
+  // still the leader.
+  if (role_ != Role::kLeader) return;
+  Progress& p = progress_[peer];
+  if (p.snapshotting && !force_empty) return;
+
+  const auto& cfg = config_.Current();
+  Index cap = log_.last_index();
+  Index commit_cap = commit_;
+  if (cfg.mode == raft::ConfigMode::kSplitLeaving) {
+    // §III-B SplitLeaveJoint: entries after the split C_new entry belong to
+    // the leader's own subcluster; members of other subclusters receive the
+    // log only up to C_new.
+    int my_sub = cfg.split.SubOf(id_);
+    int peer_sub = cfg.split.SubOf(peer);
+    if (peer_sub != my_sub) {
+      cap = std::min(cap, cfg.cnew_index);
+      commit_cap = std::min(commit_cap, cfg.cnew_index);
+    }
+  }
+
+  if (p.next <= log_.base_index()) {
+    if (p.snapshotting) return;
+    raft::InstallSnapshot is;
+    is.et = term_;
+    is.leader = id_;
+    is.snap = snapshot_ ? snapshot_ : BuildSnapshot();
+    p.snapshotting = true;
+    counters_.Add("repl.snapshot_sent");
+    Send(peer, std::move(is));
+    return;
+  }
+
+  std::vector<raft::LogEntry> entries;
+  if (p.next <= cap) {
+    Index hi = std::min(cap, p.next + opts_.max_entries_per_append - 1);
+    entries = log_.Slice(p.next, hi);
+  }
+  if (entries.empty() && !force_empty) return;
+  if (!entries.empty() && p.inflight >= opts_.max_inflight_appends &&
+      !force_empty) {
+    return;
+  }
+
+  raft::AppendEntries ae;
+  ae.et = term_;
+  ae.leader = id_;
+  ae.prev_idx = p.next - 1;
+  ae.prev_term = log_.TermAt(ae.prev_idx);
+  ae.commit = commit_cap;
+  ae.entries = entries;
+  if (!entries.empty()) {
+    p.next = entries.back().index + 1;  // optimistic pipelining
+    ++p.inflight;
+  }
+  counters_.Add("repl.append_sent");
+  Send(peer, std::move(ae));
+}
+
+void Node::HandleAppendEntries(NodeId from, const raft::AppendEntries& m) {
+  EpochTerm met(m.et);
+  if (met.raw() < term_) {
+    raft::AppendReply reply;
+    reply.et = term_;
+    reply.from = id_;
+    reply.ok = false;
+    Send(from, std::move(reply));
+    return;
+  }
+  if (met.raw() > term_) {
+    if (!ObserveEt(met, from)) return;  // epoch gap -> pull recovery
+    if (met.raw() > term_) return;      // still behind after completing
+  }
+  // Same epoch-term: acknowledge the leader.
+  if (role_ != Role::kFollower || leader_ != from) {
+    BecomeFollower(met, from);
+  }
+  ResetElectionTimer();
+  silent_ticks_ = 0;
+
+  raft::AppendReply reply;
+  reply.et = term_;
+  reply.from = id_;
+
+  if (!log_.Matches(m.prev_idx, m.prev_term)) {
+    reply.ok = false;
+    reply.match = commit_;
+    // Conflict hint: skip back over the whole conflicting-term run, never
+    // below the committed prefix (which always matches the leader's log).
+    Index hint;
+    if (m.prev_idx > log_.last_index()) {
+      hint = log_.last_index() + 1;
+    } else {
+      hint = m.prev_idx;
+      uint64_t t = log_.TermAt(hint);
+      while (hint > commit_ + 1 && hint > log_.first_index() &&
+             log_.TermAt(hint - 1) == t) {
+        --hint;
+      }
+    }
+    reply.conflict_hint = std::max<Index>(hint, commit_ + 1);
+    Send(from, std::move(reply));
+    return;
+  }
+
+  Index last_new = m.prev_idx;
+  for (const auto& e : m.entries) {
+    last_new = e.index;
+    if (log_.Matches(e.index, e.term)) continue;
+    if (e.index <= commit_) {
+      // A conflicting committed entry would violate Log Matching; this
+      // indicates a protocol bug — surface it loudly in tests.
+      counters_.Add("invariant.committed_conflict");
+      RLOG_ERROR("repl", "n%u: conflicting entry at committed index %llu",
+                 id_, static_cast<unsigned long long>(e.index));
+      reply.ok = false;
+      Send(from, std::move(reply));
+      return;
+    }
+    if (e.index <= log_.last_index()) {
+      log_.TruncateFrom(e.index);
+      config_.OnTruncate(e.index);
+      counters_.Add("repl.truncations");
+    }
+    log_.Append(e);
+    config_.OnAppend(e);
+  }
+
+  if (m.commit > commit_) {
+    commit_ = std::min(m.commit, last_new);
+    ApplyCommitted();
+  }
+  reply.ok = true;
+  reply.match = last_new;
+  Send(from, std::move(reply));
+}
+
+void Node::HandleAppendReply(NodeId from, const raft::AppendReply& m) {
+  EpochTerm met(m.et);
+  if (met.raw() > term_) {
+    if (!ObserveEt(met, from)) return;
+    if (met.raw() > term_) return;
+  }
+  if (role_ != Role::kLeader || m.et != term_) return;
+  auto it = progress_.find(from);
+  if (it == progress_.end()) return;
+  Progress& p = it->second;
+  p.ticks_since_ack = 0;
+  if (p.inflight > 0) --p.inflight;
+  if (m.ok) {
+    if (m.match > p.match) {
+      p.match = m.match;
+      AdvanceCommit();
+    }
+    if (p.next <= p.match) p.next = p.match + 1;
+    MaybeSendAppend(from, false);
+  } else {
+    Index hint = m.conflict_hint != 0 ? m.conflict_hint : p.next - 1;
+    p.next = std::max<Index>(1, std::min(p.next - 1 > 0 ? p.next - 1 : 1, hint));
+    if (p.next <= p.match) p.next = p.match + 1;
+    p.inflight = 0;
+    MaybeSendAppend(from, true);
+  }
+}
+
+void Node::HandleInstallSnapshot(NodeId from, const raft::InstallSnapshot& m) {
+  EpochTerm met(m.et);
+  if (met.raw() < term_) {
+    raft::InstallSnapshotReply reply;
+    reply.et = term_;
+    reply.from = id_;
+    reply.applied = 0;
+    Send(from, std::move(reply));
+    return;
+  }
+  if (!m.snap) return;
+  // A snapshot is itself the recovery vehicle: unlike other RPCs we accept
+  // it across epoch gaps directly (it carries the full config + history).
+  bool stale = m.snap->config.uid == config_.Current().uid &&
+               m.snap->last_index <= commit_ &&
+               met.epoch() == current_et().epoch();
+  if (!stale) {
+    InstallSnapshotState(*m.snap, met);
+  } else if (met.raw() > term_) {
+    BecomeFollower(met, from);
+  }
+  leader_ = from;
+  ResetElectionTimer();
+  raft::InstallSnapshotReply reply;
+  reply.et = term_;
+  reply.from = id_;
+  reply.applied = commit_;
+  Send(from, std::move(reply));
+}
+
+void Node::HandleInstallSnapshotReply(NodeId from,
+                                      const raft::InstallSnapshotReply& m) {
+  EpochTerm met(m.et);
+  if (met.raw() > term_) {
+    if (!ObserveEt(met, from)) return;
+    if (met.raw() > term_) return;
+  }
+  if (role_ != Role::kLeader || m.et != term_) return;
+  auto it = progress_.find(from);
+  if (it == progress_.end()) return;
+  Progress& p = it->second;
+  p.ticks_since_ack = 0;
+  p.snapshotting = false;
+  if (m.applied > p.match) p.match = m.applied;
+  p.next = std::max(p.next, p.match + 1);
+  AdvanceCommit();
+  MaybeSendAppend(from, false);
+}
+
+void Node::AdvanceCommit() {
+  if (role_ != Role::kLeader) return;
+  const auto& cfg = config_.Current();
+  Index last = log_.last_index();
+  Index new_commit = commit_;
+  for (Index i = commit_ + 1; i <= last; ++i) {
+    auto q = raft::CommitQuorum(cfg, i, id_);
+    std::set<NodeId> acks{id_};
+    for (const auto& [n, p] : progress_) {
+      if (p.match >= i) acks.insert(n);
+    }
+    if (!q.Satisfied(acks)) break;
+    new_commit = i;
+  }
+  // Raft §5.4.2: only entries of the leader's current term commit by quorum
+  // counting; earlier entries commit transitively. Terms are monotone in the
+  // log, so checking the top of the advanced range suffices.
+  if (new_commit > commit_ && log_.TermAt(new_commit) == term_) {
+    commit_ = new_commit;
+    counters_.Add("repl.commits");
+    ApplyCommitted();
+    MaybeCompact();
+    // Propagate the new commit index promptly (matters for split/merge
+    // completion latency).
+    BroadcastAppend(/*heartbeat=*/true);
+    heartbeat_countdown_ = opts_.heartbeat_ticks;
+  }
+}
+
+Result<Index> Node::Propose(raft::Payload payload) {
+  if (role_ != Role::kLeader) return NotLeader();
+  raft::LogEntry e;
+  e.index = log_.last_index() + 1;
+  e.term = term_;
+  e.payload = std::move(payload);
+  bool is_config = e.IsConfig();
+  log_.Append(e);
+  if (is_config && !config_.OnAppend(log_.At(e.index))) {
+    log_.TruncateFrom(e.index);
+    return Rejected("invalid configuration transition");
+  }
+  counters_.Add("repl.proposed");
+  AdvanceCommit();  // single-node quorums commit immediately
+  BroadcastAppend(false);
+  return e.index;
+}
+
+raft::RaftSnapshotPtr Node::BuildSnapshot() const {
+  auto snap = std::make_shared<raft::RaftSnapshot>();
+  snap->last_index = applied_;
+  snap->last_term = log_.TermAt(applied_);
+  snap->kv = store_.TakeSnapshot();
+  snap->config = config_.StateAtOrBefore(applied_);
+  snap->history = history_;
+  return snap;
+}
+
+void Node::MaybeCompact() {
+  if (opts_.snapshot_threshold == 0) return;
+  if (applied_ - log_.base_index() < opts_.snapshot_threshold) return;
+  snapshot_ = BuildSnapshot();
+  log_.CompactTo(snapshot_->last_index, snapshot_->last_term);
+  counters_.Add("log.compactions");
+}
+
+}  // namespace recraft::core

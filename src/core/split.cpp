@@ -1,0 +1,189 @@
+// The ReCraft split protocol (§III-B): SplitEnterJoint, SplitLeaveJoint,
+// the CommitNotify multicast, and split completion (epoch bump + shrink).
+#include "common/logging.h"
+#include "core/node.h"
+
+namespace recraft::core {
+
+Status Node::StartSplit(const raft::AdminSplit& req) {
+  if (!opts_.enable_recraft) return Rejected("recraft features disabled");
+  if (role_ != Role::kLeader) return NotLeader();
+  if (Status s = CheckReconfigPreconditions(); !s.ok()) return s;
+
+  const auto& cfg = config_.Current();
+  if (req.groups.size() < 2) return Rejected("split needs >= 2 groups");
+  if (req.split_keys.size() + 1 != req.groups.size()) {
+    return Rejected("split needs groups-1 split keys");
+  }
+
+  // The groups must partition the current membership exactly: every member
+  // in exactly one group, no strangers.
+  std::set<NodeId> seen;
+  size_t total = 0;
+  for (const auto& g : req.groups) {
+    if (g.empty()) return Rejected("empty subcluster group");
+    for (NodeId n : g) {
+      if (!cfg.IsMember(n)) {
+        return Rejected("node " + std::to_string(n) + " not a member");
+      }
+      if (!seen.insert(n).second) {
+        return Rejected("node " + std::to_string(n) + " in two groups");
+      }
+      ++total;
+    }
+  }
+  if (total != cfg.members.size()) {
+    return Rejected("groups must cover all members");
+  }
+
+  auto ranges = cfg.range.SplitAt(req.split_keys);
+  if (!ranges.ok()) return ranges.status();
+
+  raft::SplitPlan plan;
+  uint32_t next_epoch = current_et().epoch() + 1;
+  for (size_t i = 0; i < req.groups.size(); ++i) {
+    raft::SubCluster sub;
+    sub.members = req.groups[i];
+    std::sort(sub.members.begin(), sub.members.end());
+    sub.range = (*ranges)[i];
+    sub.uid = raft::DeriveSplitUid(cfg.uid, next_epoch, static_cast<int>(i));
+    plan.subs.push_back(std::move(sub));
+  }
+
+  // SplitEnterJoint (Fig. 2): propose C_joint; it applies wait-free on
+  // append, changing the election quorum to joint-over-subclusters while
+  // commits keep using C_old.
+  auto idx = Propose(raft::ConfSplitJoint{std::move(plan)});
+  if (!idx.ok()) return idx.status();
+  counters_.Add("split.enter_joint");
+  RLOG_INFO("split", "n%u proposed C_joint at %llu", id_,
+            static_cast<unsigned long long>(*idx));
+  return OkStatus();
+}
+
+void Node::OnSplitJointCommitted(Index index) {
+  const auto& cfg = config_.Current();
+  if (role_ != Role::kLeader) return;
+  if (cfg.mode != raft::ConfigMode::kSplitJoint || cfg.joint_index != index) {
+    return;  // superseded (e.g. we are already leaving)
+  }
+  Status s = ProposeSplitLeaveJoint();
+  if (!s.ok()) {
+    RLOG_WARN("split", "n%u leave-joint failed: %s", id_,
+              s.ToString().c_str());
+  }
+}
+
+Status Node::ProposeSplitLeaveJoint() {
+  const auto& cfg = config_.Current();
+  // SplitLeaveJoint preconditions (Fig. 2 line 21): in joint mode and the
+  // C_joint entry committed.
+  if (cfg.mode != raft::ConfigMode::kSplitJoint) {
+    return Rejected("not in split joint mode");
+  }
+  if (cfg.joint_index > commit_) return Rejected("C_joint not committed");
+  auto idx = Propose(raft::ConfSplitNew{cfg.split});
+  if (!idx.ok()) return idx.status();
+  counters_.Add("split.leave_joint");
+  RLOG_INFO("split", "n%u proposed split C_new at %llu", id_,
+            static_cast<unsigned long long>(*idx));
+  return OkStatus();
+}
+
+void Node::CompleteSplit() {
+  const auto cfg = config_.Current();  // copy: we rewrite the tracker below
+  if (cfg.mode != raft::ConfigMode::kSplitLeaving) return;
+  const Index cnew_index = cfg.cnew_index;
+  const uint64_t cnew_term = log_.TermAt(cnew_index);
+  int sub_idx = cfg.split.SubOf(id_);
+  if (sub_idx < 0) {
+    RLOG_ERROR("split", "n%u not in any subcluster of committed split", id_);
+    return;
+  }
+  const raft::SubCluster mine = cfg.split.subs[static_cast<size_t>(sub_idx)];
+  const bool was_leader = role_ == Role::kLeader;
+
+  // SplitLeaveJoint line 30: the leader notifies all C_old members of the
+  // commit so sibling subclusters can leave joint mode and elect leaders.
+  if (was_leader && opts_.enable_commit_notify) {
+    raft::CommitNotify cn;
+    cn.et = term_;
+    cn.from = id_;
+    cn.cnew_index = cnew_index;
+    cn.cnew_term = cnew_term;
+    for (NodeId n : cfg.members) {
+      if (n != id_) Send(n, cn);
+    }
+  }
+
+  // Answer the admin that requested the split.
+  if (split_admin_client_ != kNoNode) {
+    ReplyToClient(split_admin_client_, split_admin_req_id_, OkStatus());
+    split_admin_client_ = kNoNode;
+    split_admin_req_id_ = 0;
+  }
+
+  uint32_t new_epoch = current_et().epoch() + 1;
+  RLOG_INFO("split", "n%u completes split into sub %d %s at epoch %u", id_,
+            sub_idx, mine.ToString().c_str(), new_epoch);
+
+  // Shrink the state machine to the subcluster's range.
+  (void)store_.RestrictRange(mine.range);
+
+  raft::ConfigState ns;
+  ns.mode = raft::ConfigMode::kStable;
+  ns.members = mine.members;
+  ns.range = mine.range;
+  ns.uid = mine.uid;
+  config_.ForceState(std::move(ns), cnew_index);
+
+  raft::ReconfigRecord rec;
+  rec.kind = raft::ReconfigRecord::Kind::kSplit;
+  rec.epoch = new_epoch;
+  rec.uid = mine.uid;
+  rec.members = mine.members;
+  rec.range = mine.range;
+  rec.boundary_index = cnew_index;
+  history_.push_back(std::move(rec));
+
+  // Epoch bump; each node carries its own term number into the new epoch so
+  // stale leaders of distinct old terms stay distinguishable (election
+  // safety per (cluster, epoch, term)).
+  term_ = EpochTerm::Make(new_epoch, current_et().term()).raw();
+  voted_for_ = kNoNode;
+  counters_.Add("split.completed");
+
+  Role prior = role_;
+  role_ = Role::kFollower;
+  leader_ = kNoNode;
+  votes_.clear();
+  progress_.clear();
+  if (prior == Role::kLeader) FailPendingClients(Code::kNotLeader);
+  ResetElectionTimer();
+  RegisterWithNaming();
+
+  // The old leader campaigns immediately in its subcluster: it is the most
+  // up-to-date node, so the subcluster resumes within one round trip and
+  // the split causes no visible throughput dip (Fig. 7a).
+  if (was_leader) StartElection();
+}
+
+void Node::HandleCommitNotify(NodeId from, const raft::CommitNotify& m) {
+  EpochTerm met(m.et);
+  const auto& cfg = config_.Current();
+  if (met.epoch() < current_et().epoch()) return;  // we already moved on
+  if (cfg.mode == raft::ConfigMode::kSplitLeaving &&
+      cfg.cnew_index == m.cnew_index &&
+      log_.Matches(m.cnew_index, m.cnew_term)) {
+    commit_ = std::max(commit_, m.cnew_index);
+    ApplyCommitted();  // CompleteSplit fires when the C_new entry applies
+    return;
+  }
+  if (commit_ < m.cnew_index) {
+    // We miss the split C_new entry (or the whole split): catch up by
+    // pulling committed entries from the notifier.
+    StartPull(from);
+  }
+}
+
+}  // namespace recraft::core

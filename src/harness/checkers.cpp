@@ -1,0 +1,162 @@
+#include "harness/checkers.h"
+
+#include "common/logging.h"
+
+namespace recraft::harness {
+
+void SafetyChecker::Violate(std::string what) {
+  RLOG_ERROR("check", "%s", what.c_str());
+  violations_.push_back(std::move(what));
+}
+
+void SafetyChecker::Observe() {
+  CheckElectionSafety();
+  CheckWellFormedness();
+  DrainApplied();
+}
+
+void SafetyChecker::AttachPeriodic(Duration interval) {
+  world_.events().Schedule(interval, [this, interval]() {
+    Observe();
+    AttachPeriodic(interval);
+  });
+}
+
+void SafetyChecker::CheckElectionSafety() {
+  // Definition 2: at most one leader per (cluster, epoch, term) — across
+  // the entire run, not just at an instant.
+  for (NodeId id : world_.AllNodeIds()) {
+    if (world_.IsCrashed(id)) continue;
+    const auto& n = world_.node(id);
+    if (!n.IsLeader()) continue;
+    auto key = std::make_tuple(n.cluster_uid(), n.current_et().epoch(),
+                               n.current_et().term());
+    auto [it, inserted] = leaders_.emplace(key, id);
+    if (!inserted && it->second != id) {
+      Violate("election safety: nodes " + std::to_string(it->second) +
+              " and " + std::to_string(id) + " both led cluster " +
+              std::to_string(std::get<0>(key)) + " at " +
+              raft::EpochTerm::Make(std::get<1>(key), std::get<2>(key))
+                  .ToString());
+    }
+  }
+}
+
+void SafetyChecker::CheckWellFormedness() {
+  // Definition 6: two clusters of the same epoch are identical or disjoint.
+  // Observed configurations of nodes mid-recovery can be stale, so compare
+  // only stable nodes of the same epoch.
+  std::map<std::pair<uint32_t, ClusterUid>, std::vector<NodeId>> membership;
+  for (NodeId id : world_.AllNodeIds()) {
+    if (world_.IsCrashed(id)) continue;
+    const auto& n = world_.node(id);
+    if (n.config().mode != raft::ConfigMode::kStable) continue;
+    if (n.IsRetired()) continue;
+    membership[{n.epoch(), n.cluster_uid()}] = n.config().members;
+  }
+  std::map<uint32_t, std::vector<std::pair<ClusterUid, std::vector<NodeId>>>>
+      by_epoch;
+  for (const auto& [key, members] : membership) {
+    by_epoch[key.first].push_back({key.second, members});
+  }
+  for (const auto& [epoch, clusters] : by_epoch) {
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        // Different uids at the same epoch must have disjoint members.
+        std::set<NodeId> a(clusters[i].second.begin(),
+                           clusters[i].second.end());
+        bool overlap = false;
+        for (NodeId n : clusters[j].second) {
+          if (a.count(n) > 0) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) {
+          Violate("well-formedness: clusters " +
+                  std::to_string(clusters[i].first) + " and " +
+                  std::to_string(clusters[j].first) + " of epoch " +
+                  std::to_string(epoch) + " share members");
+        }
+      }
+    }
+  }
+}
+
+void SafetyChecker::DrainApplied() {
+  for (NodeId id : world_.AllNodeIds()) {
+    auto records = world_.node(id).DrainApplied();
+    for (const auto& rec : records) {
+      auto key = std::make_pair(rec.uid, rec.index);
+      auto val = std::make_pair(rec.term, rec.payload_hash);
+      auto [it, inserted] = applied_.emplace(key, val);
+      if (!inserted && it->second != val) {
+        Violate("state machine safety: cluster " + std::to_string(rec.uid) +
+                " index " + std::to_string(rec.index) +
+                " applied divergent entries (node " + std::to_string(id) +
+                ")");
+      }
+      if (rec.is_kv && inserted) {
+        applied_kv_[rec.uid].push_back(rec.cmd);
+      }
+    }
+  }
+}
+
+std::string SafetyChecker::Report() const {
+  std::string out;
+  for (const auto& v : violations_) {
+    out += v;
+    out += "\n";
+  }
+  return out;
+}
+
+std::map<std::string, std::string> KvHistoryChecker::Replay(
+    const std::vector<kv::Command>& commands, const KeyRange& range) {
+  std::map<std::string, std::string> state;
+  std::map<uint64_t, uint64_t> session_high;  // client -> highest seq applied
+  for (const auto& cmd : commands) {
+    if (cmd.client_id != 0 && cmd.seq != 0) {
+      auto it = session_high.find(cmd.client_id);
+      if (it != session_high.end() && cmd.seq <= it->second) {
+        continue;  // duplicate of an already-applied command: no effect
+      }
+      session_high[cmd.client_id] = cmd.seq;
+    }
+    if (!range.Contains(cmd.key)) continue;
+    switch (cmd.op) {
+      case kv::OpType::kPut:
+        state[cmd.key] = cmd.value;
+        break;
+      case kv::OpType::kDelete:
+        state.erase(cmd.key);
+        break;
+      case kv::OpType::kGet:
+        break;
+    }
+  }
+  return state;
+}
+
+std::vector<std::string> KvHistoryChecker::CompareStore(
+    const std::vector<kv::Command>& commands, const kv::Store& store) {
+  std::vector<std::string> diffs;
+  auto expected = Replay(commands, store.range());
+  for (const auto& [k, v] : expected) {
+    auto got = store.Get(k);
+    if (!got.ok()) {
+      diffs.push_back("missing key " + k);
+    } else if (*got != v) {
+      diffs.push_back("key " + k + " expected '" + v + "' got '" + *got + "'");
+    }
+  }
+  if (store.size() != expected.size()) {
+    diffs.push_back("store has " + std::to_string(store.size()) +
+                    " keys, history implies " +
+                    std::to_string(expected.size()));
+  }
+  return diffs;
+}
+
+}  // namespace recraft::harness

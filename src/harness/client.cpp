@@ -1,0 +1,192 @@
+#include "harness/client.h"
+
+#include <cstdio>
+
+namespace recraft::harness {
+
+void Router::UpdateCluster(const KeyRange& range,
+                           std::vector<NodeId> members) {
+  // Drop every entry overlapping the new range, then insert the new one.
+  std::vector<Entry> next;
+  for (auto& e : clusters_) {
+    if (!e.range.Overlaps(range)) next.push_back(std::move(e));
+  }
+  Entry fresh;
+  fresh.range = range;
+  fresh.members = std::move(members);
+  next.push_back(std::move(fresh));
+  clusters_ = std::move(next);
+}
+
+Router::Entry* Router::Resolve(const std::string& key) {
+  for (auto& e : clusters_) {
+    if (e.range.Contains(key)) return &e;
+  }
+  return nullptr;
+}
+
+ClosedLoopClient::ClosedLoopClient(World& world, Router& router, NodeId id,
+                                   ClientOptions opts)
+    : world_(world),
+      router_(router),
+      id_(id),
+      opts_(opts),
+      rng_(Mix64(0xc11e47, id)) {
+  world_.net().Register(
+      id_, [this](NodeId, std::shared_ptr<const void> payload, size_t) {
+        const auto& m =
+            *std::static_pointer_cast<const raft::Message>(payload);
+        if (const auto* reply = std::get_if<raft::ClientReply>(&m)) {
+          OnReply(*reply);
+        }
+      });
+}
+
+ClosedLoopClient::~ClosedLoopClient() { world_.net().Unregister(id_); }
+
+void ClosedLoopClient::Start() {
+  running_ = true;
+  IssueNext();
+}
+
+void ClosedLoopClient::IssueNext() {
+  if (!running_) return;
+  char buf[48];
+  uint64_t k = rng_.Uniform(0, opts_.key_space - 1);
+  std::snprintf(buf, sizeof(buf), "%s%08llu", opts_.key_prefix.c_str(),
+                static_cast<unsigned long long>(k));
+  current_ = kv::Command{};
+  current_.key = buf;
+  current_.client_id = id_;
+  current_.seq = next_seq_++;
+  if (opts_.get_fraction > 0 && rng_.Chance(opts_.get_fraction)) {
+    current_.op = kv::OpType::kGet;
+  } else {
+    current_.op = kv::OpType::kPut;
+    current_.value.assign(opts_.value_bytes, 'x');
+  }
+  issued_at_ = world_.now();
+  SendCurrent();
+}
+
+void ClosedLoopClient::SendCurrent() {
+  if (!running_) return;
+  Router::Entry* entry = router_.Resolve(current_.key);
+  if (entry == nullptr || entry->members.empty()) {
+    // No routing information; back off and retry.
+    uint64_t gen = ++generation_;
+    world_.events().Schedule(
+        opts_.retry_timeout,
+        [this, gen, alive = std::weak_ptr<int>(alive_)]() {
+          if (!alive.expired()) OnTimeout(gen);
+        });
+    return;
+  }
+  NodeId target = entry->leader_hint;
+  if (target == kNoNode ||
+      std::find(entry->members.begin(), entry->members.end(), target) ==
+          entry->members.end()) {
+    target = entry->members[entry->rotate++ % entry->members.size()];
+  }
+  current_req_id_ = world_.NextReqId();
+  raft::ClientRequest req;
+  req.req_id = current_req_id_;
+  req.from = id_;
+  req.body = current_;
+  world_.net().Send(id_, target, raft::MakeMessage(raft::Message(req)),
+                    32 + current_.WireBytes());
+  uint64_t gen = ++generation_;
+  world_.events().Schedule(
+      opts_.retry_timeout, [this, gen, alive = std::weak_ptr<int>(alive_)]() {
+        if (!alive.expired()) OnTimeout(gen);
+      });
+}
+
+void ClosedLoopClient::OnTimeout(uint64_t generation) {
+  if (!running_ || generation != generation_) return;
+  ++retries_;
+  // Same command, same sequence number: the session layer deduplicates.
+  Router::Entry* entry = router_.Resolve(current_.key);
+  if (entry != nullptr) entry->leader_hint = kNoNode;  // try someone else
+  SendCurrent();
+}
+
+void ClosedLoopClient::OnReply(const raft::ClientReply& reply) {
+  if (!running_ || reply.req_id != current_req_id_) return;
+  Router::Entry* entry = router_.Resolve(current_.key);
+  if (reply.status.code() == Code::kNotLeader ||
+      reply.status.code() == Code::kBusy ||
+      reply.status.code() == Code::kUnavailable) {
+    ++retries_;
+    if (entry != nullptr) entry->leader_hint = reply.leader_hint;
+    ++generation_;
+    // Brief backoff so a mid-reconfiguration cluster is not hammered.
+    uint64_t gen = generation_;
+    world_.events().Schedule(
+        10 * kMillisecond, [this, gen, alive = std::weak_ptr<int>(alive_)]() {
+          if (!alive.expired() && running_ && gen == generation_) {
+            SendCurrent();
+          }
+        });
+    world_.events().Schedule(
+        opts_.retry_timeout + 10 * kMillisecond,
+        [this, gen, alive = std::weak_ptr<int>(alive_)]() {
+          if (!alive.expired()) OnTimeout(gen);
+        });
+    return;
+  }
+  if (reply.status.code() == Code::kOutOfRange) {
+    // Routing table stale (a split/merge moved the range): re-resolve.
+    ++retries_;
+    ++generation_;
+    uint64_t gen = generation_;
+    world_.events().Schedule(
+        10 * kMillisecond, [this, gen, alive = std::weak_ptr<int>(alive_)]() {
+          if (!alive.expired() && running_ && gen == generation_) {
+            SendCurrent();
+          }
+        });
+    return;
+  }
+  // Success (OK / NotFound for gets and deletes count as completed ops).
+  if (entry != nullptr) entry->leader_hint = reply.from;
+  ++generation_;
+  ++ops_done_;
+  Duration lat = world_.now() - issued_at_;
+  latency_.Record(lat);
+  if (opts_.latency != nullptr) opts_.latency->Record(lat);
+  if (opts_.throughput != nullptr) opts_.throughput->Record(world_.now());
+  if (opts_.on_op_complete) opts_.on_op_complete(current_.key, world_.now());
+  IssueNext();
+}
+
+ClientFleet::ClientFleet(World& world, Router& router, size_t n,
+                         ClientOptions opts) {
+  opts.throughput = &throughput_;
+  for (size_t i = 0; i < n; ++i) {
+    clients_.push_back(std::make_unique<ClosedLoopClient>(
+        world, router, static_cast<NodeId>(kFirstClientId + i), opts));
+  }
+}
+
+void ClientFleet::Start() {
+  for (auto& c : clients_) c->Start();
+}
+
+void ClientFleet::Stop() {
+  for (auto& c : clients_) c->Stop();
+}
+
+uint64_t ClientFleet::TotalOps() const {
+  uint64_t n = 0;
+  for (const auto& c : clients_) n += c->ops_done();
+  return n;
+}
+
+LatencyRecorder ClientFleet::PooledLatency() const {
+  LatencyRecorder pooled;
+  for (const auto& c : clients_) pooled.Merge(c->latency());
+  return pooled;
+}
+
+}  // namespace recraft::harness

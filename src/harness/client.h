@@ -1,0 +1,116 @@
+// Workload clients and the range router. ClosedLoopClient keeps a fixed
+// number of outstanding requests (one per client, as in the paper's etcd
+// benchmark clients); the Router maps keys to clusters and caches leader
+// hints, standing in for the etcd overlay that redirects requests to the
+// right subcluster after splits and merges.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "harness/world.h"
+
+namespace recraft::harness {
+
+/// The overlay's view of the sharded key space.
+class Router {
+ public:
+  struct Entry {
+    std::vector<NodeId> members;
+    KeyRange range;
+    NodeId leader_hint = kNoNode;
+    size_t rotate = 0;  // round-robin cursor when no hint is known
+  };
+
+  void SetClusters(std::vector<Entry> clusters) {
+    clusters_ = std::move(clusters);
+  }
+  /// Replace the entry covering `range` (after a split/merge completes).
+  void UpdateCluster(const KeyRange& range, std::vector<NodeId> members);
+
+  Entry* Resolve(const std::string& key);
+  size_t NumClusters() const { return clusters_.size(); }
+  const std::vector<Entry>& clusters() const { return clusters_; }
+
+ private:
+  std::vector<Entry> clusters_;
+};
+
+struct ClientOptions {
+  uint64_t key_space = 100000;
+  size_t value_bytes = 512;       // the paper uses 512 B requests
+  std::string key_prefix = "k";
+  Duration retry_timeout = 1 * kSecond;
+  double get_fraction = 0.0;      // paper evaluates writes
+  /// Record a completion into this series (shared across clients for the
+  /// throughput-over-time figures). May be null.
+  ThroughputSeries* throughput = nullptr;
+  LatencyRecorder* latency = nullptr;  // may be null; per-client otherwise
+  /// Invoked on every completed op, e.g. to bucket throughput per
+  /// subcluster by key (Figs. 7a/8a).
+  std::function<void(const std::string& key, TimePoint when)> on_op_complete;
+};
+
+/// A closed-loop client: issues one request, waits for the reply (or the
+/// retry timeout), then issues the next. Retries preserve the sequence
+/// number, so the session layer deduplicates re-executions.
+class ClosedLoopClient {
+ public:
+  ClosedLoopClient(World& world, Router& router, NodeId id, ClientOptions opts);
+  ~ClosedLoopClient();
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  uint64_t ops_done() const { return ops_done_; }
+  uint64_t retries() const { return retries_; }
+  const LatencyRecorder& latency() const { return latency_; }
+
+ private:
+  void IssueNext();
+  void SendCurrent();
+  void OnReply(const raft::ClientReply& reply);
+  void OnTimeout(uint64_t generation);
+
+  World& world_;
+  Router& router_;
+  const NodeId id_;
+  ClientOptions opts_;
+  Rng rng_;
+  bool running_ = false;
+
+  uint64_t next_seq_ = 1;
+  uint64_t generation_ = 0;  // invalidates stale timeout events
+  kv::Command current_;
+  uint64_t current_req_id_ = 0;
+  TimePoint issued_at_ = 0;
+
+  uint64_t ops_done_ = 0;
+  uint64_t retries_ = 0;
+  LatencyRecorder latency_;
+  /// Liveness token: scheduled timeout events hold a weak_ptr so they
+  /// become no-ops when the client is destroyed before they fire.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+/// A fleet of closed-loop clients sharing a router and a throughput series.
+class ClientFleet {
+ public:
+  ClientFleet(World& world, Router& router, size_t n, ClientOptions opts);
+
+  void Start();
+  void Stop();
+  uint64_t TotalOps() const;
+  /// Pooled latency across all clients.
+  LatencyRecorder PooledLatency() const;
+  ThroughputSeries& throughput() { return throughput_; }
+
+ private:
+  ThroughputSeries throughput_;
+  std::vector<std::unique_ptr<ClosedLoopClient>> clients_;
+};
+
+}  // namespace recraft::harness

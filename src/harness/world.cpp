@@ -1,0 +1,379 @@
+#include "harness/world.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace recraft::harness {
+
+void NamingService::HandleRegister(const raft::NamingRegister& reg) {
+  auto it = clusters_.find(reg.uid);
+  if (it == clusters_.end() || it->second.epoch <= reg.epoch) {
+    clusters_[reg.uid] = reg;
+  }
+}
+
+raft::NamingLookupReply NamingService::Directory() const {
+  raft::NamingLookupReply reply;
+  for (const auto& [uid, reg] : clusters_) reply.clusters.push_back(reg);
+  return reply;
+}
+
+World::World(WorldOptions opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      net_(events_, opts.net, Rng(Mix64(opts.seed, 0x4e70))) {
+  if (opts_.with_naming_service) {
+    net_.Register(kNamingServiceId,
+                  [this](NodeId from, std::shared_ptr<const void> payload,
+                         size_t) {
+                    const auto& m =
+                        *std::static_pointer_cast<const raft::Message>(payload);
+                    if (const auto* reg = std::get_if<raft::NamingRegister>(&m)) {
+                      naming_.HandleRegister(*reg);
+                    } else if (std::get_if<raft::NamingLookupReq>(&m) !=
+                               nullptr) {
+                      net_.Send(kNamingServiceId, from,
+                                raft::MakeMessage(raft::Message(
+                                    naming_.Directory())),
+                                64 + naming_.size() * 64);
+                    }
+                  });
+  }
+  net_.Register(kAdminId, [this](NodeId, std::shared_ptr<const void> payload,
+                                 size_t) {
+    const auto& m = *std::static_pointer_cast<const raft::Message>(payload);
+    if (const auto* reply = std::get_if<raft::ClientReply>(&m)) {
+      admin_replies_[reply->req_id] = *reply;
+    }
+  });
+}
+
+World::~World() = default;
+
+std::vector<NodeId> World::CreateCluster(size_t n, KeyRange range) {
+  std::vector<NodeId> members;
+  members.reserve(n);
+  for (size_t i = 0; i < n; ++i) members.push_back(next_node_id_++);
+
+  raft::ConfigState genesis;
+  genesis.members = members;
+  genesis.range = range;
+  genesis.uid = Mix64(opts_.seed, members.front());
+
+  for (NodeId id : members) {
+    core::Options node_opts = opts_.node;
+    if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
+    auto send = [this, id](NodeId to, raft::MessagePtr msg) {
+      net_.Send(id, to, msg, raft::MessageBytes(*msg));
+    };
+    nodes_[id] = std::make_unique<core::Node>(
+        id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
+        std::move(send));
+    net_.Register(id, [this, id](NodeId from,
+                                 std::shared_ptr<const void> payload, size_t) {
+      nodes_[id]->Receive(
+          from, *std::static_pointer_cast<const raft::Message>(payload));
+    });
+    ScheduleTick(id);
+  }
+  return members;
+}
+
+NodeId World::CreateSpareNode() {
+  NodeId id = next_node_id_++;
+  // A spare starts as a non-member with an empty configuration: it idles
+  // (cannot campaign) until a membership change adds it and the leader
+  // catches it up via appends or a snapshot.
+  raft::ConfigState genesis;
+  genesis.members = {};       // retired until added
+  genesis.range = KeyRange::Empty();
+  genesis.uid = 0;
+  core::Options node_opts = opts_.node;
+  if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
+  auto send = [this, id](NodeId to, raft::MessagePtr msg) {
+    net_.Send(id, to, msg, raft::MessageBytes(*msg));
+  };
+  nodes_[id] = std::make_unique<core::Node>(
+      id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
+      std::move(send));
+  net_.Register(id, [this, id](NodeId from,
+                               std::shared_ptr<const void> payload, size_t) {
+    nodes_[id]->Receive(from,
+                        *std::static_pointer_cast<const raft::Message>(payload));
+  });
+  ScheduleTick(id);
+  return id;
+}
+
+void World::ScheduleTick(NodeId id) {
+  // Stagger tick phases across nodes so the world has no artificial global
+  // synchrony.
+  Duration offset = rng_.Uniform(0, opts_.node.tick_interval - 1);
+  events_.Schedule(offset, [this, id]() { TickNode(id); });
+}
+
+void World::TickNode(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  if (!net_.IsCrashed(id)) it->second->Tick();
+  events_.Schedule(opts_.node.tick_interval, [this, id]() { TickNode(id); });
+}
+
+core::Node& World::node(NodeId id) {
+  auto it = nodes_.find(id);
+  assert(it != nodes_.end());
+  return *it->second;
+}
+
+const core::Node& World::node(NodeId id) const {
+  auto it = nodes_.find(id);
+  assert(it != nodes_.end());
+  return *it->second;
+}
+
+std::vector<NodeId> World::AllNodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+void World::Crash(NodeId id) {
+  net_.Crash(id);
+  if (HasNode(id)) node(id).OnCrash();
+}
+
+void World::Restart(NodeId id) {
+  net_.Restart(id);
+  if (HasNode(id)) node(id).OnRestart();
+}
+
+bool World::RunUntil(const std::function<bool()>& pred, Duration timeout) {
+  return events_.RunUntilPred(pred, events_.now() + timeout);
+}
+
+NodeId World::LeaderOf(const std::vector<NodeId>& members) const {
+  NodeId best = kNoNode;
+  uint64_t best_et = 0;
+  for (NodeId id : members) {
+    if (!HasNode(id) || net_.IsCrashed(id)) continue;
+    const auto& n = node(id);
+    if (n.IsLeader() && n.current_et().raw() >= best_et) {
+      best = id;
+      best_et = n.current_et().raw();
+    }
+  }
+  return best;
+}
+
+bool World::WaitForLeader(const std::vector<NodeId>& members,
+                          Duration timeout) {
+  return RunUntil([&]() { return LeaderOf(members) != kNoNode; }, timeout);
+}
+
+raft::ConfigState World::ConfigOf(const std::vector<NodeId>& members) const {
+  const core::Node* best = nullptr;
+  for (NodeId id : members) {
+    if (!HasNode(id) || net_.IsCrashed(id)) continue;
+    const auto& n = node(id);
+    if (best == nullptr || n.current_et().raw() > best->current_et().raw()) {
+      best = &n;
+    }
+  }
+  assert(best != nullptr);
+  return best->config();
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous request helpers.
+
+Result<raft::ClientReply> World::Call(NodeId to, raft::ClientBody body,
+                                      Duration timeout) {
+  uint64_t req_id = NextReqId();
+  raft::ClientRequest req;
+  req.req_id = req_id;
+  req.from = kAdminId;
+  req.body = std::move(body);
+  net_.Send(kAdminId, to, raft::MakeMessage(raft::Message(req)), 128);
+  bool got = RunUntil(
+      [&]() { return admin_replies_.count(req_id) > 0; }, timeout);
+  if (!got) return Timeout("no reply from node " + std::to_string(to));
+  raft::ClientReply reply = admin_replies_[req_id];
+  admin_replies_.erase(req_id);
+  return reply;
+}
+
+Result<raft::ClientReply> World::CallLeader(const std::vector<NodeId>& members,
+                                            raft::ClientBody body,
+                                            Duration timeout) {
+  TimePoint deadline = now() + timeout;
+  size_t rotate = 0;
+  while (now() < deadline) {
+    NodeId target = LeaderOf(members);
+    if (target == kNoNode) {
+      target = members[rotate++ % members.size()];
+      RunFor(50 * kMillisecond);
+      if (LeaderOf(members) == kNoNode) continue;
+      target = LeaderOf(members);
+    }
+    auto reply = Call(target, body, std::min<Duration>(deadline - now(),
+                                                       2 * kSecond));
+    if (!reply.ok()) continue;  // timeout: retry (leader may have moved)
+    if (reply->status.code() == Code::kNotLeader ||
+        reply->status.code() == Code::kBusy) {
+      // NotLeader: follow the hint on the next probe. Busy: transient (P3
+      // no-op still committing, or a merge blocking); retry shortly.
+      RunFor(20 * kMillisecond);
+      continue;
+    }
+    return reply;
+  }
+  return Timeout("no leader answered");
+}
+
+Status World::Put(const std::vector<NodeId>& members, const std::string& key,
+                  const std::string& value, Duration timeout) {
+  kv::Command cmd;
+  cmd.op = kv::OpType::kPut;
+  cmd.key = key;
+  cmd.value = value;
+  auto reply = CallLeader(members, cmd, timeout);
+  if (!reply.ok()) return reply.status();
+  return reply->status;
+}
+
+Result<std::string> World::Get(const std::vector<NodeId>& members,
+                               const std::string& key, Duration timeout) {
+  kv::Command cmd;
+  cmd.op = kv::OpType::kGet;
+  cmd.key = key;
+  auto reply = CallLeader(members, cmd, timeout);
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return reply->value;
+}
+
+Status World::Preload(const std::vector<NodeId>& members, size_t n,
+                      size_t value_bytes, const std::string& prefix) {
+  std::string value(value_bytes, 'v');
+  char buf[32];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%08zu", prefix.c_str(), i);
+    Status s = Put(members, buf, value);
+    if (!s.ok()) return s;
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Admin operations.
+
+Status World::AdminSplit(const std::vector<NodeId>& members,
+                         const std::vector<std::vector<NodeId>>& groups,
+                         const std::vector<std::string>& split_keys,
+                         Duration timeout) {
+  raft::AdminSplit body;
+  body.groups = groups;
+  body.split_keys = split_keys;
+  auto reply = CallLeader(members, body, timeout);
+  if (!reply.ok()) return reply.status();
+  return reply->status;
+}
+
+Result<raft::MergePlan> World::MakeMergeDraft(
+    const std::vector<std::vector<NodeId>>& clusters) {
+  raft::MergePlan plan;
+  plan.tx = NextTxId();
+  plan.coordinator = 0;
+  for (const auto& members : clusters) {
+    if (members.empty()) return Rejected("empty cluster in merge draft");
+    raft::ConfigState cfg = ConfigOf(members);
+    raft::SubCluster src;
+    src.members = cfg.members;
+    std::sort(src.members.begin(), src.members.end());
+    src.range = cfg.range;
+    src.uid = cfg.uid;
+    plan.sources.push_back(std::move(src));
+  }
+  return plan;
+}
+
+Status World::AdminMerge(const std::vector<std::vector<NodeId>>& clusters,
+                         std::vector<NodeId> resume_members, Duration timeout) {
+  auto plan = MakeMergeDraft(clusters);
+  if (!plan.ok()) return plan.status();
+  plan->resume_members = std::move(resume_members);
+  raft::AdminMerge body;
+  body.draft = *plan;
+  auto reply = CallLeader(clusters.front(), body, timeout);
+  if (!reply.ok()) return reply.status();
+  return reply->status;
+}
+
+Status World::AdminMemberChange(const std::vector<NodeId>& members,
+                                const raft::MemberChange& change,
+                                Duration timeout) {
+  auto reply = CallLeader(members, raft::AdminMember{change}, timeout);
+  if (!reply.ok()) return reply.status();
+  return reply->status;
+}
+
+Result<int> World::AdminResizeTo(const std::vector<NodeId>& members,
+                                 const std::vector<NodeId>& target,
+                                 Duration timeout) {
+  TimePoint deadline = now() + timeout;
+  std::vector<NodeId> current = ConfigOf(members).members;
+  std::vector<NodeId> goal = target;
+  std::sort(goal.begin(), goal.end());
+  int steps = 0;
+  auto wait_settled = [&]() {
+    return RunUntil(
+        [&]() {
+          NodeId l = LeaderOf(goal.empty() ? current : goal);
+          if (l == kNoNode) l = LeaderOf(current);
+          if (l == kNoNode) return false;
+          const auto& cfg = node(l).config();
+          return !cfg.ReconfigPending() && cfg.fixed_quorum == 0 &&
+                 node(l).commit_index() >= node(l).log().last_index();
+        },
+        deadline > now() ? deadline - now() : 0);
+  };
+
+  while (now() < deadline) {
+    current = ConfigOf(current).members;
+    std::vector<NodeId> to_add, to_remove;
+    for (NodeId n : goal) {
+      if (std::find(current.begin(), current.end(), n) == current.end()) {
+        to_add.push_back(n);
+      }
+    }
+    for (NodeId n : current) {
+      if (std::find(goal.begin(), goal.end(), n) == goal.end()) {
+        to_remove.push_back(n);
+      }
+    }
+    if (to_add.empty() && to_remove.empty()) return steps;
+
+    raft::MemberChange mc;
+    if (!to_add.empty()) {
+      mc.kind = raft::MemberChangeKind::kAddAndResize;
+      mc.nodes = to_add;
+    } else {
+      // §IV-B: at most Q_old - 1 removals per step; chain if necessary.
+      size_t cap = raft::MajorityOf(current.size()) - 1;
+      if (cap == 0) return Rejected("cannot shrink a cluster of this size");
+      if (to_remove.size() > cap) to_remove.resize(cap);
+      mc.kind = raft::MemberChangeKind::kRemoveAndResize;
+      mc.nodes = to_remove;
+    }
+    Status s = AdminMemberChange(current, mc,
+                                 deadline > now() ? deadline - now() : 0);
+    if (!s.ok()) return s;
+    ++steps;
+    if (!wait_settled()) return Timeout("membership change did not settle");
+  }
+  return Timeout("resize did not finish");
+}
+
+}  // namespace recraft::harness

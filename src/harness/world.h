@@ -1,0 +1,151 @@
+// The World wires nodes, the simulated network, the naming service and
+// clients into one deterministic run, and provides the admin operations
+// (split / merge / membership change) and probes that the tests, examples
+// and benchmark harnesses drive.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/node.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace recraft::harness {
+
+inline constexpr NodeId kNamingServiceId = 900;
+inline constexpr NodeId kAdminId = 901;
+inline constexpr NodeId kFirstClientId = 1000;
+
+struct WorldOptions {
+  uint64_t seed = 1;
+  sim::NetworkOptions net;
+  core::Options node;  // template for every node created
+  bool with_naming_service = true;
+};
+
+/// The DNS-like registry of §V: loosely consistent, assumed always
+/// available. Clusters register after reconfigurations; stranded nodes look
+/// the directory up to find a peer to pull from.
+class NamingService {
+ public:
+  void HandleRegister(const raft::NamingRegister& reg);
+  raft::NamingLookupReply Directory() const;
+  size_t size() const { return clusters_.size(); }
+
+ private:
+  std::map<ClusterUid, raft::NamingRegister> clusters_;
+};
+
+class World {
+ public:
+  explicit World(WorldOptions opts);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- topology ----------------------------------------------------------
+  /// Create a cluster of `n` fresh nodes over `range`. Nodes get the next
+  /// free ids. Returns the member ids.
+  std::vector<NodeId> CreateCluster(size_t n, KeyRange range = KeyRange::Full());
+  /// Create a node that is not yet a member of anything (to be added via a
+  /// membership change).
+  NodeId CreateSpareNode();
+
+  core::Node& node(NodeId id);
+  const core::Node& node(NodeId id) const;
+  bool HasNode(NodeId id) const { return nodes_.count(id) > 0; }
+  std::vector<NodeId> AllNodeIds() const;
+
+  sim::EventQueue& events() { return events_; }
+  sim::Network& net() { return net_; }
+  TimePoint now() const { return events_.now(); }
+  Rng& rng() { return rng_; }
+  const NamingService& naming() const { return naming_; }
+
+  // --- fault injection -----------------------------------------------------
+  void Crash(NodeId id);
+  void Restart(NodeId id);
+  bool IsCrashed(NodeId id) const { return net_.IsCrashed(id); }
+
+  // --- time control ---------------------------------------------------------
+  void RunFor(Duration d) { events_.RunFor(d); }
+  bool RunUntil(const std::function<bool()>& pred, Duration timeout);
+
+  // --- probes -----------------------------------------------------------------
+  /// The live leader among `members` (kNoNode if none). With several
+  /// claimants (stale leaders), the one with the highest epoch-term wins.
+  NodeId LeaderOf(const std::vector<NodeId>& members) const;
+  bool WaitForLeader(const std::vector<NodeId>& members,
+                     Duration timeout = 5 * kSecond);
+  /// Current configuration as seen by the (highest-epoch) live member.
+  raft::ConfigState ConfigOf(const std::vector<NodeId>& members) const;
+
+  // --- admin operations (synchronous: run the event loop until done) ---------
+  /// Split the cluster owning `members` into groups at split_keys.
+  Status AdminSplit(const std::vector<NodeId>& members,
+                    const std::vector<std::vector<NodeId>>& groups,
+                    const std::vector<std::string>& split_keys,
+                    Duration timeout = 10 * kSecond);
+  /// Merge the clusters (each given by its current member list); the first
+  /// is the coordinator. resume_members optionally resizes at merge.
+  Status AdminMerge(const std::vector<std::vector<NodeId>>& clusters,
+                    std::vector<NodeId> resume_members = {},
+                    Duration timeout = 30 * kSecond);
+  Status AdminMemberChange(const std::vector<NodeId>& members,
+                           const raft::MemberChange& change,
+                           Duration timeout = 10 * kSecond);
+  /// Arbitrary membership target using ReCraft ops, chaining removals of
+  /// r >= Q_old across steps as §IV-B requires. Returns consensus steps
+  /// taken (for the §VII-E bench) or an error.
+  Result<int> AdminResizeTo(const std::vector<NodeId>& members,
+                            const std::vector<NodeId>& target,
+                            Duration timeout = 15 * kSecond);
+
+  /// Build a merge draft from the live configurations of `clusters`.
+  Result<raft::MergePlan> MakeMergeDraft(
+      const std::vector<std::vector<NodeId>>& clusters);
+
+  /// Send a raw client request to a specific node and await the reply.
+  Result<raft::ClientReply> Call(NodeId to, raft::ClientBody body,
+                                 Duration timeout = 5 * kSecond);
+
+  /// Convenience synchronous KV operations routed to the cluster leader
+  /// (retrying NotLeader); used by tests and examples.
+  Status Put(const std::vector<NodeId>& members, const std::string& key,
+             const std::string& value, Duration timeout = 5 * kSecond);
+  Result<std::string> Get(const std::vector<NodeId>& members,
+                          const std::string& key,
+                          Duration timeout = 5 * kSecond);
+
+  /// Preload a cluster with `n` sequential keys (for the split/merge
+  /// latency benches) sized `value_bytes` each.
+  Status Preload(const std::vector<NodeId>& members, size_t n,
+                 size_t value_bytes, const std::string& prefix = "k");
+
+  uint64_t NextTxId() { return next_tx_id_++; }
+  uint64_t NextReqId() { return next_req_id_++; }
+
+ private:
+  void ScheduleTick(NodeId id);
+  void TickNode(NodeId id);
+  Result<raft::ClientReply> CallLeader(const std::vector<NodeId>& members,
+                                       raft::ClientBody body,
+                                       Duration timeout);
+
+  WorldOptions opts_;
+  Rng rng_;
+  sim::EventQueue events_;
+  sim::Network net_;
+  NamingService naming_;
+  std::map<NodeId, std::unique_ptr<core::Node>> nodes_;
+  NodeId next_node_id_ = 1;
+  uint64_t next_tx_id_ = 1;
+  uint64_t next_req_id_ = 1;
+  std::map<uint64_t, raft::ClientReply> admin_replies_;
+};
+
+}  // namespace recraft::harness

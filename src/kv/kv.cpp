@@ -1,0 +1,212 @@
+#include "kv/kv.h"
+
+namespace recraft::kv {
+
+namespace {
+size_t EntryBytes(const std::string& k, const std::string& v) {
+  return k.size() + v.size() + 16;  // keys+values plus per-entry overhead
+}
+}  // namespace
+
+size_t Snapshot::SerializedBytes() const {
+  size_t n = 64;  // header: range, counts
+  n += range.lo().size() + range.hi().size();
+  for (const auto& [k, v] : data) n += 8 + k.size() + v.size();
+  n += sessions.size() * 48;
+  return n;
+}
+
+std::vector<uint8_t> Snapshot::Serialize() const {
+  Encoder enc;
+  enc.PutString(range.lo());
+  enc.PutString(range.hi());
+  enc.PutBool(range.hi_is_inf());
+  enc.PutU64(data.size());
+  for (const auto& [k, v] : data) {
+    enc.PutString(k);
+    enc.PutString(v);
+  }
+  enc.PutU64(sessions.size());
+  for (const auto& [id, s] : sessions) {
+    enc.PutU64(id);
+    enc.PutU64(s.last_seq);
+    enc.PutU8(static_cast<uint8_t>(s.last_result.status.code()));
+    enc.PutString(s.last_result.value);
+  }
+  return enc.Take();
+}
+
+Result<Snapshot> Snapshot::Deserialize(const std::vector<uint8_t>& bytes) {
+  Decoder dec(bytes);
+  Snapshot out;
+  auto lo = dec.GetString();
+  if (!lo.ok()) return lo.status();
+  auto hi = dec.GetString();
+  if (!hi.ok()) return hi.status();
+  auto inf = dec.GetBool();
+  if (!inf.ok()) return inf.status();
+  out.range = *inf ? KeyRange(*lo, "") : KeyRange(*lo, *hi);
+  auto n = dec.GetU64();
+  if (!n.ok()) return n.status();
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto k = dec.GetString();
+    if (!k.ok()) return k.status();
+    auto v = dec.GetString();
+    if (!v.ok()) return v.status();
+    out.data.emplace(std::move(*k), std::move(*v));
+  }
+  auto ns = dec.GetU64();
+  if (!ns.ok()) return ns.status();
+  for (uint64_t i = 0; i < *ns; ++i) {
+    auto id = dec.GetU64();
+    if (!id.ok()) return id.status();
+    auto seq = dec.GetU64();
+    if (!seq.ok()) return seq.status();
+    auto code = dec.GetU8();
+    if (!code.ok()) return code.status();
+    auto val = dec.GetString();
+    if (!val.ok()) return val.status();
+    Session s;
+    s.last_seq = *seq;
+    s.last_result.status = Status(static_cast<Code>(*code));
+    s.last_result.value = std::move(*val);
+    out.sessions.emplace(*id, std::move(s));
+  }
+  return out;
+}
+
+OpResult Store::Apply(const Command& cmd) {
+  // Session dedup before anything else: a retry of an already-applied
+  // command must return the original result even if the range has changed
+  // since (the session table travels with the data).
+  Session* sess = nullptr;
+  if (cmd.client_id != 0) {
+    sess = &sessions_[cmd.client_id];
+    if (cmd.seq != 0 && cmd.seq <= sess->last_seq) {
+      return sess->last_result;
+    }
+  }
+
+  OpResult res;
+  if (!range_.Contains(cmd.key)) {
+    res.status = OutOfRange("key " + cmd.key + " outside " + range_.ToString());
+  } else {
+    switch (cmd.op) {
+      case OpType::kPut: {
+        auto it = data_.find(cmd.key);
+        if (it != data_.end()) {
+          approx_bytes_ -= EntryBytes(it->first, it->second);
+          it->second = cmd.value;
+        } else {
+          data_.emplace(cmd.key, cmd.value);
+        }
+        approx_bytes_ += EntryBytes(cmd.key, cmd.value);
+        res.status = OkStatus();
+        break;
+      }
+      case OpType::kGet: {
+        auto it = data_.find(cmd.key);
+        if (it == data_.end()) {
+          res.status = NotFound(cmd.key);
+        } else {
+          res.status = OkStatus();
+          res.value = it->second;
+        }
+        break;
+      }
+      case OpType::kDelete: {
+        auto it = data_.find(cmd.key);
+        if (it == data_.end()) {
+          res.status = NotFound(cmd.key);
+        } else {
+          approx_bytes_ -= EntryBytes(it->first, it->second);
+          data_.erase(it);
+          res.status = OkStatus();
+        }
+        break;
+      }
+    }
+  }
+
+  if (sess != nullptr && cmd.seq != 0) {
+    sess->last_seq = cmd.seq;
+    sess->last_result = res;
+  }
+  return res;
+}
+
+Result<std::string> Store::Get(const std::string& key) const {
+  if (!range_.Contains(key)) return OutOfRange(key);
+  auto it = data_.find(key);
+  if (it == data_.end()) return NotFound(key);
+  return it->second;
+}
+
+SnapshotPtr Store::TakeSnapshot() const {
+  auto snap = std::make_shared<Snapshot>();
+  snap->range = range_;
+  snap->data = data_;
+  snap->sessions = sessions_;
+  return snap;
+}
+
+Result<SnapshotPtr> Store::TakeSnapshot(const KeyRange& sub) const {
+  if (!range_.ContainsRange(sub)) {
+    return Rejected("snapshot range " + sub.ToString() + " not within " +
+                    range_.ToString());
+  }
+  auto snap = std::make_shared<Snapshot>();
+  snap->range = sub;
+  auto it = data_.lower_bound(sub.lo());
+  for (; it != data_.end() && sub.Contains(it->first); ++it) {
+    snap->data.emplace(it->first, it->second);
+  }
+  snap->sessions = sessions_;
+  return SnapshotPtr(std::move(snap));
+}
+
+void Store::Restore(const Snapshot& snap) {
+  range_ = snap.range;
+  data_ = snap.data;
+  sessions_ = snap.sessions;
+  approx_bytes_ = 0;
+  for (const auto& [k, v] : data_) approx_bytes_ += EntryBytes(k, v);
+}
+
+Status Store::RestrictRange(const KeyRange& sub) {
+  if (!range_.ContainsRange(sub)) {
+    return Rejected("restrict range " + sub.ToString() + " not within " +
+                    range_.ToString());
+  }
+  range_ = sub;
+  for (auto it = data_.begin(); it != data_.end();) {
+    if (!sub.Contains(it->first)) {
+      approx_bytes_ -= EntryBytes(it->first, it->second);
+      it = data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return OkStatus();
+}
+
+Status Store::MergeIn(const Snapshot& snap) {
+  if (range_.Overlaps(snap.range)) {
+    return Rejected("merge ranges overlap: " + range_.ToString() + " / " +
+                    snap.range.ToString());
+  }
+  auto merged = KeyRange::MergeAdjacent({range_, snap.range});
+  if (!merged.ok()) return merged.status();
+  range_ = *merged;
+  for (const auto& [k, v] : snap.data) {
+    data_.emplace(k, v);
+    approx_bytes_ += EntryBytes(k, v);
+  }
+  for (const auto& [id, s] : snap.sessions) {
+    auto [it, inserted] = sessions_.emplace(id, s);
+    if (!inserted && s.last_seq > it->second.last_seq) it->second = s;
+  }
+  return OkStatus();
+}
+
+}  // namespace recraft::kv

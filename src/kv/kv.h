@@ -1,0 +1,103 @@
+// Key-value state machine replicated by the consensus layer. Mirrors the
+// etcd layer of the paper: an ordered map restricted to a key range, with
+// per-client sessions for exactly-once command application and snapshot
+// support (serialize / restore / range-restrict / merge).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/codec.h"
+#include "common/key_range.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace recraft::kv {
+
+enum class OpType : uint8_t { kPut = 0, kGet = 1, kDelete = 2 };
+
+/// A client command carried as a consensus log entry payload.
+struct Command {
+  OpType op = OpType::kPut;
+  std::string key;
+  std::string value;      // puts only
+  uint64_t client_id = 0; // 0 = no session (no dedup)
+  uint64_t seq = 0;       // per-client sequence number
+
+  size_t WireBytes() const { return 24 + key.size() + value.size(); }
+};
+
+struct OpResult {
+  Status status;
+  std::string value;  // gets only
+};
+
+/// Per-client dedup record: the last applied sequence number and its result,
+/// so a retried command is answered without re-applying.
+struct Session {
+  uint64_t last_seq = 0;
+  OpResult last_result;
+};
+
+/// An immutable point-in-time state of a store. Shared by pointer: snapshot
+/// "transfer" in the simulator moves the pointer while the network charges
+/// for the serialized byte size.
+struct Snapshot {
+  KeyRange range;
+  std::map<std::string, std::string> data;
+  std::map<uint64_t, Session> sessions;
+
+  size_t SerializedBytes() const;
+  std::vector<uint8_t> Serialize() const;
+  static Result<Snapshot> Deserialize(const std::vector<uint8_t>& bytes);
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// The mutable state machine. Not thread-safe; the simulator is single-
+/// threaded by construction.
+class Store {
+ public:
+  explicit Store(KeyRange range = KeyRange::Full()) : range_(std::move(range)) {}
+
+  /// Apply a command. Commands outside the store's range are rejected with
+  /// kOutOfRange. Session-bearing commands are applied at most once: a
+  /// command with seq <= the session's last_seq returns the recorded result.
+  OpResult Apply(const Command& cmd);
+
+  /// Linearizable read path used by tests (reads normally go through the
+  /// log; see core::Node).
+  Result<std::string> Get(const std::string& key) const;
+
+  const KeyRange& range() const { return range_; }
+  size_t size() const { return data_.size(); }
+  size_t ApproxBytes() const { return approx_bytes_; }
+
+  /// Point-in-time copy of the whole store.
+  SnapshotPtr TakeSnapshot() const;
+
+  /// Point-in-time copy restricted to `sub` (sub must be inside range()).
+  Result<SnapshotPtr> TakeSnapshot(const KeyRange& sub) const;
+
+  /// Replace all state with the snapshot's.
+  void Restore(const Snapshot& snap);
+
+  /// Shrink to `sub` (a subrange of the current range), discarding keys
+  /// outside it. Used when a subcluster completes a split.
+  Status RestrictRange(const KeyRange& sub);
+
+  /// Absorb a snapshot of an adjacent, disjoint range (merge data exchange).
+  /// Sessions are unioned keeping the larger last_seq per client.
+  Status MergeIn(const Snapshot& snap);
+
+ private:
+  KeyRange range_;
+  std::map<std::string, std::string> data_;
+  std::map<uint64_t, Session> sessions_;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace recraft::kv

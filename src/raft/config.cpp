@@ -1,0 +1,277 @@
+#include "raft/config.h"
+
+#include <cassert>
+
+namespace recraft::raft {
+
+std::string NodesToString(const std::vector<NodeId>& nodes) {
+  std::string s = "{";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(nodes[i]);
+  }
+  return s + "}";
+}
+
+std::string SubCluster::ToString() const {
+  return NodesToString(members) + range.ToString();
+}
+
+int SplitPlan::SubOf(NodeId n) const {
+  for (size_t i = 0; i < subs.size(); ++i) {
+    if (subs[i].Contains(n)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string SplitPlan::ToString() const {
+  std::string s = "split[";
+  for (size_t i = 0; i < subs.size(); ++i) {
+    if (i) s += " | ";
+    s += subs[i].ToString();
+  }
+  return s + "]";
+}
+
+int MergePlan::SourceOf(NodeId n) const {
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i].Contains(n)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<NodeId> MergePlan::AllMembers() const {
+  std::vector<NodeId> all;
+  for (const auto& s : sources) {
+    all.insert(all.end(), s.members.begin(), s.members.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::vector<NodeId> MergePlan::ResumeMembers() const {
+  return resume_members.empty() ? AllMembers() : resume_members;
+}
+
+std::string MergePlan::ToString() const {
+  std::string s = "merge[tx=" + std::to_string(tx);
+  for (const auto& src : sources) s += " " + src.ToString();
+  return s + "]";
+}
+
+const char* MemberChangeKindName(MemberChangeKind k) {
+  switch (k) {
+    case MemberChangeKind::kAddAndResize: return "AddAndResize";
+    case MemberChangeKind::kRemoveAndResize: return "RemoveAndResize";
+    case MemberChangeKind::kResizeQuorum: return "ResizeQuorum";
+    case MemberChangeKind::kAddServer: return "AddServer";
+    case MemberChangeKind::kRemoveServer: return "RemoveServer";
+    case MemberChangeKind::kJointEnter: return "JointEnter";
+    case MemberChangeKind::kJointLeave: return "JointLeave";
+  }
+  return "?";
+}
+
+std::string MemberChange::ToString() const {
+  return std::string(MemberChangeKindName(kind)) + NodesToString(nodes);
+}
+
+QuorumSpec QuorumSpec::Majority(std::vector<NodeId> members) {
+  std::sort(members.begin(), members.end());
+  QuorumSpec q;
+  size_t need = MajorityOf(members.size());
+  q.groups_.push_back(Group{std::move(members), need});
+  return q;
+}
+
+QuorumSpec QuorumSpec::Fixed(std::vector<NodeId> members, size_t need) {
+  std::sort(members.begin(), members.end());
+  assert(need >= 1 && need <= members.size());
+  QuorumSpec q;
+  q.groups_.push_back(Group{std::move(members), need});
+  return q;
+}
+
+QuorumSpec QuorumSpec::JointSubs(const std::vector<SubCluster>& subs) {
+  QuorumSpec q;
+  for (const auto& s : subs) {
+    auto members = s.members;
+    std::sort(members.begin(), members.end());
+    size_t need = MajorityOf(members.size());
+    q.groups_.push_back(Group{std::move(members), need});
+  }
+  return q;
+}
+
+QuorumSpec QuorumSpec::AnySub(const std::vector<SubCluster>& subs) {
+  QuorumSpec q = JointSubs(subs);
+  q.any_ = true;
+  return q;
+}
+
+QuorumSpec QuorumSpec::JointOldNew(std::vector<NodeId> old_members,
+                                   std::vector<NodeId> new_members) {
+  std::sort(old_members.begin(), old_members.end());
+  std::sort(new_members.begin(), new_members.end());
+  QuorumSpec q;
+  size_t old_need = MajorityOf(old_members.size());
+  size_t new_need = MajorityOf(new_members.size());
+  q.groups_.push_back(Group{std::move(old_members), old_need});
+  q.groups_.push_back(Group{std::move(new_members), new_need});
+  return q;
+}
+
+bool QuorumSpec::Satisfied(const std::set<NodeId>& acks) const {
+  for (const auto& g : groups_) {
+    size_t have = 0;
+    for (NodeId n : g.members) {
+      if (acks.count(n) > 0) ++have;
+    }
+    if (any_) {
+      if (have >= g.need) return true;
+    } else if (have < g.need) {
+      return false;
+    }
+  }
+  return !any_;
+}
+
+bool QuorumSpec::Contains(NodeId n) const {
+  for (const auto& g : groups_) {
+    if (std::binary_search(g.members.begin(), g.members.end(), n)) return true;
+  }
+  return false;
+}
+
+size_t QuorumSpec::MinSatisfyingVotes() const {
+  if (any_) {
+    size_t best = SIZE_MAX;
+    for (const auto& g : groups_) best = std::min(best, g.need);
+    return best == SIZE_MAX ? 0 : best;
+  }
+  // Greedy: nodes shared between groups count toward each group, so the
+  // minimum vote set takes shared nodes first. With at most two groups
+  // (our only multi-group shapes) the greedy bound is exact; for joint-subs
+  // the groups are disjoint so the answer is the sum.
+  std::set<NodeId> picked;
+  for (const auto& g : groups_) {
+    size_t have = 0;
+    for (NodeId n : g.members) {
+      if (picked.count(n) > 0) ++have;
+    }
+    // Prefer members that appear in later groups as the extra votes.
+    for (NodeId n : g.members) {
+      if (have >= g.need) break;
+      if (picked.count(n) > 0) continue;
+      bool shared = false;
+      for (const auto& g2 : groups_) {
+        if (&g2 == &g) continue;
+        if (std::binary_search(g2.members.begin(), g2.members.end(), n)) {
+          shared = true;
+          break;
+        }
+      }
+      if (shared) {
+        picked.insert(n);
+        ++have;
+      }
+    }
+    for (NodeId n : g.members) {
+      if (have >= g.need) break;
+      if (picked.insert(n).second) ++have;
+    }
+  }
+  return picked.size();
+}
+
+std::string QuorumSpec::ToString() const {
+  std::string s = "quorum[";
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    if (i) s += " & ";
+    s += std::to_string(groups_[i].need) + " of " +
+         NodesToString(groups_[i].members);
+  }
+  return s + "]";
+}
+
+std::string ConfigState::ToString() const {
+  std::string s = "cfg{" + NodesToString(members);
+  if (fixed_quorum > 0) s += " q=" + std::to_string(fixed_quorum);
+  switch (mode) {
+    case ConfigMode::kStable: break;
+    case ConfigMode::kSplitJoint: s += " JOINT@" + std::to_string(joint_index); break;
+    case ConfigMode::kSplitLeaving:
+      s += " LEAVING@" + std::to_string(cnew_index);
+      break;
+  }
+  if (vanilla_joint) s += " JC-joint";
+  if (merge_tx) s += " " + merge_tx->ToString();
+  s += " " + range.ToString() + "}";
+  return s;
+}
+
+QuorumSpec ElectionQuorum(const ConfigState& c) {
+  switch (c.mode) {
+    case ConfigMode::kSplitJoint:
+    case ConfigMode::kSplitLeaving:
+      // §III-B: the election quorum stays joint over all subclusters until
+      // the split C_new entry is confirmed committed (at which point the
+      // node leaves these modes entirely).
+      return QuorumSpec::JointSubs(c.split.subs);
+    case ConfigMode::kStable:
+      break;
+  }
+  if (c.vanilla_joint) {
+    return QuorumSpec::JointOldNew(c.jc_old, c.members);
+  }
+  if (c.fixed_quorum > 0) {
+    return QuorumSpec::Fixed(c.members, c.fixed_quorum);
+  }
+  return QuorumSpec::Majority(c.members);
+}
+
+QuorumSpec CommitQuorum(const ConfigState& c, Index index, NodeId self) {
+  switch (c.mode) {
+    case ConfigMode::kSplitJoint:
+      // Joint mode commits with C_old's quorum: C_joint's quorums subsume
+      // C_old's, so this is safe and faster (§III-B "Differences").
+      return QuorumSpec::Majority(c.members);
+    case ConfigMode::kSplitLeaving: {
+      // Entries up to and including the split C_new entry commit by
+      // *constituent consensus* — a majority of any one subcluster
+      // (Definition 5 and the Leader Completeness proof's case 2). Every
+      // future joint-mode leader's election quorum intersects every
+      // subcluster's majority, so a C_new held by one subcluster's
+      // majority can never be lost. This is also what gives phase 2 its
+      // N(f_sub+1) fault tolerance (Table I): any live subcluster majority
+      // lets the split finish.
+      if (index <= c.cnew_index) return QuorumSpec::AnySub(c.split.subs);
+      int sub = c.split.SubOf(self);
+      if (sub >= 0) {
+        return QuorumSpec::Majority(c.split.subs[static_cast<size_t>(sub)].members);
+      }
+      // A leader is always a member of some subcluster; a non-member cannot
+      // be asked for a commit quorum, but fall back safely to C_old.
+      return QuorumSpec::Majority(c.members);
+    }
+    case ConfigMode::kStable:
+      break;
+  }
+  if (c.vanilla_joint) {
+    return QuorumSpec::JointOldNew(c.jc_old, c.members);
+  }
+  if (c.fixed_quorum > 0) {
+    return QuorumSpec::Fixed(c.members, c.fixed_quorum);
+  }
+  return QuorumSpec::Majority(c.members);
+}
+
+ClusterUid DeriveSplitUid(ClusterUid parent, uint32_t epoch, int sub_index) {
+  return Mix64(Mix64(parent, epoch),
+               0x5b117ULL + static_cast<uint64_t>(sub_index));
+}
+
+ClusterUid DeriveMergeUid(TxId tx) { return Mix64(0x6e45eULL, tx); }
+
+}  // namespace recraft::raft

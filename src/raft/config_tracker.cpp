@@ -1,0 +1,180 @@
+#include "raft/config_tracker.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace recraft::raft {
+
+namespace {
+
+Result<ConfigState> ApplyMemberChange(const ConfigState& cur,
+                                      const MemberChange& mc) {
+  ConfigState next = cur;
+  auto& members = next.members;
+  auto add = [&members](const std::vector<NodeId>& ns) {
+    for (NodeId n : ns) {
+      if (std::find(members.begin(), members.end(), n) == members.end()) {
+        members.push_back(n);
+      }
+    }
+    std::sort(members.begin(), members.end());
+  };
+  auto remove = [&members](const std::vector<NodeId>& ns) {
+    for (NodeId n : ns) {
+      members.erase(std::remove(members.begin(), members.end(), n),
+                    members.end());
+    }
+  };
+  const size_t n_old = cur.members.size();
+  switch (mc.kind) {
+    case MemberChangeKind::kAddAndResize:
+      if (mc.nodes.empty()) return Rejected("AddAndResize: no nodes");
+      add(mc.nodes);
+      next.fixed_quorum = AddResizeQuorum(n_old, next.members.size() - n_old);
+      if (next.fixed_quorum == MajorityOf(next.members.size())) {
+        next.fixed_quorum = 0;  // C_new-q already equals C_new
+      }
+      break;
+    case MemberChangeKind::kRemoveAndResize: {
+      if (mc.nodes.empty()) return Rejected("RemoveAndResize: no nodes");
+      remove(mc.nodes);
+      size_t removed = n_old - next.members.size();
+      if (removed >= MajorityOf(n_old)) {
+        return Rejected("RemoveAndResize: r must be < Q_old");
+      }
+      next.fixed_quorum = RemoveResizeQuorum(n_old);
+      if (next.fixed_quorum == MajorityOf(next.members.size())) {
+        next.fixed_quorum = 0;
+      }
+      break;
+    }
+    case MemberChangeKind::kResizeQuorum:
+      next.fixed_quorum = 0;
+      break;
+    case MemberChangeKind::kAddServer:
+      if (mc.nodes.size() != 1) return Rejected("AddServer: exactly one node");
+      add(mc.nodes);
+      if (next.members.size() != n_old + 1) {
+        return Rejected("AddServer: node already a member");
+      }
+      break;
+    case MemberChangeKind::kRemoveServer:
+      if (mc.nodes.size() != 1) {
+        return Rejected("RemoveServer: exactly one node");
+      }
+      remove(mc.nodes);
+      if (next.members.size() != n_old - 1) {
+        return Rejected("RemoveServer: node not a member");
+      }
+      break;
+    case MemberChangeKind::kJointEnter:
+      if (mc.nodes.empty()) return Rejected("JointEnter: empty target");
+      next.vanilla_joint = true;
+      next.jc_old = cur.members;
+      next.members = mc.nodes;
+      std::sort(next.members.begin(), next.members.end());
+      break;
+    case MemberChangeKind::kJointLeave:
+      if (!cur.vanilla_joint) return Rejected("JointLeave: not in joint mode");
+      next.vanilla_joint = false;
+      next.jc_old.clear();
+      break;
+  }
+  if (next.members.empty()) return Rejected("membership change empties cluster");
+  return next;
+}
+
+}  // namespace
+
+Result<ConfigState> ApplyConfEntry(const ConfigState& cur,
+                                   const LogEntry& entry) {
+  if (const auto* init = std::get_if<ConfInit>(&entry.payload)) {
+    ConfigState next;
+    next.mode = ConfigMode::kStable;
+    next.members = init->members;
+    std::sort(next.members.begin(), next.members.end());
+    next.range = init->range;
+    next.uid = init->uid;
+    return next;
+  }
+  if (const auto* j = std::get_if<ConfSplitJoint>(&entry.payload)) {
+    ConfigState next = cur;
+    next.mode = ConfigMode::kSplitJoint;
+    next.split = j->plan;
+    next.joint_index = entry.index;
+    next.cnew_index = 0;
+    return next;
+  }
+  if (const auto* n = std::get_if<ConfSplitNew>(&entry.payload)) {
+    ConfigState next = cur;
+    next.mode = ConfigMode::kSplitLeaving;
+    next.split = n->plan;
+    next.cnew_index = entry.index;
+    return next;
+  }
+  if (const auto* m = std::get_if<ConfMember>(&entry.payload)) {
+    return ApplyMemberChange(cur, m->change);
+  }
+  if (const auto* tx = std::get_if<ConfMergeTx>(&entry.payload)) {
+    ConfigState next = cur;
+    next.merge_tx = tx->plan;
+    next.merge_tx_index = entry.index;
+    next.merge_decision_ok = tx->decision_ok;
+    return next;
+  }
+  if (const auto* sr = std::get_if<ConfSetRange>(&entry.payload)) {
+    ConfigState next = cur;
+    next.range = sr->range;
+    return next;
+  }
+  if (const auto* oc = std::get_if<ConfMergeOutcome>(&entry.payload)) {
+    // The outcome applies only once committed (§III-C); membership and
+    // quorums are unchanged at append time. Remember it so the node can
+    // resume an interrupted 2PC and so P1 keeps blocking until resolution.
+    ConfigState next = cur;
+    next.merge_outcome_index = entry.index;
+    next.merge_outcome_commit = oc->commit;
+    next.merge_outcome_plan = oc->plan;
+    return next;
+  }
+  return cur;
+}
+
+void ConfigTracker::Init(ConfigState genesis) {
+  stack_.clear();
+  stack_.push_back(Record{0, std::move(genesis)});
+}
+
+bool ConfigTracker::OnAppend(const LogEntry& entry) {
+  if (!entry.IsConfig()) return true;
+  auto next = ApplyConfEntry(Current(), entry);
+  if (!next.ok()) {
+    RLOG_ERROR("config", "invalid conf transition at %llu: %s",
+               static_cast<unsigned long long>(entry.index),
+               next.status().ToString().c_str());
+    return false;
+  }
+  stack_.push_back(Record{entry.index, std::move(*next)});
+  return true;
+}
+
+const ConfigState& ConfigTracker::StateAtOrBefore(Index index) const {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->index <= index) return it->state;
+  }
+  return stack_.front().state;
+}
+
+void ConfigTracker::OnTruncate(Index from) {
+  while (stack_.size() > 1 && stack_.back().index >= from) {
+    stack_.pop_back();
+  }
+}
+
+void ConfigTracker::ForceState(ConfigState state, Index index) {
+  stack_.clear();
+  stack_.push_back(Record{index, std::move(state)});
+}
+
+}  // namespace recraft::raft

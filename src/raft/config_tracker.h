@@ -1,0 +1,58 @@
+// Tracks the effective configuration as entries are appended, truncated and
+// compacted — Raft's wait-free reconfiguration rule ("a node uses the latest
+// configuration in its log, committed or not") generalized with ReCraft's
+// split/merge payloads. The tracker keeps the stack of configuration-bearing
+// entries so a truncation rolls the configuration back correctly.
+#pragma once
+
+#include <vector>
+
+#include "raft/config.h"
+#include "raft/entry.h"
+
+namespace recraft::raft {
+
+/// Pure transition: the configuration that results from appending `entry`
+/// while in configuration `cur`. ConfMergeOutcome entries do not change the
+/// configuration at append time (the merge applies only once committed,
+/// §III-C); they are tracked so P1 can see the pending resolution.
+Result<ConfigState> ApplyConfEntry(const ConfigState& cur, const LogEntry& entry);
+
+class ConfigTracker {
+ public:
+  /// Install the genesis configuration (in force from index 0).
+  void Init(ConfigState genesis);
+
+  const ConfigState& Current() const { return stack_.back().state; }
+  /// Index of the entry that produced the current configuration.
+  Index CurrentIndex() const { return stack_.back().index; }
+
+  /// The configuration in force at `index` (deepest record with
+  /// record.index <= index). Used when snapshotting at an applied index that
+  /// may trail an appended-but-uncommitted configuration entry.
+  const ConfigState& StateAtOrBefore(Index index) const;
+
+  /// Observe an appended entry; updates the configuration when it is a
+  /// config entry. Returns false (and leaves state unchanged) if the entry
+  /// is an invalid transition — callers treat that as a protocol bug.
+  bool OnAppend(const LogEntry& entry);
+
+  /// Roll back past a truncation: drop records with index >= from.
+  void OnTruncate(Index from);
+
+  /// Replace the whole stack (snapshot install / split completion / merge
+  /// resumption): `state` is in force as of `index`.
+  void ForceState(ConfigState state, Index index);
+
+  /// Number of configuration records currently tracked (genesis included).
+  size_t depth() const { return stack_.size(); }
+
+ private:
+  struct Record {
+    Index index = 0;
+    ConfigState state;
+  };
+  std::vector<Record> stack_;
+};
+
+}  // namespace recraft::raft

@@ -1,0 +1,76 @@
+#include "raft/entry.h"
+
+namespace recraft::raft {
+
+namespace {
+struct BytesVisitor {
+  size_t operator()(const NoOp&) const { return 1; }
+  size_t operator()(const kv::Command& c) const { return c.WireBytes(); }
+  size_t operator()(const ConfInit& c) const {
+    return 32 + c.members.size() * 8;
+  }
+  size_t operator()(const ConfSplitJoint& c) const {
+    return 32 + c.plan.subs.size() * 64;
+  }
+  size_t operator()(const ConfSplitNew& c) const {
+    return 32 + c.plan.subs.size() * 64;
+  }
+  size_t operator()(const ConfMember& c) const {
+    return 16 + c.change.nodes.size() * 8;
+  }
+  size_t operator()(const ConfMergeTx& c) const {
+    return 48 + c.plan.sources.size() * 64;
+  }
+  size_t operator()(const ConfMergeOutcome& c) const {
+    return 48 + c.plan.sources.size() * 64;
+  }
+  size_t operator()(const ConfSetRange& c) const {
+    return 48 + (c.absorb ? c.absorb->SerializedBytes() : 0);
+  }
+};
+
+struct DescribeVisitor {
+  std::string operator()(const NoOp&) const { return "noop"; }
+  std::string operator()(const ConfInit& c) const {
+    return "Cinit:" + NodesToString(c.members) + c.range.ToString();
+  }
+  std::string operator()(const kv::Command& c) const {
+    switch (c.op) {
+      case kv::OpType::kPut: return "put(" + c.key + ")";
+      case kv::OpType::kGet: return "get(" + c.key + ")";
+      case kv::OpType::kDelete: return "del(" + c.key + ")";
+    }
+    return "kv?";
+  }
+  std::string operator()(const ConfSplitJoint& c) const {
+    return "Cjoint:" + c.plan.ToString();
+  }
+  std::string operator()(const ConfSplitNew& c) const {
+    return "Cnew:" + c.plan.ToString();
+  }
+  std::string operator()(const ConfMember& c) const {
+    return c.change.ToString();
+  }
+  std::string operator()(const ConfMergeTx& c) const {
+    return "CTX(" + std::string(c.decision_ok ? "OK" : "NO") + "):" +
+           c.plan.ToString();
+  }
+  std::string operator()(const ConfMergeOutcome& c) const {
+    return std::string(c.commit ? "Cmerge:" : "Cabort:") + c.plan.ToString();
+  }
+  std::string operator()(const ConfSetRange& c) const {
+    return "Crange:" + c.range.ToString() + (c.absorb ? "+absorb" : "");
+  }
+};
+}  // namespace
+
+size_t LogEntry::WireBytes() const {
+  return 16 + std::visit(BytesVisitor{}, payload);
+}
+
+std::string LogEntry::Describe() const {
+  return std::to_string(index) + "@" + et().ToString() + ":" +
+         std::visit(DescribeVisitor{}, payload);
+}
+
+}  // namespace recraft::raft

@@ -1,0 +1,44 @@
+// Epoch-prefixed term numbers (§III-A of the paper). The epoch occupies the
+// upper 32 bits and the Raft term the lower 32, so comparing the raw 64-bit
+// value orders configurations across splits and merges: any message from a
+// newer epoch dominates all terms of older epochs. Epochs bump only when a
+// split completes or a merged cluster resumes — never on membership changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace recraft::raft {
+
+class EpochTerm {
+ public:
+  constexpr EpochTerm() = default;
+  constexpr explicit EpochTerm(uint64_t raw) : raw_(raw) {}
+  static constexpr EpochTerm Make(uint32_t epoch, uint32_t term) {
+    return EpochTerm((static_cast<uint64_t>(epoch) << 32) | term);
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr uint32_t epoch() const { return static_cast<uint32_t>(raw_ >> 32); }
+  constexpr uint32_t term() const {
+    return static_cast<uint32_t>(raw_ & 0xffffffffULL);
+  }
+
+  /// Next term within the same epoch (candidate stepping up).
+  constexpr EpochTerm NextTerm() const { return EpochTerm(raw_ + 1); }
+
+  /// First term of the next epoch: (epoch+1, term 0). Used when a split
+  /// completes; a merged cluster instead jumps to Make(E_new, 0).
+  constexpr EpochTerm NextEpoch() const { return Make(epoch() + 1, 0); }
+
+  constexpr auto operator<=>(const EpochTerm&) const = default;
+
+  std::string ToString() const {
+    return "e" + std::to_string(epoch()) + "t" + std::to_string(term());
+  }
+
+ private:
+  uint64_t raw_ = 0;
+};
+
+}  // namespace recraft::raft

@@ -1,0 +1,111 @@
+// The replicated log: a contiguous run of entries above a compacted base
+// (the snapshot position). Provides the primitives the node builds Raft's
+// matching/truncation rules on, plus Reset() for the merge protocol's
+// fresh-log resumption.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "raft/entry.h"
+
+namespace recraft::raft {
+
+class RaftLog {
+ public:
+  /// Base (snapshot) position: entries exist for indices in
+  /// (base_index, last_index].
+  Index base_index() const { return base_index_; }
+  uint64_t base_term() const { return base_term_; }
+  Index first_index() const { return base_index_ + 1; }
+  Index last_index() const { return base_index_ + entries_.size(); }
+  uint64_t last_term() const {
+    return entries_.empty() ? base_term_ : entries_.back().term;
+  }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  bool HasEntry(Index i) const {
+    return i > base_index_ && i <= last_index();
+  }
+
+  /// Term at index i; valid for base_index() too. Returns 0 when the index
+  /// is compacted away or beyond the log.
+  uint64_t TermAt(Index i) const {
+    if (i == base_index_) return base_term_;
+    if (!HasEntry(i)) return 0;
+    return entries_[i - base_index_ - 1].term;
+  }
+
+  const LogEntry& At(Index i) const {
+    assert(HasEntry(i));
+    return entries_[i - base_index_ - 1];
+  }
+
+  /// True when (i, term) matches this log — the AppendEntries consistency
+  /// check. Index 0 with term 0 always matches (empty-log case).
+  bool Matches(Index i, uint64_t term) const {
+    if (i == 0) return term == 0;
+    if (i < base_index_) return true;  // compacted: implied committed, matches
+    if (i == base_index_) return term == base_term_;
+    if (!HasEntry(i)) return false;
+    return TermAt(i) == term;
+  }
+
+  /// Append one entry; index must be last_index()+1.
+  void Append(LogEntry e) {
+    assert(e.index == last_index() + 1);
+    entries_.push_back(std::move(e));
+  }
+
+  /// Remove all entries with index >= i. i must be > base_index().
+  void TruncateFrom(Index i) {
+    assert(i > base_index_);
+    if (i > last_index()) return;
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i - base_index_ - 1),
+                   entries_.end());
+  }
+
+  /// Drop entries up to and including i (log compaction after a snapshot).
+  void CompactTo(Index i, uint64_t term) {
+    assert(i >= base_index_);
+    if (i == base_index_) return;
+    size_t drop = std::min(static_cast<size_t>(i - base_index_), entries_.size());
+    entries_.erase(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(drop));
+    base_index_ = i;
+    base_term_ = term;
+  }
+
+  /// Discard everything and restart at the given base. Used when a merged
+  /// cluster resumes (the log "begins with the C_new entry") and when a
+  /// snapshot is installed.
+  void Reset(Index base, uint64_t term) {
+    entries_.clear();
+    base_index_ = base;
+    base_term_ = term;
+  }
+
+  /// Copy entries in [lo, hi] (inclusive, clamped to available range).
+  std::vector<LogEntry> Slice(Index lo, Index hi) const {
+    std::vector<LogEntry> out;
+    lo = std::max(lo, first_index());
+    hi = std::min(hi, last_index());
+    for (Index i = lo; i <= hi && i >= lo; ++i) out.push_back(At(i));
+    return out;
+  }
+
+  /// Total payload bytes above the base (for GC accounting).
+  size_t ApproxBytes() const {
+    size_t n = 0;
+    for (const auto& e : entries_) n += e.WireBytes();
+    return n;
+  }
+
+ private:
+  std::deque<LogEntry> entries_;
+  Index base_index_ = 0;
+  uint64_t base_term_ = 0;
+};
+
+}  // namespace recraft::raft

@@ -1,0 +1,123 @@
+#include "raft/messages.h"
+
+namespace recraft::raft {
+
+namespace {
+
+struct BytesVisitor {
+  size_t operator()(const RequestVote&) const { return 40; }
+  size_t operator()(const VoteReply&) const { return 24; }
+  size_t operator()(const AppendEntries& m) const {
+    size_t n = 48;
+    for (const auto& e : m.entries) n += e.WireBytes();
+    return n;
+  }
+  size_t operator()(const AppendReply&) const { return 40; }
+  size_t operator()(const InstallSnapshot& m) const {
+    return 24 + (m.snap ? m.snap->WireBytes() : 0);
+  }
+  size_t operator()(const InstallSnapshotReply&) const { return 24; }
+  size_t operator()(const CommitNotify&) const { return 32; }
+  size_t operator()(const PullRequest&) const { return 24; }
+  size_t operator()(const PullReply& m) const {
+    size_t n = 40 + (m.snap ? m.snap->WireBytes() : 0);
+    for (const auto& e : m.entries) n += e.WireBytes();
+    return n;
+  }
+  size_t operator()(const MergePrepareReq& m) const {
+    return 32 + m.plan.sources.size() * 64;
+  }
+  size_t operator()(const MergePrepareReply&) const { return 40; }
+  size_t operator()(const MergeCommitReq& m) const {
+    return 32 + m.plan.sources.size() * 64;
+  }
+  size_t operator()(const MergeCommitReply&) const { return 32; }
+  size_t operator()(const MergeFinalize&) const { return 24; }
+  size_t operator()(const SnapPullReq&) const { return 24; }
+  size_t operator()(const SnapPullReply& m) const {
+    return 32 + (m.snap ? m.snap->SerializedBytes() : 0);
+  }
+  size_t operator()(const ClientRequest& m) const {
+    if (const auto* kv = std::get_if<kv::Command>(&m.body)) {
+      return 24 + kv->WireBytes();
+    }
+    if (const auto* sr = std::get_if<AdminSetRange>(&m.body)) {
+      return 128 + (sr->absorb ? sr->absorb->SerializedBytes() : 0);
+    }
+    return 128;
+  }
+  size_t operator()(const ClientReply& m) const { return 40 + m.value.size(); }
+  size_t operator()(const RangeSnapReq&) const { return 32; }
+  size_t operator()(const RangeSnapReply& m) const {
+    return 40 + (m.snap ? m.snap->SerializedBytes() : 0);
+  }
+  size_t operator()(const BootstrapReq& m) const {
+    return 128 + (m.data ? m.data->SerializedBytes() : 0);
+  }
+  size_t operator()(const BootstrapAck&) const { return 24; }
+  size_t operator()(const NamingRegister& m) const {
+    return 48 + m.members.size() * 8;
+  }
+  size_t operator()(const NamingLookupReq&) const { return 16; }
+  size_t operator()(const NamingLookupReply& m) const {
+    return 16 + m.clusters.size() * 64;
+  }
+};
+
+struct NameVisitor {
+  const char* operator()(const RequestVote&) const { return "RequestVote"; }
+  const char* operator()(const VoteReply&) const { return "VoteReply"; }
+  const char* operator()(const AppendEntries&) const { return "AppendEntries"; }
+  const char* operator()(const AppendReply&) const { return "AppendReply"; }
+  const char* operator()(const InstallSnapshot&) const {
+    return "InstallSnapshot";
+  }
+  const char* operator()(const InstallSnapshotReply&) const {
+    return "InstallSnapshotReply";
+  }
+  const char* operator()(const CommitNotify&) const { return "CommitNotify"; }
+  const char* operator()(const PullRequest&) const { return "PullRequest"; }
+  const char* operator()(const PullReply&) const { return "PullReply"; }
+  const char* operator()(const MergePrepareReq&) const {
+    return "MergePrepareReq";
+  }
+  const char* operator()(const MergePrepareReply&) const {
+    return "MergePrepareReply";
+  }
+  const char* operator()(const MergeCommitReq&) const {
+    return "MergeCommitReq";
+  }
+  const char* operator()(const MergeCommitReply&) const {
+    return "MergeCommitReply";
+  }
+  const char* operator()(const MergeFinalize&) const { return "MergeFinalize"; }
+  const char* operator()(const SnapPullReq&) const { return "SnapPullReq"; }
+  const char* operator()(const SnapPullReply&) const { return "SnapPullReply"; }
+  const char* operator()(const ClientRequest&) const { return "ClientRequest"; }
+  const char* operator()(const ClientReply&) const { return "ClientReply"; }
+  const char* operator()(const RangeSnapReq&) const { return "RangeSnapReq"; }
+  const char* operator()(const RangeSnapReply&) const {
+    return "RangeSnapReply";
+  }
+  const char* operator()(const BootstrapReq&) const { return "BootstrapReq"; }
+  const char* operator()(const BootstrapAck&) const { return "BootstrapAck"; }
+  const char* operator()(const NamingRegister&) const {
+    return "NamingRegister";
+  }
+  const char* operator()(const NamingLookupReq&) const {
+    return "NamingLookupReq";
+  }
+  const char* operator()(const NamingLookupReply&) const {
+    return "NamingLookupReply";
+  }
+};
+
+}  // namespace
+
+size_t MessageBytes(const Message& m) { return std::visit(BytesVisitor{}, m); }
+
+const char* MessageName(const Message& m) {
+  return std::visit(NameVisitor{}, m);
+}
+
+}  // namespace recraft::raft

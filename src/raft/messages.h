@@ -1,0 +1,308 @@
+// Every RPC exchanged by nodes, clients, cluster managers and the naming
+// service. The simulated network carries them as shared_ptr<const Message>;
+// sizes for bandwidth accounting come from MessageBytes().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "kv/kv.h"
+#include "raft/config.h"
+#include "raft/entry.h"
+
+namespace recraft::raft {
+
+/// A reconfiguration history record, retained even after log compaction so
+/// long-partitioned nodes and clusters can find their successors (§V).
+struct ReconfigRecord {
+  enum class Kind : uint8_t { kSplit = 0, kMerge, kMember };
+  Kind kind = Kind::kMember;
+  uint32_t epoch = 0;          // epoch in force after the reconfiguration
+  ClusterUid uid = 0;          // cluster identity after
+  std::vector<NodeId> members;
+  KeyRange range;
+  /// For splits: the log index of the C_new entry — the epoch boundary a
+  /// pull reply must not cross (a sibling's post-split entries would leak).
+  Index boundary_index = 0;
+};
+
+/// A consensus-level snapshot: the applied KV state plus the log position
+/// and configuration it covers.
+struct RaftSnapshot {
+  Index last_index = 0;
+  uint64_t last_term = 0;  // EpochTerm raw
+  kv::SnapshotPtr kv;
+  ConfigState config;
+  std::vector<ReconfigRecord> history;
+
+  size_t WireBytes() const {
+    return 128 + (kv ? kv->SerializedBytes() : 0) + history.size() * 64;
+  }
+};
+using RaftSnapshotPtr = std::shared_ptr<const RaftSnapshot>;
+
+// ---------------------------------------------------------------------------
+// Core Raft RPCs (epoch-term aware).
+
+struct RequestVote {
+  uint64_t et = 0;  // candidate's EpochTerm
+  NodeId candidate = kNoNode;
+  Index last_idx = 0;
+  uint64_t last_term = 0;
+};
+
+struct VoteReply {
+  uint64_t et = 0;
+  NodeId from = kNoNode;
+  bool granted = false;
+  /// §III-B HandleVote: set when the responder's epoch exceeds the
+  /// candidate's — "pull committed entries from me instead of campaigning".
+  bool pull = false;
+};
+
+struct AppendEntries {
+  uint64_t et = 0;
+  NodeId leader = kNoNode;
+  Index prev_idx = 0;
+  uint64_t prev_term = 0;
+  std::vector<LogEntry> entries;
+  Index commit = 0;
+};
+
+struct AppendReply {
+  uint64_t et = 0;
+  NodeId from = kNoNode;
+  bool ok = false;
+  Index match = 0;          // highest index known replicated on follower
+  Index conflict_hint = 0;  // follower's suggestion for next_idx on reject
+};
+
+struct InstallSnapshot {
+  uint64_t et = 0;
+  NodeId leader = kNoNode;
+  RaftSnapshotPtr snap;
+};
+
+struct InstallSnapshotReply {
+  uint64_t et = 0;
+  NodeId from = kNoNode;
+  Index applied = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ReCraft split protocol.
+
+/// Multicast to all C_old members once the split C_new entry commits, so
+/// sibling subclusters holding the entry learn of its commit and can elect
+/// their own leaders (§III-B SplitLeaveJoint, line 30).
+struct CommitNotify {
+  uint64_t et = 0;  // sender's EpochTerm *before* the epoch bump
+  NodeId from = kNoNode;
+  Index cnew_index = 0;
+  uint64_t cnew_term = 0;  // term of the C_new entry, so receivers can match
+};
+
+/// Pull-based recovery: request committed entries starting at next_idx.
+struct PullRequest {
+  NodeId from = kNoNode;
+  uint32_t epoch = 0;  // requester's epoch, so the responder can cap
+  Index next_idx = 0;
+};
+
+struct PullReply {
+  NodeId from = kNoNode;
+  uint32_t epoch = 0;            // responder's epoch
+  std::vector<LogEntry> entries;  // committed entries only
+  Index commit = 0;              // responder's commit index (possibly capped)
+  /// True when the reply stops at the responder's epoch boundary: the
+  /// requester must apply the boundary reconfiguration before pulling more.
+  bool capped = false;
+  /// Fallback when the responder compacted past next_idx.
+  RaftSnapshotPtr snap;
+};
+
+// ---------------------------------------------------------------------------
+// ReCraft merge protocol (cluster-level 2PC + snapshot exchange).
+
+struct MergePrepareReq {
+  NodeId from = kNoNode;  // coordinator's leader (reply target)
+  MergePlan plan;
+};
+
+struct MergePrepareReply {
+  NodeId from = kNoNode;
+  TxId tx = 0;
+  int source_index = -1;
+  bool ok = false;
+  /// Transient failure (not leader / no quorum yet): coordinator retries.
+  bool retry = false;
+  NodeId leader_hint = kNoNode;
+  uint32_t epoch = 0;  // responder cluster's epoch, for E_new = E_max + 1
+};
+
+struct MergeCommitReq {
+  NodeId from = kNoNode;
+  TxId tx = 0;
+  bool commit = false;  // false = abort
+  MergePlan plan;       // final plan with new_epoch/new_uid filled
+};
+
+struct MergeCommitReply {
+  NodeId from = kNoNode;
+  TxId tx = 0;
+  int source_index = -1;
+  bool ok = false;
+  bool retry = false;
+  NodeId leader_hint = kNoNode;
+};
+
+/// Coordinator-cluster leader -> its own followers: all subclusters
+/// acknowledged the 2PC commit; transition to the merged cluster now. The
+/// coordinator cluster "applies last" (§III-C.1), so its members defer the
+/// transition until this signal (or until they observe E_new traffic).
+struct MergeFinalize {
+  NodeId from = kNoNode;
+  TxId tx = 0;
+};
+
+/// Data-exchange phase: pull subcluster `source_index`'s snapshot.
+struct SnapPullReq {
+  NodeId from = kNoNode;
+  TxId tx = 0;
+  int source_index = -1;
+};
+
+struct SnapPullReply {
+  NodeId from = kNoNode;
+  TxId tx = 0;
+  int source_index = -1;
+  bool ready = false;
+  kv::SnapshotPtr snap;
+};
+
+// ---------------------------------------------------------------------------
+// Client / admin interface.
+
+struct AdminSplit {
+  /// Member groups and split keys; the leader validates against its current
+  /// configuration and builds the SplitPlan (C_joint / C_new payloads).
+  std::vector<std::vector<NodeId>> groups;
+  std::vector<std::string> split_keys;  // groups.size() - 1 keys
+};
+
+struct AdminMerge {
+  /// Draft plan: sources describe the clusters to merge (coordinator is the
+  /// cluster receiving this request; it must be sources[plan.coordinator]).
+  MergePlan draft;
+};
+
+struct AdminMember {
+  MemberChange change;
+};
+
+/// TC baseline: replace the cluster's range (optionally absorbing bulk
+/// data) through a consensus entry, as the cluster manager's admin-tool
+/// script would.
+struct AdminSetRange {
+  KeyRange range;
+  kv::SnapshotPtr absorb;
+};
+
+using ClientBody = std::variant<kv::Command, AdminSplit, AdminMerge,
+                                AdminMember, AdminSetRange>;
+
+struct ClientRequest {
+  uint64_t req_id = 0;
+  NodeId from = kNoNode;
+  ClientBody body;
+};
+
+struct ClientReply {
+  uint64_t req_id = 0;
+  NodeId from = kNoNode;
+  Status status;
+  std::string value;
+  NodeId leader_hint = kNoNode;
+};
+
+// ---------------------------------------------------------------------------
+// TC baseline (cluster-manager-driven split/merge emulation, §VII-B/C).
+
+/// Fetch a point-in-time snapshot of `range` from a cluster's leader (the
+/// CM's data-migration step; transfer time is charged by the network).
+struct RangeSnapReq {
+  NodeId from = kNoNode;
+  KeyRange range;
+};
+
+struct RangeSnapReply {
+  NodeId from = kNoNode;
+  bool ok = false;
+  bool retry = false;
+  NodeId leader_hint = kNoNode;
+  KeyRange range;  // echoed from the request (matches replies to steps)
+  kv::SnapshotPtr snap;
+};
+
+/// Wipe a node and restart it as a member of a freshly bootstrapped cluster
+/// with the given data (the CM's "install snapshot + config and restart"
+/// step). An empty member list retires the node (TC merge termination).
+struct BootstrapReq {
+  NodeId from = kNoNode;
+  uint64_t op_id = 0;  // idempotency token
+  ConfigState genesis;
+  kv::SnapshotPtr data;  // may be null
+};
+
+struct BootstrapAck {
+  NodeId from = kNoNode;
+  uint64_t op_id = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Naming service (§V): a loosely consistent, always-available registry used
+// only for long-term failure recovery.
+
+struct NamingRegister {
+  ClusterUid uid = 0;
+  uint32_t epoch = 0;
+  std::vector<NodeId> members;
+  KeyRange range;
+};
+
+struct NamingLookupReq {
+  NodeId from = kNoNode;
+};
+
+struct NamingLookupReply {
+  std::vector<NamingRegister> clusters;
+};
+
+// ---------------------------------------------------------------------------
+
+using Message =
+    std::variant<RequestVote, VoteReply, AppendEntries, AppendReply,
+                 InstallSnapshot, InstallSnapshotReply, CommitNotify,
+                 PullRequest, PullReply, MergePrepareReq, MergePrepareReply,
+                 MergeCommitReq, MergeCommitReply, MergeFinalize, SnapPullReq,
+                 SnapPullReply, ClientRequest, ClientReply, RangeSnapReq,
+                 RangeSnapReply, BootstrapReq, BootstrapAck, NamingRegister,
+                 NamingLookupReq, NamingLookupReply>;
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// On-wire size estimate for bandwidth accounting.
+size_t MessageBytes(const Message& m);
+
+/// Short human-readable tag ("AppendEntries", ...) for logs and traces.
+const char* MessageName(const Message& m);
+
+template <typename T>
+MessagePtr MakeMessage(T&& body) {
+  return std::make_shared<const Message>(std::forward<T>(body));
+}
+
+}  // namespace recraft::raft

@@ -1,0 +1,72 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace recraft::sim {
+
+EventId EventQueue::Schedule(Duration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId EventQueue::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  assert(when >= now_);
+  EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) {
+  if (id == kNoEvent) return;
+  // Lazily discarded when popped; the id set stays small because fired
+  // events remove themselves from it.
+  cancelled_.insert(id);
+}
+
+void EventQueue::PurgeCancelledTop() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+    --live_count_;
+  }
+}
+
+bool EventQueue::PopAndRun() {
+  PurgeCancelledTop();
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  --live_count_;
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+bool EventQueue::RunOne() { return PopAndRun(); }
+
+void EventQueue::RunUntil(TimePoint deadline) {
+  for (;;) {
+    PurgeCancelledTop();
+    if (queue_.empty() || queue_.top().t > deadline) break;
+    PopAndRun();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool EventQueue::RunUntilPred(const std::function<bool()>& pred,
+                              TimePoint deadline) {
+  if (pred()) return true;
+  for (;;) {
+    PurgeCancelledTop();
+    if (queue_.empty() || queue_.top().t > deadline) break;
+    if (!PopAndRun()) break;
+    if (pred()) return true;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return pred();
+}
+
+}  // namespace recraft::sim

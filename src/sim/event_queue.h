@@ -1,0 +1,77 @@
+// Deterministic discrete-event scheduler. All activity in a run — message
+// deliveries, node ticks, client arrivals, fault-injection actions — is an
+// event on this queue. Events at the same timestamp fire in scheduling order
+// (FIFO by sequence number), so a run is fully reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace recraft::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at now() + delay. Returns an id usable with Cancel.
+  EventId Schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventId ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (timers race with the events that cancel them).
+  void Cancel(EventId id);
+
+  TimePoint now() const { return now_; }
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+
+  /// Run the earliest pending event; returns false when the queue is empty.
+  bool RunOne();
+
+  /// Run events until simulated time reaches `deadline` (inclusive of events
+  /// at exactly `deadline`) or the queue drains. now() advances to `deadline`.
+  void RunUntil(TimePoint deadline);
+
+  /// Run events until `pred()` becomes true or `deadline` passes. Returns
+  /// true if the predicate was satisfied. The predicate is checked after
+  /// every event.
+  bool RunUntilPred(const std::function<bool()>& pred, TimePoint deadline);
+
+  /// Run for `d` more simulated time.
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint t;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  void PurgeCancelledTop();
+  bool PopAndRun();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  TimePoint now_ = 0;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace recraft::sim

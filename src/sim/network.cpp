@@ -1,0 +1,116 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace recraft::sim {
+
+void Network::Register(NodeId node, DeliveryHandler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Network::Unregister(NodeId node) { handlers_.erase(node); }
+
+bool Network::CanCommunicate(NodeId a, NodeId b) const {
+  if (a == b) return true;
+  if (blocked_.count({std::min(a, b), std::max(a, b)}) > 0) return false;
+  if (!group_of_.empty()) {
+    // Nodes absent from every group (admin, clients, the naming service)
+    // are unaffected by the partition and reach everyone.
+    auto ga = group_of_.find(a);
+    auto gb = group_of_.find(b);
+    if (ga != group_of_.end() && gb != group_of_.end() &&
+        ga->second != gb->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Duration Network::DeliveryDelay(NodeId from, NodeId to, size_t bytes) {
+  Duration base;
+  auto it = link_latency_.find({from, to});
+  if (it != link_latency_.end()) {
+    base = it->second;
+  } else if (from == to) {
+    base = opts_.loopback_latency;
+  } else {
+    base = opts_.base_latency;
+    if (opts_.jitter > 0) base += rng_.Uniform(0, 2 * opts_.jitter);
+  }
+  Duration transfer = 0;
+  if (opts_.bandwidth_bytes_per_sec > 0) {
+    transfer = static_cast<Duration>(static_cast<double>(bytes) /
+                                     static_cast<double>(opts_.bandwidth_bytes_per_sec) *
+                                     static_cast<double>(kSecond));
+  }
+  return base + transfer;
+}
+
+void Network::Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
+                   size_t bytes) {
+  counters_.Add("net.sent");
+  counters_.Add("net.bytes", bytes);
+  if (crashed_.count(from) > 0) {
+    counters_.Add("net.dropped.src_crashed");
+    return;
+  }
+  if (!CanCommunicate(from, to)) {
+    counters_.Add("net.dropped.partition");
+    return;
+  }
+  if (opts_.drop_probability > 0 && from != to &&
+      rng_.Chance(opts_.drop_probability)) {
+    counters_.Add("net.dropped.random");
+    return;
+  }
+  Duration delay = DeliveryDelay(from, to, bytes);
+  events_.Schedule(delay, [this, from, to, payload = std::move(payload),
+                           bytes]() {
+    if (crashed_.count(to) > 0) {
+      counters_.Add("net.dropped.dst_crashed");
+      return;
+    }
+    // Re-check reachability at delivery time: a partition raised while the
+    // message was in flight also loses it (conservative, like TCP resets).
+    if (!CanCommunicate(from, to)) {
+      counters_.Add("net.dropped.partition");
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      counters_.Add("net.dropped.unregistered");
+      return;
+    }
+    counters_.Add("net.delivered");
+    it->second(from, payload, bytes);
+  });
+}
+
+void Network::Block(NodeId a, NodeId b) {
+  blocked_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::Unblock(NodeId a, NodeId b) {
+  blocked_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void Network::SetPartitions(const std::vector<std::vector<NodeId>>& groups) {
+  group_of_.clear();
+  int g = 0;
+  for (const auto& group : groups) {
+    for (NodeId n : group) group_of_[n] = g;
+    ++g;
+  }
+}
+
+void Network::SetLinkLatency(NodeId from, NodeId to, Duration latency) {
+  link_latency_[{from, to}] = latency;
+}
+
+void Network::ClearLinkLatency(NodeId from, NodeId to) {
+  link_latency_.erase({from, to});
+}
+
+}  // namespace recraft::sim

@@ -1,0 +1,92 @@
+// Simulated message network. Supports per-link latency with jitter, finite
+// bandwidth (size-dependent transfer delay), probabilistic drops, pairwise
+// blocks, group partitions and crashed endpoints. Payloads are opaque to the
+// network; the harness is the single place that casts them back to the
+// protocol message type.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace recraft::sim {
+
+struct NetworkOptions {
+  Duration base_latency = 500;     // one-way, microseconds
+  Duration jitter = 100;           // +/- uniform jitter, microseconds
+  Duration loopback_latency = 10;  // self-delivery
+  uint64_t bandwidth_bytes_per_sec = 1ULL << 30;  // 1 GiB/s
+  double drop_probability = 0.0;   // uniform message loss
+};
+
+/// A delivery callback: (from, payload, bytes). Payload lifetime is managed
+/// by shared ownership; handlers cast it to the protocol message type.
+using DeliveryHandler =
+    std::function<void(NodeId from, std::shared_ptr<const void> payload,
+                       size_t bytes)>;
+
+class Network {
+ public:
+  Network(EventQueue& events, NetworkOptions opts, Rng rng)
+      : events_(events), opts_(opts), rng_(rng) {}
+
+  /// Register/replace the handler invoked when a message reaches `node`.
+  void Register(NodeId node, DeliveryHandler handler);
+  void Unregister(NodeId node);
+
+  /// Queue a message for delivery. Applies partitions, drops, latency and
+  /// bandwidth. Delivery is skipped if the destination is crashed or
+  /// unregistered *at delivery time*.
+  void Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
+            size_t bytes);
+
+  // --- fault injection -------------------------------------------------
+  void Crash(NodeId node) { crashed_.insert(node); }
+  void Restart(NodeId node) { crashed_.erase(node); }
+  bool IsCrashed(NodeId node) const { return crashed_.count(node) > 0; }
+
+  /// Block both directions between a and b.
+  void Block(NodeId a, NodeId b);
+  void Unblock(NodeId a, NodeId b);
+
+  /// Partition the world into groups; nodes in different groups cannot
+  /// communicate. Nodes not mentioned in any group (clients, admin, the
+  /// naming service) are unaffected and reach everyone. Replaces any
+  /// previous partition.
+  void SetPartitions(const std::vector<std::vector<NodeId>>& groups);
+  void ClearPartitions() { group_of_.clear(); }
+
+  void set_drop_probability(double p) { opts_.drop_probability = p; }
+  const NetworkOptions& options() const { return opts_; }
+
+  /// Override latency for a specific ordered link (one direction).
+  void SetLinkLatency(NodeId from, NodeId to, Duration latency);
+  void ClearLinkLatency(NodeId from, NodeId to);
+
+  // --- introspection ----------------------------------------------------
+  CounterSet& counters() { return counters_; }
+  bool CanCommunicate(NodeId a, NodeId b) const;
+
+ private:
+  Duration DeliveryDelay(NodeId from, NodeId to, size_t bytes);
+
+  EventQueue& events_;
+  NetworkOptions opts_;
+  Rng rng_;
+  std::unordered_map<NodeId, DeliveryHandler> handlers_;
+  std::set<NodeId> crashed_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;  // normalized (min,max)
+  std::unordered_map<NodeId, int> group_of_;     // empty = no partition
+  std::map<std::pair<NodeId, NodeId>, Duration> link_latency_;
+  CounterSet counters_;
+};
+
+}  // namespace recraft::sim

@@ -1,0 +1,210 @@
+// Admin-surface behaviour: the ConfSetRange entry (used by the TC
+// baseline), precondition (P1/P3) enforcement against racing
+// reconfigurations, and interactions between concurrent admin operations.
+#include "tests/test_util.h"
+
+namespace recraft::test {
+namespace {
+
+TEST(AdminSetRange, ShrinkDropsOutsideKeys) {
+  World w(TestWorldOptions(1));
+  auto c = w.CreateCluster(3);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "1").ok());
+  ASSERT_TRUE(w.Put(c, "z", "2").ok());
+  raft::AdminSetRange body;
+  body.range = KeyRange("", "m");
+  auto reply = w.Call(w.LeaderOf(c), body);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->status.ok());
+  ExpectConverged(w, c);
+  for (NodeId id : c) {
+    EXPECT_EQ(w.node(id).config().range, KeyRange("", "m"));
+    EXPECT_EQ(w.node(id).store().size(), 1u);
+  }
+  EXPECT_EQ(w.Get(c, "z").status().code(), Code::kOutOfRange);
+}
+
+TEST(AdminSetRange, AbsorbBulkLoadsAdjacentData) {
+  World w(TestWorldOptions(2));
+  auto c = w.CreateCluster(3, KeyRange("", "m"));
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "mine").ok());
+  // Bulk-load an adjacent range through consensus, as the TC CM does.
+  auto snap = std::make_shared<kv::Snapshot>();
+  snap->range = KeyRange("m", "");
+  snap->data["q"] = "injected";
+  raft::AdminSetRange body;
+  body.range = KeyRange::Full();
+  body.absorb = snap;
+  auto reply = w.Call(w.LeaderOf(c), body);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->status.ok());
+  ExpectConverged(w, c);
+  EXPECT_EQ(*w.Get(c, "q"), "injected");
+  EXPECT_EQ(*w.Get(c, "a"), "mine");
+  for (NodeId id : c) {
+    EXPECT_EQ(w.node(id).store().size(), 2u) << "node " << id;
+  }
+}
+
+TEST(AdminSetRange, IdempotentRetry) {
+  World w(TestWorldOptions(3));
+  auto c = w.CreateCluster(3);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "1").ok());
+  raft::AdminSetRange body;
+  body.range = KeyRange("", "m");
+  ASSERT_TRUE(w.Call(w.LeaderOf(c), body)->status.ok());
+  // The retry finds the range already set and succeeds without proposing.
+  Index before = w.node(w.LeaderOf(c)).last_log_index();
+  ASSERT_TRUE(w.Call(w.LeaderOf(c), body)->status.ok());
+  EXPECT_EQ(w.node(w.LeaderOf(c)).last_log_index(), before);
+}
+
+TEST(AdminRace, SecondSplitRejectedWhileFirstPending) {
+  World w(TestWorldOptions(4));
+  auto c = w.CreateCluster(6);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "1").ok());
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+  NodeId leader = w.LeaderOf(c);
+  // Fire the first split asynchronously, then immediately submit a second:
+  // P1 must reject the overlap.
+  raft::AdminSplit body;
+  body.groups = {g1, g2};
+  body.split_keys = {"m"};
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = body;
+  w.net().Send(harness::kAdminId, leader,
+               raft::MakeMessage(raft::Message(req)), 128);
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        return w.node(leader).config().mode != raft::ConfigMode::kStable;
+      },
+      5 * kSecond));
+  auto second = w.Call(leader, raft::AdminSplit{{g1, g2}, {"q"}},
+                       2 * kSecond);
+  if (second.ok()) {
+    EXPECT_EQ(second->status.code(), Code::kRejected)
+        << second->status.ToString();
+  }
+  // The first split still completes.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId id : c) {
+          if (w.node(id).epoch() != 1) return false;
+        }
+        return true;
+      },
+      20 * kSecond));
+}
+
+TEST(AdminRace, MembershipChangeRejectedDuringMergeTx) {
+  World w(TestWorldOptions(5));
+  auto ranges = *KeyRange::Full().SplitAt({"m"});
+  auto c1 = w.CreateCluster(3, ranges[0]);
+  auto c2 = w.CreateCluster(3, ranges[1]);
+  ASSERT_TRUE(w.WaitForLeader(c1));
+  ASSERT_TRUE(w.WaitForLeader(c2));
+  ASSERT_TRUE(w.Put(c1, "a", "1").ok());
+  ASSERT_TRUE(w.Put(c2, "z", "2").ok());
+  // Hold c2 in a pending merge transaction by sending only the prepare of
+  // a transaction whose coordinator will never drive it to completion.
+  auto plan = w.MakeMergeDraft({c2, c1});
+  ASSERT_TRUE(plan.ok());
+  plan->new_uid = raft::DeriveMergeUid(plan->tx);
+  raft::MergePrepareReq prep;
+  prep.from = harness::kAdminId;
+  prep.plan = *plan;
+  std::swap(prep.plan.sources[0], prep.plan.sources[1]);  // c1 coordinates
+  ASSERT_TRUE(w.RunUntil(
+      [&]() { return w.LeaderOf(c2) != kNoNode; }, 5 * kSecond));
+  w.net().Send(harness::kAdminId, w.LeaderOf(c2),
+               raft::MakeMessage(raft::Message(prep)), 128);
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        NodeId l = w.LeaderOf(c2);
+        return l != kNoNode && w.node(l).config().merge_tx.has_value();
+      },
+      5 * kSecond));
+  // P1: while CTX is unresolved, other reconfigurations are refused.
+  NodeId fresh = w.CreateSpareNode();
+  Status s = w.AdminMemberChange(
+      c2, Change(raft::MemberChangeKind::kAddAndResize, {fresh}),
+      2 * kSecond);
+  EXPECT_EQ(s.code(), Code::kRejected) << s.ToString();
+  // ...but regular client traffic keeps flowing (§III-C.1).
+  EXPECT_TRUE(w.Put(c2, "z9", "served-during-tx").ok());
+}
+
+TEST(AdminRace, SplitOfRetiredLeaderRejected) {
+  // A node that was removed cannot drive reconfigurations.
+  World w(TestWorldOptions(6));
+  auto c = w.CreateCluster(4);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "1").ok());
+  NodeId victim = c[3] == w.LeaderOf(c) ? c[2] : c[3];
+  ASSERT_TRUE(w.AdminMemberChange(
+                   c, Change(raft::MemberChangeKind::kRemoveAndResize,
+                             {victim}))
+                  .ok());
+  std::vector<NodeId> rest;
+  for (NodeId id : c) {
+    if (id != victim) rest.push_back(id);
+  }
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        NodeId l = w.LeaderOf(rest);
+        return l != kNoNode && w.node(l).config().members == rest;
+      },
+      10 * kSecond));
+  auto reply = w.Call(victim, raft::AdminSplit{{{victim}, rest}, {"m"}},
+                      2 * kSecond);
+  if (reply.ok()) {
+    EXPECT_FALSE(reply->status.ok());
+  }
+}
+
+TEST(AdminRace, MergeWhileSplitPendingVotesNo) {
+  // A cluster mid-split answers a merge prepare with NO; the coordinator
+  // aborts and both sides stay live.
+  World w(TestWorldOptions(7));
+  auto ranges = *KeyRange::Full().SplitAt({"m"});
+  auto c1 = w.CreateCluster(4, ranges[0]);
+  auto c2 = w.CreateCluster(3, ranges[1]);
+  ASSERT_TRUE(w.WaitForLeader(c1));
+  ASSERT_TRUE(w.WaitForLeader(c2));
+  ASSERT_TRUE(w.Put(c1, "a", "1").ok());
+  ASSERT_TRUE(w.Put(c2, "z", "2").ok());
+  // Start a split of c1 and freeze it mid-flight by partitioning half of
+  // c1 away (C_joint cannot commit).
+  NodeId l1 = w.LeaderOf(c1);
+  std::vector<NodeId> g1a{c1[0], c1[1]}, g1b{c1[2], c1[3]};
+  if (std::find(g1a.begin(), g1a.end(), l1) == g1a.end()) std::swap(g1a, g1b);
+  raft::AdminSplit body;
+  body.groups = {g1a, g1b};
+  body.split_keys = {"f"};
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = body;
+  w.net().Send(harness::kAdminId, l1, raft::MakeMessage(raft::Message(req)),
+               128);
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        return w.node(l1).config().mode != raft::ConfigMode::kStable;
+      },
+      5 * kSecond));
+  // Now ask c2 to merge with c1: c1 votes NO (split pending) -> abort.
+  Status s = w.AdminMerge({c2, c1}, {}, 20 * kSecond);
+  EXPECT_EQ(s.code(), Code::kRejected) << s.ToString();
+  // c2 is unharmed and still serving its own range.
+  EXPECT_TRUE(w.Put(c2, "z5", "fine").ok());
+  EXPECT_EQ(w.node(w.LeaderOf(c2)).epoch(), 0u);
+}
+
+}  // namespace
+}  // namespace recraft::test

@@ -1,0 +1,224 @@
+// End-to-end scenarios spanning multiple reconfigurations — including the
+// paper's Figure 3 storyline: a 3-way split where one subcluster misses the
+// final message, followed by a merge of the two live subclusters, while the
+// third saves itself through pull recovery and runs independently.
+#include "tests/test_util.h"
+
+namespace recraft::test {
+namespace {
+
+TEST(Integration, Figure3Storyline) {
+  World w(TestWorldOptions(42));
+  harness::SafetyChecker checker(w);
+  checker.AttachPeriodic();
+
+  // C_old: a 9-node cluster with data in three ranges.
+  auto c = w.CreateCluster(9);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a1", "va").ok());
+  ASSERT_TRUE(w.Put(c, "j1", "vj").ok());
+  ASSERT_TRUE(w.Put(c, "r1", "vr").ok());
+
+  std::vector<NodeId> s1{c[0], c[1], c[2]}, s2{c[3], c[4], c[5]},
+      s3{c[6], c[7], c[8]};
+  // Make sure the driving leader sits in s1 (as in the figure).
+  NodeId leader = w.LeaderOf(c);
+  if (std::find(s2.begin(), s2.end(), leader) != s2.end()) std::swap(s1, s2);
+  if (std::find(s3.begin(), s3.end(), leader) != s3.end()) std::swap(s1, s3);
+
+  // (a)-(b): split starts; the SplitLeaveJoint message to s3 drops.
+  raft::AdminSplit body;
+  body.groups = {s1, s2, s3};
+  body.split_keys = {"h", "p"};
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = body;
+  w.net().Send(harness::kAdminId, leader,
+               raft::MakeMessage(raft::Message(req)), 128);
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        return w.node(leader).config().mode == raft::ConfigMode::kSplitLeaving;
+      },
+      5 * kSecond));
+  std::vector<NodeId> not_s3 = s1;
+  not_s3.insert(not_s3.end(), s2.begin(), s2.end());
+  w.net().SetPartitions({not_s3, s3});
+
+  // (c): s1 and s2 split out and work independently.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId id : not_s3) {
+          if (w.node(id).epoch() != 1) return false;
+        }
+        return true;
+      },
+      20 * kSecond));
+  ASSERT_TRUE(w.WaitForLeader(s1));
+  ASSERT_TRUE(w.WaitForLeader(s2));
+  ASSERT_TRUE(w.Put(s1, "a2", "va2").ok());
+  ASSERT_TRUE(w.Put(s2, "j2", "vj2").ok());
+
+  // (c continued): s3 pulls from its peers once the partition heals.
+  w.net().ClearPartitions();
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId id : s3) {
+          if (w.node(id).epoch() != 1) return false;
+        }
+        return w.LeaderOf(s3) != kNoNode;
+      },
+      30 * kSecond));
+  EXPECT_EQ(*w.Get(s3, "r1"), "vr");
+
+  // (d)-(h): s1 and s2 merge into C'_new; s3 runs independently.
+  ASSERT_TRUE(w.AdminMerge({s1, s2}, {}, 60 * kSecond).ok());
+  std::vector<NodeId> merged = s1;
+  merged.insert(merged.end(), s2.begin(), s2.end());
+  std::sort(merged.begin(), merged.end());
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId id : merged) {
+          if (w.node(id).config().members != merged) return false;
+          if (w.node(id).merge_exchange_pending()) return false;
+        }
+        return w.LeaderOf(merged) != kNoNode;
+      },
+      60 * kSecond));
+  // The merged cluster holds both subclusters' data, including post-split
+  // writes, and keeps serving.
+  EXPECT_EQ(*w.Get(merged, "a1"), "va");
+  EXPECT_EQ(*w.Get(merged, "a2"), "va2");
+  EXPECT_EQ(*w.Get(merged, "j2"), "vj2");
+  ASSERT_TRUE(w.Put(merged, "o1", "post-merge").ok());
+  // s3 is unaffected throughout.
+  ASSERT_TRUE(w.Put(s3, "r2", "still-mine").ok());
+
+  checker.Observe();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+}
+
+TEST(Integration, SplitMergeSplitEpochChain) {
+  // Epochs grow monotonically across a chain of reconfigurations.
+  World w(TestWorldOptions(43));
+  auto c = w.CreateCluster(6);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "k1", "v1").ok());
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+
+  ASSERT_TRUE(w.AdminSplit(c, {g1, g2}, {"m"}).ok());  // epoch 1
+  ASSERT_TRUE(w.WaitForLeader(g1));
+  ASSERT_TRUE(w.WaitForLeader(g2));
+  ASSERT_TRUE(w.AdminMerge({g1, g2}, {}, 60 * kSecond).ok());  // epoch 2
+  std::vector<NodeId> all = c;
+  std::sort(all.begin(), all.end());
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        return w.LeaderOf(all) != kNoNode &&
+               w.node(w.LeaderOf(all)).epoch() == 2;
+      },
+      60 * kSecond));
+  ASSERT_TRUE(w.AdminSplit(all, {g1, g2}, {"m"}).ok());  // epoch 3
+  ASSERT_TRUE(w.RunUntil([&]() { return w.node(c[0]).epoch() == 3; },
+                         30 * kSecond));
+  EXPECT_EQ(*w.Get(g1, "k1"), "v1");
+}
+
+TEST(Integration, MembershipThenSplitThenResize) {
+  // Grow 3 -> 6, split 6 -> 2x3, shrink one side 3 -> 2.
+  World w(TestWorldOptions(44));
+  auto c = w.CreateCluster(3);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "1").ok());
+  ASSERT_TRUE(w.Put(c, "z", "2").ok());
+  std::vector<NodeId> fresh;
+  for (int i = 0; i < 3; ++i) fresh.push_back(w.CreateSpareNode());
+  auto grown = w.AdminResizeTo(c, [&] {
+    auto t = c;
+    t.insert(t.end(), fresh.begin(), fresh.end());
+    return t;
+  }());
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+
+  std::vector<NodeId> all = c;
+  all.insert(all.end(), fresh.begin(), fresh.end());
+  std::sort(all.begin(), all.end());
+  std::vector<NodeId> g1{all[0], all[1], all[2]}, g2{all[3], all[4], all[5]};
+  ASSERT_TRUE(w.AdminSplit(all, {g1, g2}, {"m"}).ok());
+  ASSERT_TRUE(w.WaitForLeader(g1));
+  ASSERT_TRUE(w.WaitForLeader(g2));
+
+  std::vector<NodeId> g1_small{g1[0], g1[1]};
+  auto shrunk = w.AdminResizeTo(g1, g1_small);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_EQ(*w.Get(g1_small, "a"), "1");
+  EXPECT_EQ(*w.Get(g2, "z"), "2");
+}
+
+TEST(Integration, ClientsSeeNoLostWritesAcrossSplit) {
+  // Acknowledged writes before a split remain readable from the owning
+  // subcluster afterwards — across every key.
+  World w(TestWorldOptions(45));
+  auto c = w.CreateCluster(6);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 30; ++i) {
+    std::string key = (i % 2 == 0 ? "a" : "z") + std::to_string(i);
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(w.Put(c, key, value).ok());
+    expected[key] = value;
+  }
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+  ASSERT_TRUE(w.AdminSplit(c, {g1, g2}, {"m"}).ok());
+  ASSERT_TRUE(w.WaitForLeader(g1));
+  ASSERT_TRUE(w.WaitForLeader(g2));
+  for (const auto& [key, value] : expected) {
+    const auto& owner = key < "m" ? g1 : g2;
+    auto got = w.Get(owner, key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+}
+
+TEST(Integration, MergeAfterIndependentEvolution) {
+  // Subclusters diverge substantially after the split (different lengths,
+  // compactions), then merge cleanly.
+  auto opts = TestWorldOptions(46);
+  opts.node.snapshot_threshold = 15;
+  World w(opts);
+  auto c = w.CreateCluster(6);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+  ASSERT_TRUE(w.AdminSplit(c, {g1, g2}, {"m"}).ok());
+  ASSERT_TRUE(w.WaitForLeader(g1));
+  ASSERT_TRUE(w.WaitForLeader(g2));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(w.Put(g1, "a" + std::to_string(i), "L" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(w.Put(g2, "z" + std::to_string(i), "R" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(w.AdminMerge({g1, g2}, {}, 60 * kSecond).ok());
+  std::vector<NodeId> all = c;
+  std::sort(all.begin(), all.end());
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId id : all) {
+          if (w.node(id).config().members != all ||
+              w.node(id).merge_exchange_pending()) {
+            return false;
+          }
+        }
+        return w.LeaderOf(all) != kNoNode;
+      },
+      60 * kSecond));
+  EXPECT_EQ(*w.Get(all, "a39"), "L39");
+  EXPECT_EQ(*w.Get(all, "z4"), "R4");
+  // Merged store has exactly the union.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() { return w.node(w.LeaderOf(all)).store().size() == 45; },
+      10 * kSecond));
+}
+
+}  // namespace
+}  // namespace recraft::test

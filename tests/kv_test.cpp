@@ -1,0 +1,175 @@
+// Unit tests for the KV state machine: operations, range enforcement,
+// session dedup, snapshots (serialize / restore / sub-range / merge).
+#include <gtest/gtest.h>
+
+#include "kv/kv.h"
+
+namespace recraft::kv {
+namespace {
+
+Command Put(std::string k, std::string v, uint64_t client = 0,
+            uint64_t seq = 0) {
+  Command c;
+  c.op = OpType::kPut;
+  c.key = std::move(k);
+  c.value = std::move(v);
+  c.client_id = client;
+  c.seq = seq;
+  return c;
+}
+
+Command Get(std::string k) {
+  Command c;
+  c.op = OpType::kGet;
+  c.key = std::move(k);
+  return c;
+}
+
+Command Del(std::string k) {
+  Command c;
+  c.op = OpType::kDelete;
+  c.key = std::move(k);
+  return c;
+}
+
+TEST(KvStore, PutGetDelete) {
+  Store s;
+  EXPECT_TRUE(s.Apply(Put("a", "1")).status.ok());
+  EXPECT_EQ(s.Apply(Get("a")).value, "1");
+  EXPECT_TRUE(s.Apply(Del("a")).status.ok());
+  EXPECT_EQ(s.Apply(Get("a")).status.code(), Code::kNotFound);
+  EXPECT_EQ(s.Apply(Del("a")).status.code(), Code::kNotFound);
+}
+
+TEST(KvStore, RangeEnforced) {
+  Store s(KeyRange("b", "m"));
+  EXPECT_TRUE(s.Apply(Put("c", "1")).status.ok());
+  EXPECT_EQ(s.Apply(Put("z", "1")).status.code(), Code::kOutOfRange);
+  EXPECT_EQ(s.Apply(Get("z")).status.code(), Code::kOutOfRange);
+}
+
+TEST(KvStore, SessionDedupReturnsRecordedResult) {
+  Store s;
+  EXPECT_TRUE(s.Apply(Put("k", "v1", 9, 1)).status.ok());
+  // Retry of seq 1 with different payload: no effect, original result.
+  auto res = s.Apply(Put("k", "v2", 9, 1));
+  EXPECT_TRUE(res.status.ok());
+  EXPECT_EQ(s.Apply(Get("k")).value, "v1");
+  // Newer seq applies.
+  EXPECT_TRUE(s.Apply(Put("k", "v3", 9, 2)).status.ok());
+  EXPECT_EQ(s.Apply(Get("k")).value, "v3");
+}
+
+TEST(KvStore, SessionsAreIndependent) {
+  Store s;
+  EXPECT_TRUE(s.Apply(Put("k", "a", 1, 5)).status.ok());
+  EXPECT_TRUE(s.Apply(Put("k", "b", 2, 5)).status.ok());
+  EXPECT_EQ(s.Apply(Get("k")).value, "b");
+}
+
+TEST(KvStore, ApproxBytesTracksContent) {
+  Store s;
+  size_t empty = s.ApproxBytes();
+  (void)s.Apply(Put("key", std::string(1000, 'x')));
+  EXPECT_GT(s.ApproxBytes(), empty + 1000);
+  (void)s.Apply(Del("key"));
+  EXPECT_EQ(s.ApproxBytes(), empty);
+}
+
+TEST(KvSnapshot, RoundTripThroughBytes) {
+  Store s(KeyRange("a", "n"));
+  (void)s.Apply(Put("b", "1", 7, 3));
+  (void)s.Apply(Put("c", "2"));
+  auto snap = s.TakeSnapshot();
+  auto bytes = snap->Serialize();
+  EXPECT_EQ(bytes.size(), snap->Serialize().size());
+  auto back = Snapshot::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->data, snap->data);
+  EXPECT_EQ(back->range, snap->range);
+  ASSERT_EQ(back->sessions.count(7), 1u);
+  EXPECT_EQ(back->sessions.at(7).last_seq, 3u);
+}
+
+TEST(KvSnapshot, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> garbage{1, 2, 3};
+  EXPECT_FALSE(Snapshot::Deserialize(garbage).ok());
+}
+
+TEST(KvSnapshot, SubRangeSnapshot) {
+  Store s;
+  (void)s.Apply(Put("a", "1"));
+  (void)s.Apply(Put("h", "2"));
+  (void)s.Apply(Put("q", "3"));
+  auto sub = s.TakeSnapshot(KeyRange("h", "p"));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ((*sub)->data.size(), 1u);
+  EXPECT_EQ((*sub)->data.at("h"), "2");
+  // Requesting outside the store's range fails.
+  Store narrow(KeyRange("a", "b"));
+  EXPECT_FALSE(narrow.TakeSnapshot(KeyRange("c", "d")).ok());
+}
+
+TEST(KvStore, RestoreReplacesEverything) {
+  Store a;
+  (void)a.Apply(Put("x", "1", 5, 2));
+  auto snap = a.TakeSnapshot();
+  Store b;
+  (void)b.Apply(Put("y", "2"));
+  b.Restore(*snap);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(*b.Get("x"), "1");
+  EXPECT_FALSE(b.Get("y").ok());
+  // Sessions restored: seq 2 deduped.
+  auto res = b.Apply(Put("x", "overwrite", 5, 2));
+  EXPECT_EQ(*b.Get("x"), "1");
+  (void)res;
+}
+
+TEST(KvStore, RestrictRangeDropsOutsideKeys) {
+  Store s;
+  (void)s.Apply(Put("a", "1"));
+  (void)s.Apply(Put("m", "2"));
+  ASSERT_TRUE(s.RestrictRange(KeyRange("", "m")).ok());
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Get("a").ok());
+  EXPECT_EQ(s.Apply(Put("z", "3")).status.code(), Code::kOutOfRange);
+  // Cannot "restrict" to a non-subrange.
+  EXPECT_FALSE(s.RestrictRange(KeyRange("", "z")).ok());
+}
+
+TEST(KvStore, MergeInAdjacentSnapshot) {
+  Store left(KeyRange("", "m"));
+  (void)left.Apply(Put("a", "1", 3, 1));
+  Store right(KeyRange("m", ""));
+  (void)right.Apply(Put("q", "2", 3, 4));
+  auto snap = right.TakeSnapshot();
+  ASSERT_TRUE(left.MergeIn(*snap).ok());
+  EXPECT_EQ(left.range(), KeyRange::Full());
+  EXPECT_EQ(*left.Get("a"), "1");
+  EXPECT_EQ(*left.Get("q"), "2");
+  // Sessions union keeps the larger seq.
+  auto res = left.Apply(Put("b", "dup", 3, 4));
+  EXPECT_FALSE(left.Get("b").ok());
+  (void)res;
+}
+
+TEST(KvStore, MergeInRejectsOverlapAndGap) {
+  Store left(KeyRange("", "m"));
+  Store overlapping(KeyRange("l", ""));
+  EXPECT_FALSE(left.MergeIn(*overlapping.TakeSnapshot()).ok());
+  Store gap(KeyRange("n", ""));
+  EXPECT_FALSE(left.MergeIn(*gap.TakeSnapshot()).ok());
+}
+
+TEST(KvSnapshot, SerializedBytesScalesWithContent) {
+  Store s;
+  auto empty_bytes = s.TakeSnapshot()->SerializedBytes();
+  for (int i = 0; i < 100; ++i) {
+    (void)s.Apply(Put("key" + std::to_string(i), std::string(100, 'v')));
+  }
+  EXPECT_GT(s.TakeSnapshot()->SerializedBytes(), empty_bytes + 100 * 100);
+}
+
+}  // namespace
+}  // namespace recraft::kv

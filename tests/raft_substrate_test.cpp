@@ -1,0 +1,286 @@
+// Unit tests for the Raft substrate: the log, quorum specifications, the
+// configuration transition function and the config tracker.
+#include <gtest/gtest.h>
+
+#include "raft/config.h"
+#include "raft/config_tracker.h"
+#include "raft/log.h"
+
+namespace recraft::raft {
+namespace {
+
+LogEntry Entry(Index i, uint64_t term) {
+  LogEntry e;
+  e.index = i;
+  e.term = term;
+  e.payload = NoOp{};
+  return e;
+}
+
+TEST(RaftLog, AppendAndQuery) {
+  RaftLog log;
+  EXPECT_EQ(log.last_index(), 0u);
+  log.Append(Entry(1, 1));
+  log.Append(Entry(2, 1));
+  log.Append(Entry(3, 2));
+  EXPECT_EQ(log.last_index(), 3u);
+  EXPECT_EQ(log.last_term(), 2u);
+  EXPECT_EQ(log.TermAt(2), 1u);
+  EXPECT_TRUE(log.Matches(2, 1));
+  EXPECT_FALSE(log.Matches(2, 2));
+  EXPECT_TRUE(log.Matches(0, 0));
+  EXPECT_FALSE(log.Matches(9, 1));
+}
+
+TEST(RaftLog, TruncateFrom) {
+  RaftLog log;
+  for (Index i = 1; i <= 5; ++i) log.Append(Entry(i, 1));
+  log.TruncateFrom(3);
+  EXPECT_EQ(log.last_index(), 2u);
+  log.Append(Entry(3, 2));
+  EXPECT_EQ(log.TermAt(3), 2u);
+  log.TruncateFrom(10);  // no-op
+  EXPECT_EQ(log.last_index(), 3u);
+}
+
+TEST(RaftLog, CompactKeepsBaseTerm) {
+  RaftLog log;
+  for (Index i = 1; i <= 10; ++i) log.Append(Entry(i, (i + 1) / 2));
+  log.CompactTo(6, log.TermAt(6));
+  EXPECT_EQ(log.base_index(), 6u);
+  EXPECT_EQ(log.first_index(), 7u);
+  EXPECT_EQ(log.TermAt(6), 3u);        // base term still answerable
+  EXPECT_TRUE(log.Matches(6, 3));
+  EXPECT_EQ(log.TermAt(3), 0u);        // compacted away
+  EXPECT_TRUE(log.Matches(3, 99));     // below base: implied committed
+  EXPECT_EQ(log.last_index(), 10u);
+}
+
+TEST(RaftLog, SliceClampsToAvailable) {
+  RaftLog log;
+  for (Index i = 1; i <= 10; ++i) log.Append(Entry(i, 1));
+  log.CompactTo(4, 1);
+  auto s = log.Slice(1, 7);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.front().index, 5u);
+  EXPECT_EQ(s.back().index, 7u);
+  EXPECT_TRUE(log.Slice(11, 20).empty());
+}
+
+TEST(RaftLog, ResetStartsFresh) {
+  RaftLog log;
+  for (Index i = 1; i <= 5; ++i) log.Append(Entry(i, 3));
+  log.Reset(0, 0);
+  EXPECT_EQ(log.last_index(), 0u);
+  log.Append(Entry(1, EpochTerm::Make(2, 0).raw()));
+  EXPECT_EQ(log.last_index(), 1u);
+}
+
+TEST(QuorumSpec, MajoritySatisfaction) {
+  auto q = QuorumSpec::Majority({1, 2, 3, 4, 5});
+  EXPECT_FALSE(q.Satisfied({1, 2}));
+  EXPECT_TRUE(q.Satisfied({1, 2, 3}));
+  EXPECT_TRUE(q.Satisfied({1, 2, 3, 9}));  // strangers do not hurt
+  EXPECT_EQ(q.MinSatisfyingVotes(), 3u);
+  EXPECT_TRUE(q.Contains(5));
+  EXPECT_FALSE(q.Contains(9));
+}
+
+TEST(QuorumSpec, FixedQuorum) {
+  auto q = QuorumSpec::Fixed({1, 2, 3, 4, 5}, 4);
+  EXPECT_FALSE(q.Satisfied({1, 2, 3}));
+  EXPECT_TRUE(q.Satisfied({1, 2, 3, 4}));
+  EXPECT_EQ(q.MinSatisfyingVotes(), 4u);
+}
+
+TEST(QuorumSpec, JointSubsNeedsEveryMajority) {
+  std::vector<SubCluster> subs(2);
+  subs[0].members = {1, 2, 3};
+  subs[1].members = {4, 5, 6};
+  auto q = QuorumSpec::JointSubs(subs);
+  EXPECT_FALSE(q.Satisfied({1, 2, 3}));       // only one subcluster
+  EXPECT_FALSE(q.Satisfied({1, 2, 4}));       // second lacks majority
+  EXPECT_TRUE(q.Satisfied({1, 2, 4, 5}));
+  EXPECT_EQ(q.MinSatisfyingVotes(), 4u);
+}
+
+TEST(QuorumSpec, JointOldNewCountsSharedOnce) {
+  // Figure 1b: C_old = {1,2}, C_new = {1,2,3,4,5}. Best case: shared nodes
+  // vote first -> 3 votes suffice.
+  auto q = QuorumSpec::JointOldNew({1, 2}, {1, 2, 3, 4, 5});
+  EXPECT_TRUE(q.Satisfied({1, 2, 3}));
+  EXPECT_FALSE(q.Satisfied({3, 4, 5}));      // C_old majority missing
+  EXPECT_FALSE(q.Satisfied({2, 3, 4, 5}));   // majority of {1,2} is both
+  EXPECT_TRUE(q.Satisfied({1, 2, 4, 5}));
+  EXPECT_EQ(q.MinSatisfyingVotes(), 3u);
+}
+
+ConfigState Genesis(std::vector<NodeId> members) {
+  ConfigState c;
+  c.members = std::move(members);
+  c.range = KeyRange::Full();
+  c.uid = 7;
+  return c;
+}
+
+LogEntry ConfEntry(Index i, Payload p) {
+  LogEntry e;
+  e.index = i;
+  e.term = 1;
+  e.payload = std::move(p);
+  return e;
+}
+
+TEST(ConfigTransition, AddAndResizeSetsFixedQuorum) {
+  auto next = ApplyConfEntry(
+      Genesis({1, 2}),
+      ConfEntry(5, ConfMember{MemberChange{MemberChangeKind::kAddAndResize,
+                                           {3, 4, 5}}}));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->members.size(), 5u);
+  EXPECT_EQ(next->fixed_quorum, 4u);  // Fig. 1c
+}
+
+TEST(ConfigTransition, SingleAddOftenSkipsResize) {
+  auto next = ApplyConfEntry(
+      Genesis({1, 2, 3}),
+      ConfEntry(5,
+                ConfMember{MemberChange{MemberChangeKind::kAddAndResize, {4}}}));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->fixed_quorum, 0u);  // Q_new-q == majority: no second step
+}
+
+TEST(ConfigTransition, RemoveCapEnforced) {
+  auto bad = ApplyConfEntry(
+      Genesis({1, 2, 3, 4, 5}),
+      ConfEntry(5, ConfMember{MemberChange{MemberChangeKind::kRemoveAndResize,
+                                           {3, 4, 5}}}));
+  EXPECT_FALSE(bad.ok());  // r = 3 = Q_old
+  auto good = ApplyConfEntry(
+      Genesis({1, 2, 3, 4, 5}),
+      ConfEntry(5, ConfMember{MemberChange{MemberChangeKind::kRemoveAndResize,
+                                           {4, 5}}}));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->members.size(), 3u);
+  EXPECT_EQ(good->fixed_quorum, 3u);  // N_old - Q_old + 1 = 3
+}
+
+TEST(ConfigTransition, SplitEntriesSetModes) {
+  SplitPlan plan;
+  plan.subs.resize(2);
+  plan.subs[0].members = {1, 2};
+  plan.subs[1].members = {3, 4};
+  auto joint = ApplyConfEntry(Genesis({1, 2, 3, 4}),
+                              ConfEntry(5, ConfSplitJoint{plan}));
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->mode, ConfigMode::kSplitJoint);
+  EXPECT_EQ(joint->joint_index, 5u);
+  auto leaving = ApplyConfEntry(*joint, ConfEntry(6, ConfSplitNew{plan}));
+  ASSERT_TRUE(leaving.ok());
+  EXPECT_EQ(leaving->mode, ConfigMode::kSplitLeaving);
+  EXPECT_EQ(leaving->cnew_index, 6u);
+  // Members unchanged until completion (C_old keeps replicating).
+  EXPECT_EQ(leaving->members.size(), 4u);
+}
+
+TEST(ConfigTransition, MergeEntriesTracked) {
+  MergePlan plan;
+  plan.tx = 42;
+  plan.sources.resize(2);
+  plan.sources[0].members = {1, 2};
+  plan.sources[1].members = {3, 4};
+  auto with_tx = ApplyConfEntry(Genesis({1, 2}),
+                                ConfEntry(5, ConfMergeTx{plan, true}));
+  ASSERT_TRUE(with_tx.ok());
+  ASSERT_TRUE(with_tx->merge_tx.has_value());
+  EXPECT_TRUE(with_tx->merge_decision_ok);
+  EXPECT_TRUE(with_tx->ReconfigPending());
+  auto with_outcome =
+      ApplyConfEntry(*with_tx, ConfEntry(6, ConfMergeOutcome{plan, true}));
+  ASSERT_TRUE(with_outcome.ok());
+  EXPECT_EQ(with_outcome->merge_outcome_index, 6u);
+  // Membership unchanged at append time (§III-C: applies on commit).
+  EXPECT_EQ(with_outcome->members.size(), 2u);
+}
+
+TEST(ConfigTracker, TruncationRollsBack) {
+  ConfigTracker t;
+  t.Init(Genesis({1, 2, 3}));
+  t.OnAppend(ConfEntry(
+      4, ConfMember{MemberChange{MemberChangeKind::kAddServer, {4}}}));
+  EXPECT_EQ(t.Current().members.size(), 4u);
+  t.OnTruncate(4);
+  EXPECT_EQ(t.Current().members.size(), 3u);
+}
+
+TEST(ConfigTracker, StateAtOrBefore) {
+  ConfigTracker t;
+  t.Init(Genesis({1, 2, 3}));
+  t.OnAppend(ConfEntry(
+      10, ConfMember{MemberChange{MemberChangeKind::kAddServer, {4}}}));
+  EXPECT_EQ(t.StateAtOrBefore(9).members.size(), 3u);
+  EXPECT_EQ(t.StateAtOrBefore(10).members.size(), 4u);
+  EXPECT_EQ(t.StateAtOrBefore(999).members.size(), 4u);
+}
+
+TEST(ElectionQuorumFn, FollowsMode) {
+  auto cfg = Genesis({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(ElectionQuorum(cfg).MinSatisfyingVotes(), 4u);
+  SplitPlan plan;
+  plan.subs.resize(2);
+  plan.subs[0].members = {1, 2, 3};
+  plan.subs[1].members = {4, 5, 6};
+  auto joint = ApplyConfEntry(cfg, ConfEntry(5, ConfSplitJoint{plan}));
+  ASSERT_TRUE(joint.ok());
+  // Joint over subclusters: 2 + 2.
+  EXPECT_EQ(ElectionQuorum(*joint).MinSatisfyingVotes(), 4u);
+  EXPECT_FALSE(ElectionQuorum(*joint).Satisfied({1, 2, 3, 4}));
+  EXPECT_TRUE(ElectionQuorum(*joint).Satisfied({1, 2, 4, 5}));
+}
+
+TEST(CommitQuorumFn, SplitLeavingMixesQuorums) {
+  auto cfg = Genesis({1, 2, 3, 4, 5, 6});
+  SplitPlan plan;
+  plan.subs.resize(2);
+  plan.subs[0].members = {1, 2, 3};
+  plan.subs[1].members = {4, 5, 6};
+  auto joint = ApplyConfEntry(cfg, ConfEntry(5, ConfSplitJoint{plan}));
+  ASSERT_TRUE(joint.ok());
+  // Joint mode commits with C_old's majority (4 of 6).
+  EXPECT_TRUE(CommitQuorum(*joint, 6, 1).Satisfied({1, 2, 4, 5}));
+  EXPECT_FALSE(CommitQuorum(*joint, 6, 1).Satisfied({1, 2, 3}));
+  auto leaving = ApplyConfEntry(*joint, ConfEntry(8, ConfSplitNew{plan}));
+  ASSERT_TRUE(leaving.ok());
+  // Entries up to C_new commit by constituent consensus: a majority of ANY
+  // one subcluster suffices (Definition 5).
+  EXPECT_TRUE(CommitQuorum(*leaving, 8, 1).Satisfied({1, 2}));
+  EXPECT_TRUE(CommitQuorum(*leaving, 8, 1).Satisfied({4, 5, 6}));
+  EXPECT_TRUE(CommitQuorum(*leaving, 7, 1).Satisfied({5, 6}));
+  EXPECT_FALSE(CommitQuorum(*leaving, 8, 1).Satisfied({1, 4}));
+  // Entries after C_new: the proposing leader's own subcluster's majority.
+  EXPECT_TRUE(CommitQuorum(*leaving, 9, 1).Satisfied({1, 2}));
+  EXPECT_FALSE(CommitQuorum(*leaving, 9, 1).Satisfied({1, 4, 5, 6}));
+  EXPECT_TRUE(CommitQuorum(*leaving, 9, 4).Satisfied({4, 5}));
+}
+
+TEST(QuorumSpec, AnySubConstituentConsensus) {
+  std::vector<SubCluster> subs(2);
+  subs[0].members = {1, 2, 3};
+  subs[1].members = {4, 5, 6};
+  auto q = QuorumSpec::AnySub(subs);
+  EXPECT_TRUE(q.Satisfied({1, 2}));
+  EXPECT_TRUE(q.Satisfied({5, 6}));
+  EXPECT_FALSE(q.Satisfied({1, 4}));  // no single-sub majority
+  EXPECT_FALSE(q.Satisfied({}));
+  EXPECT_EQ(q.MinSatisfyingVotes(), 2u);
+}
+
+TEST(DeriveUids, DeterministicAndDistinct) {
+  EXPECT_EQ(DeriveSplitUid(7, 1, 0), DeriveSplitUid(7, 1, 0));
+  EXPECT_NE(DeriveSplitUid(7, 1, 0), DeriveSplitUid(7, 1, 1));
+  EXPECT_NE(DeriveSplitUid(7, 1, 0), DeriveSplitUid(7, 2, 0));
+  EXPECT_NE(DeriveMergeUid(1), DeriveMergeUid(2));
+}
+
+}  // namespace
+}  // namespace recraft::raft

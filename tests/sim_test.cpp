@@ -1,0 +1,229 @@
+// Unit tests for the discrete-event simulator: event ordering, cancellation,
+// predicates, network latency/bandwidth, drops, partitions and crashes.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace recraft::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&]() { order.push_back(3); });
+  q.Schedule(10, [&]() { order.push_back(1); });
+  q.Schedule(20, [&]() { order.push_back(2); });
+  q.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, FifoAtSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(10, [&order, i]() { order.push_back(i); });
+  }
+  q.RunUntil(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(10, [&]() { ran = true; });
+  q.Cancel(id);
+  q.RunUntil(100);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledEventsDoNotBlockDeadline) {
+  EventQueue q;
+  bool late_ran = false;
+  EventId id = q.Schedule(10, []() {});
+  q.Schedule(200, [&]() { late_ran = true; });
+  q.Cancel(id);
+  q.RunUntil(100);
+  EXPECT_FALSE(late_ran);  // must not run the 200us event early
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recur = [&]() {
+    if (++depth < 5) q.Schedule(10, recur);
+  };
+  q.Schedule(10, recur);
+  q.RunUntil(1000);
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventQueue, RunUntilPredStopsEarly) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(10 * (i + 1), [&]() { ++count; });
+  }
+  bool hit = q.RunUntilPred([&]() { return count == 3; }, 1000);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, RunUntilPredTimesOut) {
+  EventQueue q;
+  bool hit = q.RunUntilPred([]() { return false; }, 500);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(q.now(), 500u);
+}
+
+struct NetFixture {
+  NetFixture(NetworkOptions opts = {}) : net(events, opts, Rng(1)) {
+    for (NodeId n = 1; n <= 4; ++n) {
+      net.Register(n, [this, n](NodeId from, std::shared_ptr<const void> p,
+                                size_t bytes) {
+        delivered.push_back({from, n, bytes, events.now()});
+        (void)p;
+      });
+    }
+  }
+  void Send(NodeId from, NodeId to, size_t bytes = 100) {
+    net.Send(from, to, std::make_shared<int>(0), bytes);
+  }
+  struct Delivery {
+    NodeId from, to;
+    size_t bytes;
+    TimePoint at;
+  };
+  EventQueue events;
+  Network net;
+  std::vector<Delivery> delivered;
+};
+
+TEST(Network, DeliversWithLatency) {
+  NetworkOptions o;
+  o.base_latency = 500;
+  o.jitter = 0;
+  NetFixture f(o);
+  f.Send(1, 2);
+  f.events.RunUntil(kSecond);
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].at, 500u);
+}
+
+TEST(Network, BandwidthAddsTransferTime) {
+  NetworkOptions o;
+  o.base_latency = 100;
+  o.jitter = 0;
+  o.bandwidth_bytes_per_sec = 1000000;  // 1 MB/s
+  NetFixture f(o);
+  f.Send(1, 2, 1000000);  // 1 MB -> 1 s transfer
+  f.events.RunUntil(2 * kSecond);
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].at, 100u + kSecond);
+}
+
+TEST(Network, CrashDropsDeliveries) {
+  NetFixture f;
+  f.net.Crash(2);
+  f.Send(1, 2);
+  f.Send(2, 1);  // sender crashed too
+  f.events.RunUntil(kSecond);
+  EXPECT_TRUE(f.delivered.empty());
+  f.net.Restart(2);
+  f.Send(1, 2);
+  f.events.RunUntil(2 * kSecond);
+  EXPECT_EQ(f.delivered.size(), 1u);
+}
+
+TEST(Network, CrashMidFlightDropsAtDelivery) {
+  NetworkOptions o;
+  o.base_latency = 500;
+  o.jitter = 0;
+  NetFixture f(o);
+  f.Send(1, 2);
+  f.events.RunUntil(100);  // in flight
+  f.net.Crash(2);
+  f.events.RunUntil(kSecond);
+  EXPECT_TRUE(f.delivered.empty());
+}
+
+TEST(Network, PartitionBlocksAcrossGroups) {
+  NetFixture f;
+  f.net.SetPartitions({{1, 2}, {3, 4}});
+  f.Send(1, 3);
+  f.Send(1, 2);
+  f.Send(3, 4);
+  f.events.RunUntil(kSecond);
+  ASSERT_EQ(f.delivered.size(), 2u);
+  f.net.ClearPartitions();
+  f.Send(1, 3);
+  f.events.RunUntil(2 * kSecond);
+  EXPECT_EQ(f.delivered.size(), 3u);
+}
+
+TEST(Network, UnlistedNodesBypassPartition) {
+  NetFixture f;
+  f.net.SetPartitions({{1}, {2}});
+  f.Send(3, 1);  // 3 is unlisted: reaches everyone
+  f.Send(3, 2);
+  f.Send(1, 2);  // blocked
+  f.events.RunUntil(kSecond);
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
+TEST(Network, PairwiseBlock) {
+  NetFixture f;
+  f.net.Block(1, 2);
+  f.Send(1, 2);
+  f.Send(2, 1);
+  f.Send(1, 3);
+  f.events.RunUntil(kSecond);
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].to, 3u);
+  f.net.Unblock(1, 2);
+  f.Send(1, 2);
+  f.events.RunUntil(2 * kSecond);
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
+TEST(Network, DropProbabilityLosesSomeMessages) {
+  NetworkOptions o;
+  o.drop_probability = 0.5;
+  NetFixture f(o);
+  for (int i = 0; i < 200; ++i) f.Send(1, 2);
+  f.events.RunUntil(kSecond);
+  EXPECT_GT(f.delivered.size(), 50u);
+  EXPECT_LT(f.delivered.size(), 150u);
+}
+
+TEST(Network, LinkLatencyOverride) {
+  NetworkOptions o;
+  o.base_latency = 500;
+  o.jitter = 0;
+  NetFixture f(o);
+  f.net.SetLinkLatency(1, 2, 5000);
+  f.Send(1, 2);
+  f.Send(1, 3);
+  f.events.RunUntil(kSecond);
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_EQ(f.delivered[0].to, 3u);
+  EXPECT_EQ(f.delivered[0].at, 500u);
+  EXPECT_EQ(f.delivered[1].at, 5000u);
+}
+
+TEST(Network, CountersTrackTraffic) {
+  NetFixture f;
+  f.Send(1, 2);
+  f.net.Crash(3);
+  f.Send(1, 3);
+  f.events.RunUntil(kSecond);
+  EXPECT_EQ(f.net.counters().Get("net.sent"), 2u);
+  EXPECT_EQ(f.net.counters().Get("net.delivered"), 1u);
+  EXPECT_EQ(f.net.counters().Get("net.dropped.dst_crashed"), 1u);
+}
+
+}  // namespace
+}  // namespace recraft::sim

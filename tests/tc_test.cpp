@@ -1,0 +1,158 @@
+// TC baseline (TiKV/CockroachDB emulation, §VII-B/C): correctness of the
+// CM-driven split and merge, timing breakdown sanity, CM as a single point
+// of failure, and the replicated-CM standby takeover.
+#include "tc/cluster_manager.h"
+#include "tests/test_util.h"
+
+namespace recraft::test {
+namespace {
+
+using tc::ClusterManager;
+using tc::CmPhase;
+using tc::MergeOp;
+using tc::RunTcMerge;
+using tc::RunTcSplit;
+using tc::SplitOp;
+
+constexpr NodeId kCmId = 800;
+constexpr NodeId kCmStandbyId = 801;
+
+struct TcFixture {
+  explicit TcFixture(uint64_t seed, size_t n = 6,
+                     uint64_t bandwidth = 1ULL << 30)
+      : w([&] {
+          auto o = TestWorldOptions(seed);
+          o.net.bandwidth_bytes_per_sec = bandwidth;
+          return o;
+        }()) {
+    cluster = w.CreateCluster(n);
+    EXPECT_TRUE(w.WaitForLeader(cluster));
+    EXPECT_TRUE(w.Put(cluster, "a1", "va1").ok());
+    EXPECT_TRUE(w.Put(cluster, "m1", "vm1").ok());
+  }
+  SplitOp TwoWaySplit() {
+    SplitOp op;
+    op.source_members = cluster;
+    op.groups = {{cluster[0], cluster[1], cluster[2]},
+                 {cluster[3], cluster[4], cluster[5]}};
+    auto ranges = KeyRange::Full().SplitAt({"m"});
+    op.ranges = *ranges;
+    return op;
+  }
+  World w;
+  std::vector<NodeId> cluster;
+};
+
+TEST(TcSplit, ProducesTwoServingClusters) {
+  TcFixture f(1);
+  auto timings = RunTcSplit(f.w, kCmId, f.TwoWaySplit());
+  ASSERT_TRUE(timings.ok()) << timings.status().ToString();
+  std::vector<NodeId> g1{f.cluster[0], f.cluster[1], f.cluster[2]};
+  std::vector<NodeId> g2{f.cluster[3], f.cluster[4], f.cluster[5]};
+  ASSERT_TRUE(f.w.WaitForLeader(g1));
+  ASSERT_TRUE(f.w.WaitForLeader(g2));
+  EXPECT_EQ(*f.w.Get(g1, "a1"), "va1");
+  EXPECT_EQ(*f.w.Get(g2, "m1"), "vm1");
+  // Source shrank its range.
+  EXPECT_EQ(f.w.Get(g1, "m1").status().code(), Code::kOutOfRange);
+  // Both sides accept new writes.
+  EXPECT_TRUE(f.w.Put(g1, "a9", "x").ok());
+  EXPECT_TRUE(f.w.Put(g2, "z9", "y").ok());
+}
+
+TEST(TcSplit, TimingDominatedByMigrationForLargeData) {
+  // A bandwidth-limited network (16 MB/s) so data migration dominates, as
+  // on the paper's Ceph-backed cloud volumes.
+  constexpr uint64_t kBw = 16ULL << 20;
+  TcFixture small(2, 6, kBw);
+  ASSERT_TRUE(small.w.Preload(small.cluster, 100, 512).ok());
+  auto t_small = RunTcSplit(small.w, kCmId, small.TwoWaySplit());
+  ASSERT_TRUE(t_small.ok());
+
+  TcFixture big(3, 6, kBw);
+  ASSERT_TRUE(big.w.Preload(big.cluster, 5000, 512).ok());
+  auto t_big = RunTcSplit(big.w, kCmId, big.TwoWaySplit());
+  ASSERT_TRUE(t_big.ok());
+  // Snapshot phase grows with data; remove phase does not (Fig. 7b shape).
+  EXPECT_GT(t_big->snapshot + t_big->restart,
+            t_small->snapshot + t_small->restart);
+  EXPECT_LT(t_big->remove, 2 * t_small->remove + 500 * kMillisecond);
+}
+
+TEST(TcMerge, ProducesOneServingCluster) {
+  // First split via TC, then merge back via TC.
+  TcFixture f(4);
+  ASSERT_TRUE(RunTcSplit(f.w, kCmId, f.TwoWaySplit()).ok());
+  std::vector<NodeId> g1{f.cluster[0], f.cluster[1], f.cluster[2]};
+  std::vector<NodeId> g2{f.cluster[3], f.cluster[4], f.cluster[5]};
+  ASSERT_TRUE(f.w.WaitForLeader(g1));
+  ASSERT_TRUE(f.w.WaitForLeader(g2));
+  MergeOp op;
+  op.clusters = {g1, g2};
+  op.ranges = *KeyRange::Full().SplitAt({"m"});
+  auto timings = RunTcMerge(f.w, kCmId, op);
+  ASSERT_TRUE(timings.ok()) << timings.status().ToString();
+  // The survivor serves the whole range with all six nodes (allow the last
+  // membership entry to finish replicating).
+  ASSERT_TRUE(f.w.RunUntil(
+      [&]() { return f.w.ConfigOf(g1).members.size() == 6; }, 5 * kSecond));
+  EXPECT_EQ(f.w.ConfigOf(g1).range, KeyRange::Full());
+  EXPECT_EQ(*f.w.Get(g1, "a1"), "va1");
+  EXPECT_EQ(*f.w.Get(g1, "m1"), "vm1");
+  EXPECT_TRUE(f.w.Put(g1, "zz", "post-merge").ok());
+}
+
+TEST(TcSplit, CmCrashStallsOperation) {
+  // Table I: failing the non-replicated CM stops the split entirely.
+  TcFixture f(5);
+  ClusterManager cm(f.w, kCmId);
+  cm.StartSplit(f.TwoWaySplit());
+  // StartSplit enters the remove phase synchronously; kill the CM before a
+  // single removal can complete (round trips take ~ms of simulated time).
+  ASSERT_EQ(cm.phase(), CmPhase::kRemoving);
+  f.w.Crash(kCmId);
+  f.w.RunFor(10 * kSecond);
+  EXPECT_FALSE(cm.done());
+  // The split-out group never starts serving its own range: no node of g2
+  // ever becomes a member of the new ["m", +inf) cluster.
+  KeyRange split_off("m", "");
+  for (NodeId id : {f.cluster[3], f.cluster[4], f.cluster[5]}) {
+    EXPECT_FALSE(f.w.node(id).config().range == split_off) << "node " << id;
+  }
+}
+
+TEST(TcSplit, StandbyCmTakesOver) {
+  // Table I CM-repl: a standby resumes the operation when the primary dies.
+  TcFixture f(6);
+  ClusterManager primary(f.w, kCmId);
+  ClusterManager standby(f.w, kCmStandbyId);
+  standby.MonitorAsStandby(kCmId);
+  standby.StartSplit(f.TwoWaySplit());  // stored, not executed
+  primary.StartSplit(f.TwoWaySplit());
+  ASSERT_TRUE(f.w.RunUntil(
+      [&]() { return primary.phase() == CmPhase::kSnapshotting ||
+                     primary.done(); },
+      10 * kSecond));
+  f.w.Crash(kCmId);
+  ASSERT_TRUE(f.w.RunUntil([&]() { return standby.done(); }, 60 * kSecond))
+      << "standby stuck in " << tc::CmPhaseName(standby.phase());
+  std::vector<NodeId> g1{f.cluster[0], f.cluster[1], f.cluster[2]};
+  std::vector<NodeId> g2{f.cluster[3], f.cluster[4], f.cluster[5]};
+  ASSERT_TRUE(f.w.WaitForLeader(g1));
+  ASSERT_TRUE(f.w.WaitForLeader(g2));
+  EXPECT_EQ(*f.w.Get(g2, "m1"), "vm1");
+}
+
+TEST(TcSplit, TimingBreakdownIsPopulated) {
+  TcFixture f(7);
+  ASSERT_TRUE(f.w.Preload(f.cluster, 500, 512).ok());
+  auto t = RunTcSplit(f.w, kCmId, f.TwoWaySplit());
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(t->remove, 0u);
+  EXPECT_GT(t->snapshot, 0u);
+  EXPECT_GE(t->restart, 200 * kMillisecond);  // the configured restart delay
+  EXPECT_GT(t->total, t->remove);
+}
+
+}  // namespace
+}  // namespace recraft::test
