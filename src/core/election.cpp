@@ -141,7 +141,7 @@ void Node::BecomeLeader() {
   role_ = Role::kLeader;
   leader_ = id_;
   votes_.clear();
-  progress_.clear();
+  ClearProgress();
   for (NodeId n : ReplicationTargets()) {
     if (n == id_) continue;
     Progress p;

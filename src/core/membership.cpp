@@ -105,7 +105,13 @@ Status Node::StartMemberChange(const raft::MemberChange& mc) {
 
 void Node::OnMemberChangeCommitted(const raft::ConfMember& cm, Index index) {
   (void)index;
-  const auto& cfg = config_.Current();
+  // Copy, not reference: the wait-free chaining below (auto ResizeQuorum /
+  // JointLeave) re-enters Propose -> config_.OnAppend, and on a single-node
+  // quorum the chained entry commits and applies synchronously — paths that
+  // mutate the tracker while a `const auto&` here would still be live (the
+  // second use-after-free of the reconfig-reentrancy family). The decisions
+  // below are specified against the state as of *this* commit anyway.
+  const raft::ConfigState cfg = config_.Current();
   counters_.Add("member.committed");
 
   bool membership_changed = cm.change.kind != raft::MemberChangeKind::kResizeQuorum &&
@@ -121,6 +127,11 @@ void Node::OnMemberChangeCommitted(const raft::ConfMember& cm, Index index) {
   }
 
   if (role_ != Role::kLeader) return;
+
+  // Stop replicating to peers this change removed. Runs inside the apply
+  // path, where (by the progress_ discipline in replication.cpp) no caller
+  // holds a Progress reference, so the erase cannot dangle anything.
+  PruneProgress();
 
   // Wait-free chaining of the second consensus step.
   if (opts_.auto_resize_quorum && cfg.fixed_quorum > 0 &&

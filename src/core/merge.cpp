@@ -21,6 +21,27 @@ KeyRange MergedRange(const raft::MergePlan& plan) {
   auto merged = KeyRange::MergeAdjacent(parts);
   return merged.ok() ? *merged : KeyRange::Empty();
 }
+
+/// Initial per-source contact map: the first member of every non-coordinator
+/// source (rotated later by MergeTick / leader hints).
+std::map<int, NodeId> DefaultContacts(const raft::MergePlan& plan) {
+  std::map<int, NodeId> contacts;
+  for (size_t j = 0; j < plan.sources.size(); ++j) {
+    if (static_cast<int>(j) == plan.coordinator) continue;
+    contacts[static_cast<int>(j)] = plan.sources[j].members.front();
+  }
+  return contacts;
+}
+
+raft::MergeCommitReq MakeCommitReq(NodeId from, const raft::MergePlan& plan,
+                                   bool commit) {
+  raft::MergeCommitReq req;
+  req.from = from;
+  req.tx = plan.tx;
+  req.commit = commit;
+  req.plan = plan;
+  return req;
+}
 }  // namespace
 
 Status Node::StartMerge(const raft::AdminMerge& req, uint64_t req_id,
@@ -76,19 +97,22 @@ Status Node::StartMerge(const raft::AdminMerge& req, uint64_t req_id,
   plan.new_range = merged;
 
   // MergePrepare (Fig. 4): commit the local OK decision to our own cluster,
-  // then fan the prepare out to the other clusters.
-  auto idx = Propose(raft::ConfMergeTx{plan, /*decision_ok=*/true});
-  if (!idx.ok()) return idx.status();
-
+  // then fan the prepare out to the other clusters. The runtime must be set
+  // up *before* proposing: a single-node coordinator cluster commits and
+  // applies CTX' synchronously inside Propose, and OnMergeTxApplied only
+  // records local_tx_applied if it finds the runtime already in kPreparing
+  // — set up afterwards, the 2PC would stall forever.
   merge_ = MergeRuntime{};
   merge_.phase = MergePhase::kPreparing;
   merge_.plan = plan;
   merge_.retry_countdown = opts_.merge_retry_ticks;
   merge_.admin_req_id = req_id;
   merge_.admin_client = client;
-  for (size_t j = 0; j < plan.sources.size(); ++j) {
-    if (static_cast<int>(j) == plan.coordinator) continue;
-    merge_.contact[static_cast<int>(j)] = plan.sources[j].members.front();
+  merge_.contact = DefaultContacts(plan);
+  auto idx = Propose(raft::ConfMergeTx{plan, /*decision_ok=*/true});
+  if (!idx.ok()) {
+    merge_ = MergeRuntime{};
+    return idx.status();
   }
   SendPrepares();
   counters_.Add("merge.started");
@@ -112,12 +136,8 @@ void Node::SendCommits() {
     int sj = static_cast<int>(j);
     if (sj == merge_.plan.coordinator) continue;
     if (merge_.commit_acks.count(sj) > 0) continue;
-    raft::MergeCommitReq req;
-    req.from = id_;
-    req.tx = merge_.plan.tx;
-    req.commit = merge_.outcome_is_commit;
-    req.plan = merge_.plan;
-    Send(merge_.contact[sj], std::move(req));
+    Send(merge_.contact[sj],
+         MakeCommitReq(id_, merge_.plan, merge_.outcome_is_commit));
   }
 }
 
@@ -317,6 +337,10 @@ void Node::HandleMergePrepareReply(NodeId from,
 }
 
 void Node::MaybeFinishPrepare() {
+  // Reentrancy note: ProposeMergeOutcome below can commit + apply the
+  // outcome synchronously and reset merge_ (which owns prepare_replies).
+  // The iteration over prepare_replies must therefore finish before that
+  // call — keep the loop and the proposal strictly sequential.
   if (merge_.phase != MergePhase::kPreparing || !merge_.local_tx_applied) {
     return;
   }
@@ -338,14 +362,30 @@ void Node::ProposeMergeOutcome(bool commit) {
   merge_.phase = MergePhase::kCommitting;
   merge_.outcome_is_commit = commit;
   merge_.retry_countdown = opts_.merge_retry_ticks;
-  auto idx = Propose(raft::ConfMergeOutcome{merge_.plan, commit});
+  // Keep local copies: on a single-node coordinator cluster Propose commits
+  // and applies the outcome synchronously, and OnMergeOutcomeApplied may
+  // reset merge_ (abort path) before we fan the decision out.
+  const raft::MergePlan plan = merge_.plan;
+  const std::map<int, NodeId> contacts = merge_.contact;
+  auto idx = Propose(raft::ConfMergeOutcome{plan, commit});
   if (!idx.ok()) {
     RLOG_ERROR("merge", "n%u failed to propose outcome: %s", id_,
                idx.status().ToString().c_str());
     return;
   }
   counters_.Add(commit ? "merge.outcome_commit" : "merge.outcome_abort");
-  SendCommits();
+  if (merge_.phase == MergePhase::kCommitting && merge_.plan.tx == plan.tx) {
+    SendCommits();
+    return;
+  }
+  // The synchronous apply already resolved the transaction locally and tore
+  // the runtime down (abort, or commit finished by collected acks). Tell
+  // the participants once from the captured state so recorded CTX' holders
+  // are not left waiting; MergeTick no longer retries for this tx.
+  for (const auto& [sj, contact] : contacts) {
+    (void)sj;
+    Send(contact, MakeCommitReq(id_, plan, commit));
+  }
 }
 
 void Node::HandleMergeCommitReply(NodeId from,
@@ -438,10 +478,7 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
         merge_.plan = plan;
         merge_.outcome_is_commit = true;
         merge_.retry_countdown = opts_.merge_retry_ticks;
-        for (size_t j = 0; j < plan.sources.size(); ++j) {
-          if (static_cast<int>(j) == plan.coordinator) continue;
-          merge_.contact[static_cast<int>(j)] = plan.sources[j].members.front();
-        }
+        merge_.contact = DefaultContacts(plan);
         SendCommits();
       }
       merge_.plan = plan;  // adopt the final plan (with new_epoch)
@@ -521,21 +558,13 @@ void Node::ResumeMergeAsLeader() {
     merge_.plan = *cfg.merge_outcome_plan;
     merge_.outcome_is_commit = cfg.merge_outcome_commit;
     merge_.outcome_applied_self = cfg.merge_outcome_index <= applied_;
-    for (size_t j = 0; j < merge_.plan.sources.size(); ++j) {
-      if (static_cast<int>(j) == merge_.plan.coordinator) continue;
-      merge_.contact[static_cast<int>(j)] =
-          merge_.plan.sources[j].members.front();
-    }
+    merge_.contact = DefaultContacts(merge_.plan);
     SendCommits();
   } else {
     merge_.phase = MergePhase::kPreparing;
     merge_.plan = *cfg.merge_tx;
     merge_.local_tx_applied = cfg.merge_tx_index <= applied_;
-    for (size_t j = 0; j < merge_.plan.sources.size(); ++j) {
-      if (static_cast<int>(j) == merge_.plan.coordinator) continue;
-      merge_.contact[static_cast<int>(j)] =
-          merge_.plan.sources[j].members.front();
-    }
+    merge_.contact = DefaultContacts(merge_.plan);
     SendPrepares();
   }
   counters_.Add("merge.resumed");
@@ -583,7 +612,7 @@ void Node::TransitionToMerged(const raft::MergePlan& plan) {
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();
-  progress_.clear();
+  ClearProgress();
   merge_ = MergeRuntime{};
   ResetElectionTimer();
   RegisterWithNaming();

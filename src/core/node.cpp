@@ -77,7 +77,7 @@ void Node::BecomeFollower(EpochTerm et, NodeId leader) {
   }
   role_ = Role::kFollower;
   votes_.clear();
-  progress_.clear();
+  ClearProgress();
   leader_ = leader;
 }
 
@@ -254,7 +254,7 @@ void Node::OnRestart() {
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();
-  progress_.clear();
+  ClearProgress();
   pending_.clear();
   deferred_requests_.clear();
   ResetElectionTimer();
@@ -395,6 +395,9 @@ void Node::ApplyEntry(const raft::LogEntry& e) {
 }
 
 void Node::FailPendingClients(Code code) {
+  // Safe to iterate while replying: ReplyToClient only enqueues on the
+  // network (the SendFn contract forbids synchronous re-entry), so nothing
+  // can mutate pending_ mid-loop.
   for (const auto& [idx, pc] : pending_) {
     ReplyToClient(pc.client, pc.req_id, Status(code), {});
   }
@@ -467,14 +470,22 @@ void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
     return;
   }
   if (const auto* split = std::get_if<raft::AdminSplit>(&m.body)) {
+    // Register the completion slot *before* starting: if the whole split
+    // ever commits and applies synchronously inside StartSplit,
+    // CompleteSplit must find the requester to answer (registering after
+    // would leave a stale slot that misfires on the next split).
+    const uint64_t prev_req_id = split_admin_req_id_;
+    const NodeId prev_client = split_admin_client_;
+    split_admin_req_id_ = m.req_id;
+    split_admin_client_ = from;
     Status s = StartSplit(*split);
-    // The split reply is sent on completion; failures reply immediately.
+    // The split reply is sent on completion; failures reply immediately —
+    // restoring the slot, so a rejected duplicate request cannot orphan an
+    // in-flight split's pending reply.
     if (!s.ok()) {
+      split_admin_req_id_ = prev_req_id;
+      split_admin_client_ = prev_client;
       ReplyToClient(from, m.req_id, s);
-    } else {
-      merge_.admin_req_id = 0;  // unrelated; splits reply via pending slot
-      split_admin_req_id_ = m.req_id;
-      split_admin_client_ = from;
     }
     return;
   }
@@ -555,7 +566,7 @@ void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();
-  progress_.clear();
+  ClearProgress();
   pending_.clear();
   merge_ = MergeRuntime{};
   exchange_.reset();

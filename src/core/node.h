@@ -16,6 +16,7 @@
 // goes through the send callback. It is deterministic given its RNG seed.
 #pragma once
 
+#include <cassert>
 #include <deque>
 #include <functional>
 #include <map>
@@ -87,6 +88,11 @@ enum class MergePhase : uint8_t {
 
 class Node {
  public:
+  /// Outbound transport. The callback must deliver asynchronously: it must
+  /// NOT call back into this node (Receive/Tick) synchronously, because
+  /// handlers invoke Send while holding references into internal maps
+  /// (progress_, pending_, merge_ state). The simulator satisfies this by
+  /// routing every send through the event queue.
   using SendFn = std::function<void(NodeId to, raft::MessagePtr msg)>;
 
   /// `genesis` must list the initial members (including `id` unless the node
@@ -179,6 +185,40 @@ class Node {
     int ticks_since_ack = 0;  // for the leader's quorum check (lease)
   };
   std::vector<NodeId> ReplicationTargets() const;
+  /// Leader-side progress lookup that cannot dangle or resurrect: returns
+  /// nullptr unless this node leads and `peer` is a current replication
+  /// target (tracking state is created lazily for newly added members).
+  /// Any call that can apply committed entries (AdvanceCommit,
+  /// ApplyCommitted, Propose, ObserveEt) invalidates the returned pointer —
+  /// re-fetch after such calls.
+  Progress* LeaderProgress(NodeId peer);
+  /// The only teardown path for progress_. Bumps progress_gen_ so
+  /// WithProgress can assert that no reconfiguration invalidated a live
+  /// reference.
+  void ClearProgress();
+  /// Drops tracking state for peers outside the current replication target
+  /// set (after a committed member removal): their straggler replies must
+  /// not keep replication traffic flowing across the membership boundary.
+  void PruneProgress();
+  /// Runs `fn(Progress&)` for `peer` if this node leads and tracks it;
+  /// returns false otherwise. The safe default for reply handlers: mutate
+  /// tracking fields inside `fn`, run anything that can reenter the apply
+  /// path (AdvanceCommit, MaybeSendAppend, Propose) only after it returns.
+  /// A debug assertion catches callbacks that mutate progress_ underneath
+  /// their own reference — the reconfig-reentrancy use-after-free class.
+  template <typename Fn>
+  bool WithProgress(NodeId peer, Fn&& fn) {
+    if (role_ != Role::kLeader) return false;
+    auto it = progress_.find(peer);
+    if (it == progress_.end()) return false;
+    const uint64_t gen = progress_gen_;
+    fn(it->second);
+    (void)gen;
+    assert(gen == progress_gen_ &&
+           "progress_ cleared while a Progress& was live; move the "
+           "reentrant call out of the WithProgress callback");
+    return true;
+  }
   void BroadcastAppend(bool heartbeat);
   void MaybeSendAppend(NodeId peer, bool force_empty);
   void HandleAppendEntries(NodeId from, const raft::AppendEntries& m);
@@ -282,9 +322,15 @@ class Node {
   std::vector<raft::ReconfigRecord> history_;
   raft::RaftSnapshotPtr snapshot_;  // last compaction point
   /// Snapshots retained to serve merge data exchange: (tx, source) -> snap.
+  /// Grows by one entry per merge this node participates in and is only
+  /// reclaimed by Reinit; acceptable at current scale (entries are shared
+  /// pointers), revisit when long-lived clusters chain many merges.
   std::map<std::pair<TxId, int>, kv::SnapshotPtr> exchange_store_;
   /// Requesters that asked for a snapshot we had not sealed yet; answered
-  /// as soon as it becomes available (avoids polling latency).
+  /// as soon as it becomes available (avoids polling latency). Mutation
+  /// discipline: OnMergeOutcomeApplied finishes iterating a waiter set
+  /// before erasing it, and Send never re-enters (SendFn contract), so no
+  /// iterator escapes a mutation.
   std::map<std::pair<TxId, int>, std::set<NodeId>> exchange_waiters_;
 
   // Volatile.
@@ -295,6 +341,11 @@ class Node {
   int heartbeat_countdown_ = 1;
   std::set<NodeId> votes_;
   std::map<NodeId, Progress> progress_;
+  /// Bumped by ClearProgress on every teardown (step-down, re-election,
+  /// split completion, merge transition, snapshot install, restart). Lets
+  /// WithProgress assert in debug builds that a Progress& never survives a
+  /// reentrant apply.
+  uint64_t progress_gen_ = 0;
   struct PendingClient {
     uint64_t req_id;
     NodeId client;

@@ -205,7 +205,7 @@ void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
   }
   role_ = Role::kFollower;
   votes_.clear();
-  progress_.clear();
+  ClearProgress();
   FailPendingClients(Code::kUnavailable);
   // If we were waiting on a merge exchange and the snapshot is the merged
   // cluster's state, the wait is over.

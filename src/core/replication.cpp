@@ -1,5 +1,16 @@
 // Log replication, commit-quorum accounting (including the split's mixed
 // quorums), snapshot install and log compaction.
+//
+// Reentrancy hazard, and the discipline this file follows: AdvanceCommit ->
+// ApplyCommitted can apply a committed reconfiguration (split completion,
+// merge transition, member removal, leader step-down) that tears down and
+// rebuilds progress_ underneath the caller. Therefore no reference or
+// iterator into progress_ may survive a call into the apply path. Handlers
+// mutate tracking fields inside WithProgress (debug-asserted against
+// invalidation), then run AdvanceCommit / MaybeSendAppend afterwards;
+// MaybeSendAppend re-resolves its peer through LeaderProgress.
+#include <algorithm>
+
 #include "common/logging.h"
 #include "core/node.h"
 
@@ -20,12 +31,51 @@ void Node::BroadcastAppend(bool heartbeat) {
   }
 }
 
+Node::Progress* Node::LeaderProgress(NodeId peer) {
+  if (role_ != Role::kLeader) return nullptr;
+  auto it = progress_.find(peer);
+  if (it != progress_.end()) return &it->second;
+  // Track only current replication targets (created lazily so newly added
+  // members start replicating without waiting for a re-election). A blind
+  // progress_[peer] here would resurrect tracking state for a peer that a
+  // just-applied reconfiguration removed — its stale reply races the apply —
+  // and leak replication traffic across the membership boundary.
+  const auto targets = ReplicationTargets();
+  if (std::find(targets.begin(), targets.end(), peer) == targets.end()) {
+    counters_.Add("repl.stale_peer_dropped");
+    return nullptr;
+  }
+  return &progress_[peer];
+}
+
+void Node::ClearProgress() {
+  ++progress_gen_;
+  progress_.clear();
+}
+
+void Node::PruneProgress() {
+  if (role_ != Role::kLeader) return;
+  const auto targets = ReplicationTargets();
+  bool erased = false;
+  for (auto it = progress_.begin(); it != progress_.end();) {
+    if (std::find(targets.begin(), targets.end(), it->first) ==
+        targets.end()) {
+      it = progress_.erase(it);
+      erased = true;
+    } else {
+      ++it;
+    }
+  }
+  if (erased) ++progress_gen_;
+}
+
 void Node::MaybeSendAppend(NodeId peer, bool force_empty) {
   // Applying a committed entry can demote us mid-call (merge resumption,
   // split completion, self-removal): never emit replication traffic unless
-  // still the leader.
-  if (role_ != Role::kLeader) return;
-  Progress& p = progress_[peer];
+  // still the leader, and never to a peer outside the current configuration.
+  Progress* pp = LeaderProgress(peer);
+  if (pp == nullptr) return;
+  Progress& p = *pp;
   if (p.snapshotting && !force_empty) return;
 
   const auto& cfg = config_.Current();
@@ -166,25 +216,35 @@ void Node::HandleAppendReply(NodeId from, const raft::AppendReply& m) {
     if (met.raw() > term_) return;
   }
   if (role_ != Role::kLeader || m.et != term_) return;
-  auto it = progress_.find(from);
-  if (it == progress_.end()) return;
-  Progress& p = it->second;
-  p.ticks_since_ack = 0;
-  if (p.inflight > 0) --p.inflight;
-  if (m.ok) {
-    if (m.match > p.match) {
-      p.match = m.match;
-      AdvanceCommit();
+  // All tracking-field updates happen inside WithProgress; the reentrant
+  // calls run after, once no Progress& is live. AdvanceCommit can apply a
+  // committed reconfiguration that clears progress_ — the original
+  // heap-use-after-free held `p` across exactly that call.
+  bool advanced = false;
+  bool force_retry = false;
+  bool tracked = WithProgress(from, [&](Progress& p) {
+    p.ticks_since_ack = 0;
+    if (p.inflight > 0) --p.inflight;
+    if (m.ok) {
+      if (m.match > p.match) {
+        p.match = m.match;
+        advanced = true;
+      }
+      if (p.next <= p.match) p.next = p.match + 1;
+    } else {
+      Index hint = m.conflict_hint != 0 ? m.conflict_hint : p.next - 1;
+      p.next =
+          std::max<Index>(1, std::min(p.next > 1 ? p.next - 1 : 1, hint));
+      if (p.next <= p.match) p.next = p.match + 1;
+      p.inflight = 0;
+      force_retry = true;
     }
-    if (p.next <= p.match) p.next = p.match + 1;
-    MaybeSendAppend(from, false);
-  } else {
-    Index hint = m.conflict_hint != 0 ? m.conflict_hint : p.next - 1;
-    p.next = std::max<Index>(1, std::min(p.next - 1 > 0 ? p.next - 1 : 1, hint));
-    if (p.next <= p.match) p.next = p.match + 1;
-    p.inflight = 0;
-    MaybeSendAppend(from, true);
-  }
+  });
+  if (!tracked) return;
+  if (advanced) AdvanceCommit();
+  // Re-resolves `from` through LeaderProgress: we may have stepped down or
+  // changed configuration while applying above.
+  MaybeSendAppend(from, force_retry);
 }
 
 void Node::HandleInstallSnapshot(NodeId from, const raft::InstallSnapshot& m) {
@@ -225,13 +285,15 @@ void Node::HandleInstallSnapshotReply(NodeId from,
     if (met.raw() > term_) return;
   }
   if (role_ != Role::kLeader || m.et != term_) return;
-  auto it = progress_.find(from);
-  if (it == progress_.end()) return;
-  Progress& p = it->second;
-  p.ticks_since_ack = 0;
-  p.snapshotting = false;
-  if (m.applied > p.match) p.match = m.applied;
-  p.next = std::max(p.next, p.match + 1);
+  bool tracked = WithProgress(from, [&](Progress& p) {
+    p.ticks_since_ack = 0;
+    p.snapshotting = false;
+    if (m.applied > p.match) p.match = m.applied;
+    p.next = std::max(p.next, p.match + 1);
+  });
+  if (!tracked) return;
+  // The Progress& dies above: AdvanceCommit can apply a committed
+  // reconfiguration that clears progress_.
   AdvanceCommit();
   MaybeSendAppend(from, false);
 }

@@ -157,7 +157,7 @@ void Node::CompleteSplit() {
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();
-  progress_.clear();
+  ClearProgress();
   if (prior == Role::kLeader) FailPendingClients(Code::kNotLeader);
   ResetElectionTimer();
   RegisterWithNaming();

@@ -5,7 +5,7 @@
 // entries so a truncation rolls the configuration back correctly.
 #pragma once
 
-#include <vector>
+#include <deque>
 
 #include "raft/config.h"
 #include "raft/entry.h"
@@ -23,6 +23,12 @@ class ConfigTracker {
   /// Install the genesis configuration (in force from index 0).
   void Init(ConfigState genesis);
 
+  /// Reference-stability contract: the returned reference survives OnAppend
+  /// (the stack is a deque, so pushing a new configuration never relocates
+  /// existing records) but NOT ForceState or an OnTruncate that pops the
+  /// record it points at. Node handlers therefore must not hold it across
+  /// anything that can apply a committed reconfiguration (split completion,
+  /// merge transition, snapshot install) — copy first or re-fetch after.
   const ConfigState& Current() const { return stack_.back().state; }
   /// Index of the entry that produced the current configuration.
   Index CurrentIndex() const { return stack_.back().index; }
@@ -52,7 +58,7 @@ class ConfigTracker {
     Index index = 0;
     ConfigState state;
   };
-  std::vector<Record> stack_;
+  std::deque<Record> stack_;
 };
 
 }  // namespace recraft::raft

@@ -284,5 +284,169 @@ TEST_P(SeedSweep, MembershipChangesSafeUnderChaos) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          ::testing::Range<uint64_t>(1, 21));
 
+// Regression for the reconfig-reentrancy use-after-free (the seed's
+// `malloc(): invalid size` abort): HandleAppendReply held a Progress&
+// across AdvanceCommit, whose ApplyCommitted can run a committed
+// reconfiguration (split completion, merge transition, member removal,
+// step-down) that clears progress_ — the subsequent p.next/p.match writes
+// hit freed heap. The scenario chains every reconfiguration kind under
+// crash/restart + partition chaos with traced applies; the commit of each
+// reconfiguration entry is driven by an append reply, which is exactly the
+// dangling path, so pre-fix this aborts deterministically under ASan.
+TEST(ReconfigReentrancy, StaleReplyAfterReconfigChaos) {
+  World w(TestWorldOptions(0xD5F1));
+  harness::SafetyChecker checker(w);
+  checker.AttachPeriodic();
+  auto c = w.CreateCluster(6);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "1").ok());
+  ASSERT_TRUE(w.Put(c, "z", "2").ok());
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+
+  // Phase 1: split, fired asynchronously so chaos overlaps the joint
+  // phases and stale replies race the C_new commit.
+  raft::AdminSplit split;
+  split.groups = {g1, g2};
+  split.split_keys = {"m"};
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = split;
+  w.net().Send(harness::kAdminId, w.LeaderOf(c),
+               raft::MakeMessage(raft::Message(req)), 128);
+  ChaosMonkey chaos(w, c, 0xD5F1 * 29 + 13);
+  for (int round = 0; round < 8; ++round) {
+    DriveTraffic(w, g1, 3, "s1-" + std::to_string(round) + "-");
+    DriveTraffic(w, g2, 3, "s2-" + std::to_string(round) + "-");
+    chaos.Round();
+  }
+  chaos.HealAll();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  // Faults healed: liveness demands the split resolves (completes on both
+  // sides or never left C_old, in which case we re-issue synchronously).
+  bool split_done = w.RunUntil(
+      [&]() {
+        for (NodeId id : c) {
+          if (w.node(id).epoch() == 0) return false;
+          if (w.node(id).config().mode != raft::ConfigMode::kStable)
+            return false;
+        }
+        return true;
+      },
+      60 * kSecond);
+  if (!split_done) {
+    ASSERT_TRUE(w.WaitForLeader(c, 20 * kSecond));
+    ASSERT_TRUE(w.AdminSplit(c, {g1, g2}, {"m"}, 60 * kSecond).ok());
+  }
+  ASSERT_TRUE(w.WaitForLeader(g1, 20 * kSecond));
+  ASSERT_TRUE(w.WaitForLeader(g2, 20 * kSecond));
+  EXPECT_TRUE(w.Put(g1, "after-left", "x", 10 * kSecond).ok());
+  EXPECT_TRUE(w.Put(g2, "zafter-right", "y", 10 * kSecond).ok());
+
+  // Phase 2: merge the subclusters back, again with chaos over the 2PC so
+  // prepare/commit handling overlaps crashes and partitions.
+  auto plan = w.MakeMergeDraft({g1, g2});
+  ASSERT_TRUE(plan.ok());
+  raft::ClientRequest mreq;
+  mreq.req_id = w.NextReqId();
+  mreq.from = harness::kAdminId;
+  mreq.body = raft::AdminMerge{*plan};
+  w.net().Send(harness::kAdminId, w.LeaderOf(g1),
+               raft::MakeMessage(raft::Message(mreq)), 128);
+  ChaosOptions mild;
+  mild.crash_prob = 0.25;
+  mild.partition_prob = 0.15;
+  ChaosMonkey chaos2(w, c, 0xD5F1 * 37 + 17, mild);
+  for (int round = 0; round < 6; ++round) chaos2.Round();
+  chaos2.HealAll();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  std::vector<NodeId> all = c;
+  std::sort(all.begin(), all.end());
+  bool merged = w.RunUntil(
+      [&]() {
+        int ok = 0;
+        for (NodeId id : all) {
+          const auto& n = w.node(id);
+          if (n.config().members == all && !n.merge_exchange_pending()) ++ok;
+        }
+        return ok >= 4 && w.LeaderOf(all) != kNoNode;
+      },
+      90 * kSecond);
+  std::vector<NodeId> members = merged ? all : g1;
+
+  // Phase 3: membership churn — remove a follower, then add it back, with
+  // traffic in flight so straggler replies from the removed peer land after
+  // the removal commits (the PruneProgress path).
+  ASSERT_TRUE(w.WaitForLeader(members, 20 * kSecond));
+  NodeId leader = w.LeaderOf(members);
+  NodeId victim = kNoNode;
+  for (NodeId id : members) {
+    if (id != leader) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoNode);
+  DriveTraffic(w, members, 10, "churn-");
+  ASSERT_TRUE(w.AdminMemberChange(
+                   members,
+                   Change(raft::MemberChangeKind::kRemoveAndResize, {victim}),
+                   30 * kSecond)
+                  .ok());
+  std::vector<NodeId> shrunk;
+  for (NodeId id : members) {
+    if (id != victim) shrunk.push_back(id);
+  }
+  DriveTraffic(w, shrunk, 10, "churn2-");
+  ASSERT_TRUE(w.AdminMemberChange(
+                   shrunk,
+                   Change(raft::MemberChangeKind::kAddAndResize, {victim}),
+                   30 * kSecond)
+                  .ok());
+
+  EXPECT_TRUE(w.Put(members, "final", "ok", 10 * kSecond).ok());
+  checker.Observe();
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  ExpectConverged(w, members, 10 * kSecond);
+}
+
+// Regression for the StartMerge ordering bug uncovered by the reentrancy
+// sweep: the coordinator runtime was set up only after Propose, so a
+// single-node coordinator cluster — whose CTX' commits and applies
+// synchronously inside Propose — never recorded local_tx_applied and the
+// 2PC stalled forever. Pre-fix this times out; post-fix the merge completes.
+TEST(ReconfigReentrancy, SingleNodeCoordinatorMergeCompletes) {
+  World w(TestWorldOptions(0xAB1E));
+  auto ranges = *KeyRange::Full().SplitAt({"m"});
+  auto c1 = w.CreateCluster(1, ranges[0]);
+  auto c2 = w.CreateCluster(3, ranges[1]);
+  ASSERT_TRUE(w.WaitForLeader(c1));
+  ASSERT_TRUE(w.WaitForLeader(c2));
+  ASSERT_TRUE(w.Put(c1, "a", "1").ok());
+  ASSERT_TRUE(w.Put(c2, "z", "2").ok());
+  // Coordinator is c1 (the cluster the admin contacts): a single node.
+  ASSERT_TRUE(w.AdminMerge({c1, c2}, {}, 60 * kSecond).ok());
+  std::vector<NodeId> all = c1;
+  all.insert(all.end(), c2.begin(), c2.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId id : all) {
+          const auto& n = w.node(id);
+          if (!(n.config().members == all) || n.merge_exchange_pending())
+            return false;
+        }
+        return w.LeaderOf(all) != kNoNode;
+      },
+      60 * kSecond));
+  EXPECT_TRUE(w.Put(all, "merged", "yes", 10 * kSecond).ok());
+  auto a = w.Get(all, "a", 10 * kSecond);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "1");
+  auto z = w.Get(all, "z", 10 * kSecond);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(*z, "2");
+}
+
 }  // namespace
 }  // namespace recraft::test
