@@ -11,7 +11,7 @@
 namespace recraft::bench {
 namespace {
 
-void ThroughputTimeline(int ways) {
+void ThroughputTimeline(int ways, Duration phase = 30 * kSecond) {
   auto opts = CloudProfile(70 + ways);
   // The paper's leaders are storage-bound (512 B writes on Ceph): model a
   // ~1.5 K req/s per-leader ceiling so splitting multiplies throughput.
@@ -49,7 +49,7 @@ void ThroughputTimeline(int ways) {
   harness::ClientFleet fleet(w, router, 128, copts);
   fleet.Start();
 
-  w.RunFor(30 * kSecond);
+  w.RunFor(phase);
   TimePoint split_at = w.now();
   Status s = w.AdminSplit(cluster, groups, keys, 20 * kSecond);
   // Update the routing overlay, as etcd's redirection layer would.
@@ -60,7 +60,7 @@ void ThroughputTimeline(int ways) {
                                ranges[static_cast<size_t>(i)]});
   }
   router.SetClusters(entries);
-  TimePoint end = split_at + 30 * kSecond;
+  TimePoint end = split_at + phase;
   if (w.now() < end) w.RunFor(end - w.now());
   fleet.Stop();
 
@@ -69,7 +69,8 @@ void ThroughputTimeline(int ways) {
   std::printf("%-6s %-10s", "t(s)", "All");
   for (int i = 0; i < ways; ++i) std::printf(" Csub.%-5d", i + 1);
   std::printf("  (K req/s)\n");
-  for (uint64_t t = 0; t < 60; ++t) {
+  uint64_t windows = 2 * static_cast<uint64_t>(Sec(phase));
+  for (uint64_t t = 0; t < windows; ++t) {
     std::printf("%-6llu %-10.2f", static_cast<unsigned long long>(t),
                 total.Rate(t) / 1000.0);
     for (int i = 0; i < ways; ++i) {
@@ -149,18 +150,21 @@ LatencyRow LatencyPoint(int ways, size_t kv_pairs) {
 }  // namespace
 }  // namespace recraft::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recraft::bench;
+  // --smoke: a few-second single-config run for the CI bench-smoke job.
+  bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
   PrintHeader("Figure 7a: throughput before/after split (128 clients)");
-  ThroughputTimeline(2);
-  ThroughputTimeline(3);
+  ThroughputTimeline(2, smoke ? 3 * recraft::kSecond : 30 * recraft::kSecond);
+  if (!smoke) ThroughputTimeline(3);
 
   PrintHeader("Figure 7b: split latency, ReCraft (RC) vs TC emulation");
   std::printf("%-8s %-10s %-12s %-12s %-12s %-12s %-12s %-8s\n", "a-b",
               "RC(ms)", "TC-rm(ms)", "TC-snap(ms)", "TC-rst(ms)",
               "TC-total", "TC/RC", "");
-  for (int ways : {2, 3}) {
-    for (size_t kv : {100u, 1000u, 10000u}) {
+  for (int ways : smoke ? std::vector<int>{2} : std::vector<int>{2, 3}) {
+    for (size_t kv : smoke ? std::vector<size_t>{100u}
+                           : std::vector<size_t>{100u, 1000u, 10000u}) {
       auto r = LatencyPoint(ways, kv);
       std::printf("%d-%-6zu %-10.1f %-12.1f %-12.1f %-12.1f %-12.1f %-12.1fx\n",
                   ways, kv, r.rc_ms, r.tc_remove_ms, r.tc_snapshot_ms,

@@ -20,7 +20,7 @@ std::vector<std::vector<NodeId>> MakeAdjacentClusters(
   return clusters;
 }
 
-void ThroughputTimeline(int ways) {
+void ThroughputTimeline(int ways, Duration phase = 30 * kSecond) {
   auto opts = CloudProfile(80 + ways);
   opts.node.max_client_requests_per_tick = 15;  // same ceiling as Fig. 7a
   harness::World w(opts);
@@ -59,11 +59,11 @@ void ThroughputTimeline(int ways) {
   harness::ClientFleet fleet(w, router, 2, copts);
   fleet.Start();
 
-  w.RunFor(30 * kSecond);
+  w.RunFor(phase);
   TimePoint merge_at = w.now();
   Status s = w.AdminMerge(clusters, {}, 60 * kSecond);
   router.SetClusters({harness::Router::Entry{all, KeyRange::Full()}});
-  TimePoint end = merge_at + 30 * kSecond;
+  TimePoint end = merge_at + phase;
   if (w.now() < end) w.RunFor(end - w.now());
   fleet.Stop();
 
@@ -72,7 +72,8 @@ void ThroughputTimeline(int ways) {
   std::printf("%-6s %-10s", "t(s)", "All");
   for (int i = 0; i < ways; ++i) std::printf(" Csub.%-5d", i + 1);
   std::printf("  (K req/s)\n");
-  for (uint64_t t = 0; t < 60; ++t) {
+  uint64_t windows = 2 * static_cast<uint64_t>(Sec(phase));
+  for (uint64_t t = 0; t < windows; ++t) {
     std::printf("%-6llu %-10.3f", static_cast<unsigned long long>(t),
                 total.Rate(t) / 1000.0);
     for (int i = 0; i < ways; ++i) {
@@ -176,18 +177,21 @@ LatencyRow LatencyPoint(int ways, size_t kv_pairs) {
 }  // namespace
 }  // namespace recraft::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recraft::bench;
+  // --smoke: a few-second single-config run for the CI bench-smoke job.
+  bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
   PrintHeader("Figure 8a: throughput before/after merge (2 clients)");
-  ThroughputTimeline(2);
-  ThroughputTimeline(3);
+  ThroughputTimeline(2, smoke ? 3 * recraft::kSecond : 30 * recraft::kSecond);
+  if (!smoke) ThroughputTimeline(3);
 
   PrintHeader("Figure 8b: merge latency, ReCraft (RC) vs TC emulation");
   std::printf("%-8s %-11s %-12s %-11s %-13s %-13s %-11s %-8s\n", "a-b",
               "RC-TX(ms)", "RC-snap(ms)", "RC-total", "TC-snap(ms)",
               "TC-rejoin(ms)", "TC-total", "TC/RC");
-  for (int ways : {2, 3}) {
-    for (size_t kv : {100u, 1000u, 10000u}) {
+  for (int ways : smoke ? std::vector<int>{2} : std::vector<int>{2, 3}) {
+    for (size_t kv : smoke ? std::vector<size_t>{100u}
+                           : std::vector<size_t>{100u, 1000u, 10000u}) {
       auto r = LatencyPoint(ways, kv);
       std::printf(
           "%d-%-6zu %-11.1f %-12.1f %-11.1f %-13.1f %-13.1f %-11.1f %-8.1fx\n",

@@ -1,23 +1,20 @@
-// Sharded KV store: a 6-node cluster splits into two 3-node shards by key
-// range — entirely through the consensus of the participating nodes, no
-// external coordinator — then one shard splits again 2-ways. A router (the
-// etcd-overlay stand-in) directs traffic to the right shard.
+// Sharded KV store on the multi-shard data plane: a ShardMap tiles the key
+// space over several ReCraft groups, a map-driven client fleet routes by
+// key (refetching on wrong-shard rejections), and a placement driver grows
+// and shrinks the plane with the paper's native split/merge — no external
+// coordinator anywhere.
 //
 //   $ ./sharded_kv
 #include <cstdio>
 
 #include "harness/client.h"
 #include "harness/world.h"
+#include "shard/placement.h"
 
 using namespace recraft;
 
-static void Show(harness::World& w, const std::vector<NodeId>& shard,
-                 const char* name) {
-  auto cfg = w.ConfigOf(shard);
-  std::printf("  %-8s members=%s range=%s epoch=%u\n", name,
-              raft::NodesToString(cfg.members).c_str(),
-              cfg.range.ToString().c_str(),
-              w.node(w.LeaderOf(shard)).epoch());
+static void ShowMap(harness::World& w) {
+  std::printf("%s\n", w.shard_map().ToString().c_str());
 }
 
 int main() {
@@ -25,64 +22,71 @@ int main() {
   opts.seed = 7;
   harness::World world(opts);
 
-  auto cluster = world.CreateCluster(6);
-  world.WaitForLeader(cluster);
-
-  // Load user records across the key space.
-  for (int i = 0; i < 20; ++i) {
-    char key[32];
-    std::snprintf(key, sizeof(key), "user%04d", i * 50);
-    world.Put(cluster, key, "profile-" + std::to_string(i)).ok();
+  // Three 3-node shards tiling the key space of the workload clients.
+  auto boundaries = shard::UniformKeyBoundaries("k", 30000, 3);
+  auto ids = world.BootstrapShards(3, 3, boundaries);
+  if (!ids.ok()) {
+    std::printf("bootstrap failed: %s\n", ids.status().ToString().c_str());
+    return 1;
   }
-  std::printf("single cluster serving %zu keys\n",
-              world.node(world.LeaderOf(cluster)).store().size());
+  std::printf("bootstrapped %zu shards\n", ids->size());
+  ShowMap(world);
 
-  // Split by range at "user0500": low half to shard A, high half to B.
-  std::vector<NodeId> a{cluster[0], cluster[1], cluster[2]};
-  std::vector<NodeId> b{cluster[3], cluster[4], cluster[5]};
-  Status s = world.AdminSplit(cluster, {a, b}, {"user0500"});
-  std::printf("split: %s\n", s.ToString().c_str());
-  world.WaitForLeader(a);
-  world.WaitForLeader(b);
-  Show(world, a, "shard-A");
-  Show(world, b, "shard-B");
+  // A fleet of map-driven clients; completions feed the driver's load stats.
+  shard::NativeRebalancer native(world);
+  shard::PlacementOptions popts;
+  popts.split_threshold_keys = 600;  // split shards above ~600 keys
+  popts.merge_threshold_keys = 0;    // merges driven explicitly below
+  popts.max_shards = 6;
+  shard::PlacementDriver driver(world, world.shard_map(), native, popts);
 
-  // The router resolves keys to shards; clients never notice the split.
-  harness::Router router;
-  router.SetClusters({harness::Router::Entry{a, world.ConfigOf(a).range},
-                      harness::Router::Entry{b, world.ConfigOf(b).range}});
-  auto lookup = [&](const std::string& key) {
-    auto* entry = router.Resolve(key);
-    auto v = world.Get(entry->members, key);
-    std::printf("  get %s -> %s (served by shard %s)\n", key.c_str(),
-                v.ok() ? v->c_str() : v.status().ToString().c_str(),
-                raft::NodesToString(entry->members).c_str());
+  harness::Router router(&world.shard_map());
+  harness::ClientOptions copts;
+  copts.key_space = 30000;
+  copts.value_bytes = 128;
+  copts.get_fraction = 0.9;  // mostly reads: the hotspot below stays in charge
+  copts.batch_size = 2;      // rounds are grouped per shard
+  copts.on_op_complete = [&](const std::string& key, TimePoint) {
+    driver.RecordOp(key);
   };
-  lookup("user0000");
-  lookup("user0950");
+  harness::ClientFleet fleet(world, router, 8, copts);
+  fleet.Start();
+  world.RunFor(2 * kSecond);
 
-  // Shards evolve independently: write bursts to B do not involve A.
-  for (int i = 0; i < 10; ++i) {
-    world.Put(b, "user09" + std::to_string(10 + i), "hot").ok();
-  }
-  std::printf("shard-B grew to %zu keys; shard-A still %zu\n",
-              world.node(world.LeaderOf(b)).store().size(),
-              world.node(world.LeaderOf(a)).store().size());
+  // Hotspot: pour keys into the first shard until the driver splits it.
+  std::printf("\npreloading a hotspot into the first shard...\n");
+  const auto first = world.shard_map().Shards().front();
+  world.Preload(first.members, 700, 64, "k000").ok();
+  auto report = driver.Step();
+  for (const auto& a : report.actions) std::printf("  driver: %s\n", a.c_str());
+  ShowMap(world);
 
-  // Split shard B again (uneven 2/1 groups work too).
-  std::vector<NodeId> b1{b[0], b[1]}, b2{b[2]};
-  s = world.AdminSplit(b, {b1, b2}, {"user0800"});
-  std::printf("second split: %s\n", s.ToString().c_str());
-  world.WaitForLeader(b1);
-  world.WaitForLeader(b2);
-  Show(world, b1, "shard-B1");
-  Show(world, b2, "shard-B2");
+  // Clients keep running through the reconfiguration; stale routes repair
+  // themselves via kWrongShard + map refetch.
+  world.RunFor(2 * kSecond);
+  std::printf("\nfleet: %llu ops done, %llu wrong-shard retries healed\n",
+              static_cast<unsigned long long>(fleet.TotalOps()),
+              static_cast<unsigned long long>(fleet.TotalWrongShardRetries()));
 
-  router.SetClusters({harness::Router::Entry{a, world.ConfigOf(a).range},
-                      harness::Router::Entry{b1, world.ConfigOf(b1).range},
-                      harness::Router::Entry{b2, world.ConfigOf(b2).range}});
-  lookup("user0700");
-  lookup("user0950");
+  // Cooldown: merge the two coldest neighbours back (native 2PC merge with
+  // resize-at-merge; the freed nodes return to the spare pool).
+  auto shards = world.shard_map().Shards();
+  shard::ShardId l = shards[shards.size() - 2].id;
+  shard::ShardId r = shards[shards.size() - 1].id;
+  Status s = driver.MergeShards(l, r);
+  std::printf("\nmerge shard#%u + shard#%u: %s (spares pooled: %zu)\n", l, r,
+              s.ToString().c_str(), driver.spare_count());
+  ShowMap(world);
+
+  world.RunFor(kSecond);
+  fleet.Stop();
+
+  std::printf("\nmap invariants: %s\n",
+              world.shard_map().CheckInvariants().ToString().c_str());
+  std::printf("total: %llu ops, %llu splits, %llu merges\n",
+              static_cast<unsigned long long>(fleet.TotalOps()),
+              static_cast<unsigned long long>(driver.splits_done()),
+              static_cast<unsigned long long>(driver.merges_done()));
   std::printf("done (simulated time: %s)\n", FormatTime(world.now()).c_str());
   return 0;
 }

@@ -50,6 +50,7 @@ const char* CodeName(Code c) {
     case Code::kConflict: return "CONFLICT";
     case Code::kOutOfRange: return "OUT_OF_RANGE";
     case Code::kInternal: return "INTERNAL";
+    case Code::kWrongShard: return "WRONG_SHARD";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,12 @@ bool KeyRange::Contains(const std::string& key) const {
   return hi_inf_ || key < hi_;
 }
 
+int KeyRange::CompareKey(const std::string& key) const {
+  if (key < lo_) return -1;
+  if (!hi_inf_ && key >= hi_) return 1;
+  return 0;
+}
+
 bool KeyRange::ContainsRange(const KeyRange& other) const {
   if (other.empty()) return true;
   if (other.lo_ < lo_) return false;

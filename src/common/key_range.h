@@ -26,6 +26,10 @@ class KeyRange {
 
   bool empty() const;
   bool Contains(const std::string& key) const;
+  /// Three-way position of `key` relative to this range: negative when the
+  /// key sorts below lo, 0 when the range contains it, positive when it is at
+  /// or above hi. The shard map's binary-search lookup builds on this.
+  int CompareKey(const std::string& key) const;
   bool ContainsRange(const KeyRange& other) const;
   bool Overlaps(const KeyRange& other) const;
   /// True when `this.hi == other.lo` (they can merge into one interval).

@@ -20,6 +20,9 @@ enum class Code : uint8_t {
   kConflict,         // lost to a concurrent update (e.g. stale term)
   kOutOfRange,       // key outside this cluster's range
   kInternal,         // invariant violation: indicates a bug
+  kWrongShard,       // request routed to a group that does not serve the key;
+                     // the reply carries the group's serving range and epoch
+                     // so the router can detect a stale shard map
 };
 
 const char* CodeName(Code c);
@@ -71,6 +74,9 @@ inline Status OutOfRange(std::string m = {}) {
 }
 inline Status Internal(std::string m = {}) {
   return Status(Code::kInternal, std::move(m));
+}
+inline Status WrongShard(std::string m = {}) {
+  return Status(Code::kWrongShard, std::move(m));
 }
 
 /// Result<T>: either a value or a non-ok Status.

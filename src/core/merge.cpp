@@ -299,6 +299,19 @@ void Node::HandleMergeCommitReq(NodeId from, const raft::MergeCommitReq& m) {
   }
   int my_source = m.plan.SourceOf(id_);
   if (!cfg.merge_tx.has_value() || cfg.merge_tx->tx != m.tx) {
+    if (!m.commit) {
+      // Abort retransmission for a transaction we already resolved (the
+      // C_abort applied and cleared it) or never recorded. By leader
+      // completeness a leader without the CTX' record holds no pending
+      // obligation for this tx, so the abort is settled here: ack it.
+      raft::MergeCommitReply reply;
+      reply.from = id_;
+      reply.tx = m.tx;
+      reply.source_index = my_source;
+      reply.ok = true;
+      Send(from, std::move(reply));
+      return;
+    }
     // We never saw (or already resolved) this transaction.
     raft::MergeCommitReply reply;
     reply.from = id_;
@@ -395,14 +408,29 @@ void Node::HandleMergeCommitReply(NodeId from,
   }
   if (m.tx != merge_.plan.tx) return;
   if (m.retry) {
-    if (m.leader_hint != kNoNode && m.leader_hint != from) {
+    if (m.source_index >= 0 && m.leader_hint != kNoNode &&
+        m.leader_hint != from) {
       merge_.contact[m.source_index] = m.leader_hint;
       SendCommits();
     }
     return;
   }
-  if (!m.ok || m.source_index < 0) return;
-  merge_.commit_acks.insert(m.source_index);
+  if (!m.ok) return;
+  int sj = m.source_index;
+  if (sj < 0) {
+    // The ack came from a node that cannot name its source: a leader that
+    // joined the participant group after it transitioned (commit) or after
+    // the transaction cleared (abort) is not in the plan. Attribute the
+    // ack to the source we are currently contacting through that node.
+    for (const auto& [j, contact] : merge_.contact) {
+      if (contact == m.from) {
+        sj = j;
+        break;
+      }
+    }
+  }
+  if (sj < 0) return;
+  merge_.commit_acks.insert(sj);
   if (merge_.outcome_applied_self &&
       merge_.commit_acks.size() == merge_.plan.sources.size() - 1) {
     FinishMergeAsCoordinator();
@@ -423,17 +451,41 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
     cleared.merge_outcome_plan.reset();
     config_.ForceState(std::move(cleared), index);
     counters_.Add("merge.aborted");
-    if (role_ == Role::kLeader && merge_.phase != MergePhase::kIdle &&
-        merge_.plan.tx == plan.tx) {
-      if (merge_.admin_client != kNoNode) {
-        ReplyToClient(merge_.admin_client, merge_.admin_req_id,
-                      Rejected("merge aborted by participant vote"));
+    int my_source = plan.SourceOf(id_);
+    if (my_source == plan.coordinator) {
+      // Coordinator leader: answer the admin now (the outcome is final),
+      // but keep the kCommitting runtime alive — mirroring the commit path
+      // — until every participant acks the abort. A participant that
+      // recorded CTX' would otherwise depend on the one-shot abort fan-out:
+      // if that message is lost, its pending transaction blocks every
+      // future reconfiguration forever. MergeTick keeps retransmitting.
+      if (role_ == Role::kLeader) {
+        if (merge_.phase == MergePhase::kIdle || merge_.plan.tx != plan.tx) {
+          // Fresh leader that applied the abort before ResumeMergeAsLeader
+          // rebuilt the runtime (outcome committed during our election).
+          merge_ = MergeRuntime{};
+          merge_.plan = plan;
+          merge_.retry_countdown = opts_.merge_retry_ticks;
+          merge_.contact = DefaultContacts(plan);
+        }
+        if (merge_.admin_client != kNoNode) {
+          ReplyToClient(merge_.admin_client, merge_.admin_req_id,
+                        Rejected("merge aborted by participant vote"));
+          merge_.admin_client = kNoNode;
+        }
+        merge_.phase = MergePhase::kCommitting;
+        merge_.outcome_is_commit = false;
+        merge_.outcome_applied_self = true;
+        if (merge_.commit_acks.size() == merge_.plan.sources.size() - 1) {
+          FinishMergeAsCoordinator();
+        } else {
+          SendCommits();
+        }
       }
-      merge_ = MergeRuntime{};
+      return;
     }
     // Participant leaders ack the abort so the coordinator can finish.
-    int my_source = plan.SourceOf(id_);
-    if (role_ == Role::kLeader && my_source != plan.coordinator) {
+    if (role_ == Role::kLeader) {
       raft::MergeCommitReply reply;
       reply.from = id_;
       reply.tx = plan.tx;
@@ -443,6 +495,21 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
            plan.sources[static_cast<size_t>(plan.coordinator)].members) {
         Send(n, reply);
       }
+    }
+    return;
+  }
+
+  // Replay during catch-up, not live protocol: a merged cluster's log
+  // *begins* with its committed outcome entry, so a node added after the
+  // merge (e.g. a recycled spare) replays it while its effective
+  // configuration — applied wait-free on append — is already at or past
+  // the merged cluster. Running the protocol here would re-transition and,
+  // for a non-resumed "participant", retire the node with an empty store
+  // mid-membership. Treat the entry as the cluster's genesis instead:
+  // adopt the merged range for a blank store (the ConfInit replay rule).
+  if (config_.Current().uid == plan.new_uid || plan.SourceOf(id_) < 0) {
+    if (store_.range().empty() || store_.size() == 0) {
+      store_ = kv::Store(plan.new_range);
     }
     return;
   }
@@ -507,6 +574,17 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
 
 void Node::FinishMergeAsCoordinator() {
   raft::MergePlan plan = merge_.plan;
+  if (!merge_.outcome_is_commit) {
+    // Abort fully acknowledged: every participant resolved its CTX'. The
+    // admin was answered when the abort applied; just tear down.
+    if (merge_.admin_client != kNoNode) {
+      ReplyToClient(merge_.admin_client, merge_.admin_req_id,
+                    Rejected("merge aborted by participant vote"));
+    }
+    merge_ = MergeRuntime{};
+    counters_.Add("merge.abort_finalized");
+    return;
+  }
   if (merge_.admin_client != kNoNode) {
     ReplyToClient(merge_.admin_client, merge_.admin_req_id, OkStatus());
   }
@@ -586,6 +664,13 @@ void Node::TransitionToMerged(const raft::MergePlan& plan) {
   rec.members = plan.ResumeMembers();
   rec.range = plan.new_range;
   history_.push_back(std::move(rec));
+
+  // Arm GC for this merge's sealed snapshots (done reports may already have
+  // arrived from fast members — merge, never overwrite, the entry).
+  ExchangeGc& gc = exchange_gc_[plan.tx];
+  gc.resumed = plan.ResumeMembers();
+  gc.targets = plan.AllMembers();
+  if (gc.retry_countdown <= 0) gc.retry_countdown = opts_.merge_retry_ticks;
 
   // The merged cluster starts fresh: the log begins with the C_new entry,
   // committed at term 0 of E_new (§III-C.2 "Resumption").
@@ -729,8 +814,32 @@ void Node::MaybeFinishExchange() {
   counters_.Add("merge.exchange_done");
   RLOG_INFO("merge", "n%u finished snapshot exchange (%zu keys)", id_,
             store_.size());
+  // Announce completion so holders can GC their sealed snapshots once every
+  // resumed member is through (retransmitted from ExchangeGcTick until this
+  // node prunes its own copy).
+  {
+    ExchangeGc& gc = exchange_gc_[plan.tx];  // armed in TransitionToMerged
+    gc.self_done = true;
+    gc.done.insert(id_);
+    gc.retry_countdown = opts_.merge_retry_ticks;
+    raft::ExchangeDone ann;
+    ann.from = id_;
+    ann.tx = plan.tx;
+    for (NodeId n : gc.targets) {
+      if (n != id_) Send(n, ann);
+    }
+  }
+  MaybePruneExchange(plan.tx);
   // Entries replicated while we were exchanging can now apply.
   ApplyCommitted();
+  // Compact through the merged log's genesis: the outcome entry carries no
+  // data (the store was assembled from exchanged snapshots just now), so a
+  // member added to the merged cluster later must catch up via
+  // InstallSnapshot — which carries the store — rather than replaying a
+  // data-less log.
+  snapshot_ = BuildSnapshot();
+  log_.CompactTo(snapshot_->last_index, snapshot_->last_term);
+  counters_.Add("log.compactions");
   ResetElectionTimer();
   // Expedite the first election of the merged cluster: the lowest resumed
   // member campaigns immediately instead of waiting for a full election
@@ -741,6 +850,72 @@ void Node::MaybeFinishExchange() {
       role_ == Role::kFollower && leader_ == kNoNode && CanCampaign()) {
     StartElection();
   }
+}
+
+// --------------------------------------------------------------------------
+// Exchange-store garbage collection: without it every merge a node
+// participates in leaves one sealed snapshot behind forever, so chained
+// merges grow exchange_store_ without bound.
+
+void Node::HandleExchangeDone(NodeId from, const raft::ExchangeDone& m) {
+  auto it = exchange_gc_.find(m.tx);
+  if (it == exchange_gc_.end()) {
+    auto held = exchange_store_.lower_bound({m.tx, -1});
+    bool holds = held != exchange_store_.end() && held->first.first == m.tx;
+    if (!holds) {
+      // Nothing retained for this tx: either we already pruned (every
+      // resumed member had reported done) or we were wiped since. Echo our
+      // own completion so the sender — who may have missed our broadcast —
+      // does not retransmit forever.
+      raft::ExchangeDone echo;
+      echo.from = id_;
+      echo.tx = m.tx;
+      Send(from, echo);
+      return;
+    }
+    // Sealed but not yet transitioned (e.g. a deferring coordinator-cluster
+    // member): buffer the report; TransitionToMerged fills the member lists.
+    it = exchange_gc_.emplace(m.tx, ExchangeGc{}).first;
+  }
+  it->second.done.insert(from);
+  MaybePruneExchange(m.tx);
+}
+
+void Node::ExchangeGcTick() {
+  for (auto& [tx, gc] : exchange_gc_) {
+    if (!gc.self_done) continue;  // only completed members gossip
+    if (--gc.retry_countdown > 0) continue;
+    gc.retry_countdown = opts_.merge_retry_ticks;
+    raft::ExchangeDone ann;
+    ann.from = id_;
+    ann.tx = tx;
+    for (NodeId n : gc.targets) {
+      if (n != id_) Send(n, ann);
+    }
+  }
+}
+
+void Node::MaybePruneExchange(TxId tx) {
+  auto it = exchange_gc_.find(tx);
+  if (it == exchange_gc_.end()) return;
+  const ExchangeGc& gc = it->second;
+  if (gc.resumed.empty()) return;  // member lists unknown until transition
+  for (NodeId n : gc.resumed) {
+    if (gc.done.count(n) == 0) return;
+  }
+  // Every resumed member holds the merged state: the sealed snapshots can
+  // never be pulled again (a restarting member resumes its exchange from
+  // peers that finished, i.e. from their live stores via InstallSnapshot).
+  for (auto e = exchange_store_.lower_bound({tx, -1});
+       e != exchange_store_.end() && e->first.first == tx;) {
+    e = exchange_store_.erase(e);
+  }
+  for (auto w = exchange_waiters_.lower_bound({tx, -1});
+       w != exchange_waiters_.end() && w->first.first == tx;) {
+    w = exchange_waiters_.erase(w);
+  }
+  exchange_gc_.erase(it);
+  counters_.Add("merge.exchange_pruned");
 }
 
 }  // namespace recraft::core

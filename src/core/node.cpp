@@ -136,6 +136,10 @@ void Node::Tick() {
     deferred_requests_.pop_front();
     HandleClientRequest(from, req);
   }
+  // Exchange GC runs regardless of role or a pending exchange: a node can
+  // still be gossiping completion of an earlier merge while a later one is
+  // exchanging.
+  ExchangeGcTick();
   if (exchange_.has_value()) {
     ExchangeTick();
     return;
@@ -225,6 +229,8 @@ void Node::Receive(NodeId from, const raft::Message& m) {
           HandleMergeCommitReply(from, body);
         } else if constexpr (std::is_same_v<T, raft::MergeFinalize>) {
           HandleMergeFinalize(from, body);
+        } else if constexpr (std::is_same_v<T, raft::ExchangeDone>) {
+          HandleExchangeDone(from, body);
         } else if constexpr (std::is_same_v<T, raft::SnapPullReq>) {
           HandleSnapPullReq(from, body);
         } else if constexpr (std::is_same_v<T, raft::SnapPullReply>) {
@@ -413,6 +419,8 @@ void Node::ReplyToClient(NodeId client, uint64_t req_id, Status s,
   reply.status = std::move(s);
   reply.value = std::move(value);
   reply.leader_hint = leader_;
+  reply.serving_range = EffectiveRange();
+  reply.epoch = current_et().epoch();
   Send(client, std::move(reply));
 }
 
@@ -437,7 +445,11 @@ void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
   }
   if (const auto* cmd = std::get_if<kv::Command>(&m.body)) {
     if (!EffectiveRange().Contains(cmd->key)) {
-      ReplyToClient(from, m.req_id, OutOfRange(cmd->key));
+      // The reply carries EffectiveRange()/epoch, so a routing client can
+      // tell a stale shard map apart from a bad key.
+      ReplyToClient(from, m.req_id,
+                    WrongShard("key " + cmd->key + " outside " +
+                               EffectiveRange().ToString()));
       return;
     }
     // Leader-side admission: past the per-tick budget, requests queue and
@@ -563,6 +575,8 @@ void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
   history_.clear();
   snapshot_.reset();
   exchange_store_.clear();
+  exchange_waiters_.clear();
+  exchange_gc_.clear();
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();

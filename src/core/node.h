@@ -126,6 +126,10 @@ class Node {
   NodeId leader_hint() const { return leader_; }
   MergePhase merge_phase() const { return merge_.phase; }
   bool merge_exchange_pending() const { return exchange_.has_value(); }
+  /// Sealed merge snapshots still retained for data exchange. Bounded by
+  /// the ExchangeDone gossip (see merge.cpp): entries are pruned once every
+  /// resumed member reports its exchange complete.
+  size_t exchange_store_size() const { return exchange_store_.size(); }
   bool IsRetired() const { return !config().IsMember(id_); }
   const std::vector<raft::ReconfigRecord>& history() const { return history_; }
   CounterSet& counters() { return counters_; }
@@ -274,6 +278,18 @@ class Node {
     std::map<int, NodeId> contact;
     int retry_countdown = 0;
   };
+  /// Post-merge pruning of exchange_store_: every participant (resumed or
+  /// retired by resize-at-merge) tracks which resumed members finished
+  /// their snapshot exchange; once all have, the sealed snapshots for that
+  /// transaction are dropped. Members that finished gossip ExchangeDone
+  /// (retransmitted until they prune, so a lost message only delays GC).
+  struct ExchangeGc {
+    std::vector<NodeId> resumed;  // must all report done before pruning
+    std::vector<NodeId> targets;  // broadcast set: every plan member
+    std::set<NodeId> done;
+    bool self_done = false;       // this node finished and broadcasts
+    int retry_countdown = 0;
+  };
   Status StartMerge(const raft::AdminMerge& req, uint64_t req_id,
                     NodeId client);
   void HandleMergePrepareReq(NodeId from, const raft::MergePrepareReq& m);
@@ -296,6 +312,9 @@ class Node {
   void ExchangeTick();
   void MaybeFinishExchange();
   void FinishMergeAsCoordinator();
+  void HandleExchangeDone(NodeId from, const raft::ExchangeDone& m);
+  void ExchangeGcTick();
+  void MaybePruneExchange(TxId tx);
 
   // -- recovery (recovery.cpp) -------------------------------------------------
   void StartPull(NodeId target);
@@ -332,6 +351,9 @@ class Node {
   /// before erasing it, and Send never re-enters (SendFn contract), so no
   /// iterator escapes a mutation.
   std::map<std::pair<TxId, int>, std::set<NodeId>> exchange_waiters_;
+  /// Per-merge GC bookkeeping (see ExchangeGc). Entries are erased when the
+  /// transaction's snapshots are pruned, so the map itself stays bounded.
+  std::map<TxId, ExchangeGc> exchange_gc_;
 
   // Volatile.
   Role role_ = Role::kFollower;

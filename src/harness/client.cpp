@@ -1,5 +1,6 @@
 #include "harness/client.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace recraft::harness {
@@ -25,6 +26,36 @@ Router::Entry* Router::Resolve(const std::string& key) {
   return nullptr;
 }
 
+bool Router::Refetch() {
+  if (authority_ == nullptr) return false;
+  if (fetched_version_ == authority_->version() && !clusters_.empty()) {
+    return false;
+  }
+  std::vector<Entry> next;
+  for (const shard::ShardInfo& s : authority_->Shards()) {
+    Entry e;
+    e.members = s.members;
+    e.range = s.range;
+    e.epoch = s.epoch;
+    e.shard = s.id;
+    e.leader_hint = s.leader_hint;
+    // Keep a locally learned hint when the shard survived unchanged.
+    for (const Entry& old : clusters_) {
+      if (old.shard == s.id && old.leader_hint != kNoNode) {
+        e.leader_hint = old.leader_hint;
+        e.epoch = std::max(e.epoch, old.epoch);
+        break;
+      }
+    }
+    next.push_back(std::move(e));
+  }
+  clusters_ = std::move(next);
+  fetched_version_ = authority_->version();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
 ClosedLoopClient::ClosedLoopClient(World& world, Router& router, NodeId id,
                                    ClientOptions opts)
     : world_(world),
@@ -32,6 +63,7 @@ ClosedLoopClient::ClosedLoopClient(World& world, Router& router, NodeId id,
       id_(id),
       opts_(opts),
       rng_(Mix64(0xc11e47, id)) {
+  if (opts_.batch_size == 0) opts_.batch_size = 1;
   world_.net().Register(
       id_, [this](NodeId, std::shared_ptr<const void> payload, size_t) {
         const auto& m =
@@ -51,36 +83,51 @@ void ClosedLoopClient::Start() {
 
 void ClosedLoopClient::IssueNext() {
   if (!running_) return;
+  ++generation_;
+  round_.clear();
+  round_.resize(opts_.batch_size);
   char buf[48];
-  uint64_t k = rng_.Uniform(0, opts_.key_space - 1);
-  std::snprintf(buf, sizeof(buf), "%s%08llu", opts_.key_prefix.c_str(),
-                static_cast<unsigned long long>(k));
-  current_ = kv::Command{};
-  current_.key = buf;
-  current_.client_id = id_;
-  current_.seq = next_seq_++;
-  if (opts_.get_fraction > 0 && rng_.Chance(opts_.get_fraction)) {
-    current_.op = kv::OpType::kGet;
-  } else {
-    current_.op = kv::OpType::kPut;
-    current_.value.assign(opts_.value_bytes, 'x');
+  for (PendingOp& op : round_) {
+    uint64_t k = rng_.Uniform(0, opts_.key_space - 1);
+    std::snprintf(buf, sizeof(buf), "%s%08llu", opts_.key_prefix.c_str(),
+                  static_cast<unsigned long long>(k));
+    op.cmd.key = buf;
+    op.cmd.client_id = id_;
+    op.cmd.seq = next_seq_++;
+    if (opts_.get_fraction > 0 && rng_.Chance(opts_.get_fraction)) {
+      op.cmd.op = kv::OpType::kGet;
+    } else {
+      op.cmd.op = kv::OpType::kPut;
+      op.cmd.value.assign(opts_.value_bytes, 'x');
+    }
   }
-  issued_at_ = world_.now();
-  SendCurrent();
+  // Batch per shard: ops bound for the same group leave back-to-back.
+  if (round_.size() > 1) {
+    std::stable_sort(round_.begin(), round_.end(),
+                     [this](const PendingOp& a, const PendingOp& b) {
+                       Router::Entry* ea = router_.Resolve(a.cmd.key);
+                       Router::Entry* eb = router_.Resolve(b.cmd.key);
+                       auto ka = ea ? ea->shard : shard::kNoShard;
+                       auto kb = eb ? eb->shard : shard::kNoShard;
+                       if (ka != kb) return ka < kb;
+                       return a.cmd.key < b.cmd.key;
+                     });
+  }
+  round_open_ = round_.size();
+  for (size_t i = 0; i < round_.size(); ++i) SendOp(i);
+  ArmRoundTimeout();
 }
 
-void ClosedLoopClient::SendCurrent() {
+void ClosedLoopClient::SendOp(size_t idx) {
   if (!running_) return;
-  Router::Entry* entry = router_.Resolve(current_.key);
+  PendingOp& op = round_[idx];
+  Router::Entry* entry = router_.Resolve(op.cmd.key);
   if (entry == nullptr || entry->members.empty()) {
-    // No routing information; back off and retry.
-    uint64_t gen = ++generation_;
-    world_.events().Schedule(
-        opts_.retry_timeout,
-        [this, gen, alive = std::weak_ptr<int>(alive_)]() {
-          if (!alive.expired()) OnTimeout(gen);
-        });
-    return;
+    // No routing information: try to refresh, else wait for the round
+    // timeout to retry.
+    router_.Refetch();
+    entry = router_.Resolve(op.cmd.key);
+    if (entry == nullptr || entry->members.empty()) return;
   }
   NodeId target = entry->leader_hint;
   if (target == kNoNode ||
@@ -88,77 +135,112 @@ void ClosedLoopClient::SendCurrent() {
           entry->members.end()) {
     target = entry->members[entry->rotate++ % entry->members.size()];
   }
-  current_req_id_ = world_.NextReqId();
+  op.req_id = world_.NextReqId();
+  if (op.issued_at == 0) op.issued_at = world_.now();
   raft::ClientRequest req;
-  req.req_id = current_req_id_;
+  req.req_id = op.req_id;
   req.from = id_;
-  req.body = current_;
+  req.body = op.cmd;
   world_.net().Send(id_, target, raft::MakeMessage(raft::Message(req)),
-                    32 + current_.WireBytes());
-  uint64_t gen = ++generation_;
+                    32 + op.cmd.WireBytes());
+}
+
+void ClosedLoopClient::ScheduleResend(size_t idx, Duration delay) {
+  uint64_t gen = generation_;
   world_.events().Schedule(
-      opts_.retry_timeout, [this, gen, alive = std::weak_ptr<int>(alive_)]() {
-        if (!alive.expired()) OnTimeout(gen);
+      delay, [this, gen, idx, alive = std::weak_ptr<int>(alive_)]() {
+        if (alive.expired() || !running_ || gen != generation_) return;
+        if (idx >= round_.size() || round_[idx].done) return;
+        SendOp(idx);
       });
 }
 
-void ClosedLoopClient::OnTimeout(uint64_t generation) {
-  if (!running_ || generation != generation_) return;
-  ++retries_;
-  // Same command, same sequence number: the session layer deduplicates.
-  Router::Entry* entry = router_.Resolve(current_.key);
-  if (entry != nullptr) entry->leader_hint = kNoNode;  // try someone else
-  SendCurrent();
+void ClosedLoopClient::ArmRoundTimeout() {
+  uint64_t gen = generation_;
+  world_.events().Schedule(
+      opts_.retry_timeout, [this, gen, alive = std::weak_ptr<int>(alive_)]() {
+        if (!alive.expired()) OnRoundTimeout(gen);
+      });
 }
 
-void ClosedLoopClient::OnReply(const raft::ClientReply& reply) {
-  if (!running_ || reply.req_id != current_req_id_) return;
-  Router::Entry* entry = router_.Resolve(current_.key);
-  if (reply.status.code() == Code::kNotLeader ||
-      reply.status.code() == Code::kBusy ||
-      reply.status.code() == Code::kUnavailable) {
+void ClosedLoopClient::OnRoundTimeout(uint64_t generation) {
+  if (!running_ || generation != generation_) return;
+  // Lost messages or a dead routing target: re-send everything still open
+  // (same sequence numbers — the session layer deduplicates), dropping
+  // leader hints so another member gets probed.
+  for (size_t i = 0; i < round_.size(); ++i) {
+    if (round_[i].done) continue;
     ++retries_;
-    if (entry != nullptr) entry->leader_hint = reply.leader_hint;
-    ++generation_;
-    // Brief backoff so a mid-reconfiguration cluster is not hammered.
-    uint64_t gen = generation_;
-    world_.events().Schedule(
-        10 * kMillisecond, [this, gen, alive = std::weak_ptr<int>(alive_)]() {
-          if (!alive.expired() && running_ && gen == generation_) {
-            SendCurrent();
-          }
-        });
-    world_.events().Schedule(
-        opts_.retry_timeout + 10 * kMillisecond,
-        [this, gen, alive = std::weak_ptr<int>(alive_)]() {
-          if (!alive.expired()) OnTimeout(gen);
-        });
-    return;
+    Router::Entry* entry = router_.Resolve(round_[i].cmd.key);
+    if (entry != nullptr) entry->leader_hint = kNoNode;
+    SendOp(i);
   }
-  if (reply.status.code() == Code::kOutOfRange) {
-    // Routing table stale (a split/merge moved the range): re-resolve.
-    ++retries_;
-    ++generation_;
-    uint64_t gen = generation_;
-    world_.events().Schedule(
-        10 * kMillisecond, [this, gen, alive = std::weak_ptr<int>(alive_)]() {
-          if (!alive.expired() && running_ && gen == generation_) {
-            SendCurrent();
-          }
-        });
-    return;
-  }
-  // Success (OK / NotFound for gets and deletes count as completed ops).
-  if (entry != nullptr) entry->leader_hint = reply.from;
-  ++generation_;
+  ArmRoundTimeout();
+}
+
+void ClosedLoopClient::CompleteOp(PendingOp& op, const raft::ClientReply& reply) {
+  op.done = true;
   ++ops_done_;
-  Duration lat = world_.now() - issued_at_;
+  Duration lat = world_.now() - op.issued_at;
   latency_.Record(lat);
   if (opts_.latency != nullptr) opts_.latency->Record(lat);
   if (opts_.throughput != nullptr) opts_.throughput->Record(world_.now());
-  if (opts_.on_op_complete) opts_.on_op_complete(current_.key, world_.now());
-  IssueNext();
+  if (opts_.on_op_complete) opts_.on_op_complete(op.cmd.key, world_.now());
+  Router::Entry* entry = router_.Resolve(op.cmd.key);
+  if (entry != nullptr) {
+    entry->leader_hint = reply.from;
+    if (reply.epoch > entry->epoch) {
+      // The group reconfigured since the map was fetched; if it no longer
+      // serves the cached range, our whole copy is suspect.
+      entry->epoch = reply.epoch;
+      if (!(reply.serving_range == entry->range)) router_.Refetch();
+    }
+  }
+  if (--round_open_ == 0) IssueNext();
 }
+
+void ClosedLoopClient::OnReply(const raft::ClientReply& reply) {
+  if (!running_) return;
+  size_t idx = round_.size();
+  for (size_t i = 0; i < round_.size(); ++i) {
+    if (!round_[i].done && round_[i].req_id == reply.req_id) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == round_.size()) return;  // stale transmission's reply
+  PendingOp& op = round_[idx];
+  Code code = reply.status.code();
+
+  if (code == Code::kNotLeader || code == Code::kBusy ||
+      code == Code::kUnavailable) {
+    ++retries_;
+    Router::Entry* entry = router_.Resolve(op.cmd.key);
+    if (entry != nullptr) entry->leader_hint = reply.leader_hint;
+    // Brief backoff so a mid-reconfiguration group is not hammered.
+    ScheduleResend(idx, 10 * kMillisecond);
+    return;
+  }
+  if (code == Code::kWrongShard || code == Code::kOutOfRange) {
+    // Stale routing: the replying group does not serve the key (wrong
+    // shard), or the command committed after a split moved the range
+    // (out-of-range at apply). Refetch the map and re-route.
+    ++retries_;
+    ++wrong_shard_retries_;
+    if (!router_.Refetch()) {
+      // Same map version (or manual mode): drop the hint so rotation finds
+      // a member of whichever group took over.
+      Router::Entry* entry = router_.Resolve(op.cmd.key);
+      if (entry != nullptr) entry->leader_hint = kNoNode;
+    }
+    ScheduleResend(idx, 10 * kMillisecond);
+    return;
+  }
+  // Success (OK / NotFound for gets and deletes count as completed ops).
+  CompleteOp(op, reply);
+}
+
+// ---------------------------------------------------------------------------
 
 ClientFleet::ClientFleet(World& world, Router& router, size_t n,
                          ClientOptions opts) {
@@ -180,6 +262,12 @@ void ClientFleet::Stop() {
 uint64_t ClientFleet::TotalOps() const {
   uint64_t n = 0;
   for (const auto& c : clients_) n += c->ops_done();
+  return n;
+}
+
+uint64_t ClientFleet::TotalWrongShardRetries() const {
+  uint64_t n = 0;
+  for (const auto& c : clients_) n += c->wrong_shard_retries();
   return n;
 }
 

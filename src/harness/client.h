@@ -1,8 +1,17 @@
-// Workload clients and the range router. ClosedLoopClient keeps a fixed
-// number of outstanding requests (one per client, as in the paper's etcd
-// benchmark clients); the Router maps keys to clusters and caches leader
-// hints, standing in for the etcd overlay that redirects requests to the
-// right subcluster after splits and merges.
+// Workload clients and the map-driven range router.
+//
+// The Router is the client-side cache of the shard map: in map-driven mode
+// it copies the World-hosted authority (the etcd-overlay stand-in) and
+// refetches when a reply proves the copy stale — a kWrongShard rejection,
+// or a successful reply whose serving range/epoch disagree with the cached
+// entry. The legacy manual mode (SetClusters/UpdateCluster) remains for
+// tests and benches that steer routing by hand.
+//
+// ClosedLoopClient keeps a bounded round of outstanding requests (one per
+// round by default, as in the paper's etcd benchmark clients); rounds with
+// batch_size > 1 are grouped per shard so ops to the same group go out
+// back-to-back. Retries preserve sequence numbers, so the session layer
+// deduplicates re-executions.
 #pragma once
 
 #include <functional>
@@ -12,6 +21,7 @@
 
 #include "common/metrics.h"
 #include "harness/world.h"
+#include "shard/shard_map.h"
 
 namespace recraft::harness {
 
@@ -23,7 +33,16 @@ class Router {
     KeyRange range;
     NodeId leader_hint = kNoNode;
     size_t rotate = 0;  // round-robin cursor when no hint is known
+    uint32_t epoch = 0;
+    shard::ShardId shard = shard::kNoShard;
   };
+
+  Router() = default;
+  /// Map-driven mode: cache `authority` (usually World::shard_map()) and
+  /// refetch from it on demand.
+  explicit Router(const shard::ShardMap* authority) : authority_(authority) {
+    Refetch();
+  }
 
   void SetClusters(std::vector<Entry> clusters) {
     clusters_ = std::move(clusters);
@@ -32,10 +51,19 @@ class Router {
   void UpdateCluster(const KeyRange& range, std::vector<NodeId> members);
 
   Entry* Resolve(const std::string& key);
+
+  /// Re-copy from the authority, preserving leader hints of unchanged
+  /// shards. Returns true when a newer map version was installed; always
+  /// false in manual mode.
+  bool Refetch();
+  uint64_t fetched_version() const { return fetched_version_; }
+
   size_t NumClusters() const { return clusters_.size(); }
   const std::vector<Entry>& clusters() const { return clusters_; }
 
  private:
+  const shard::ShardMap* authority_ = nullptr;
+  uint64_t fetched_version_ = 0;
   std::vector<Entry> clusters_;
 };
 
@@ -45,18 +73,21 @@ struct ClientOptions {
   std::string key_prefix = "k";
   Duration retry_timeout = 1 * kSecond;
   double get_fraction = 0.0;      // paper evaluates writes
+  /// Requests issued per round, grouped per shard. 1 = classic closed loop.
+  size_t batch_size = 1;
   /// Record a completion into this series (shared across clients for the
   /// throughput-over-time figures). May be null.
   ThroughputSeries* throughput = nullptr;
   LatencyRecorder* latency = nullptr;  // may be null; per-client otherwise
   /// Invoked on every completed op, e.g. to bucket throughput per
-  /// subcluster by key (Figs. 7a/8a).
+  /// subcluster by key (Figs. 7a/8a) or feed the placement driver's load
+  /// accounting.
   std::function<void(const std::string& key, TimePoint when)> on_op_complete;
 };
 
-/// A closed-loop client: issues one request, waits for the reply (or the
-/// retry timeout), then issues the next. Retries preserve the sequence
-/// number, so the session layer deduplicates re-executions.
+/// A closed-loop client: issues one round of requests, waits for all
+/// replies (retrying on timeouts, leader changes and stale routing), then
+/// issues the next round.
 class ClosedLoopClient {
  public:
   ClosedLoopClient(World& world, Router& router, NodeId id, ClientOptions opts);
@@ -67,13 +98,26 @@ class ClosedLoopClient {
 
   uint64_t ops_done() const { return ops_done_; }
   uint64_t retries() const { return retries_; }
+  /// Retries caused specifically by stale routing (kWrongShard or a command
+  /// applied outside the executing group's range).
+  uint64_t wrong_shard_retries() const { return wrong_shard_retries_; }
   const LatencyRecorder& latency() const { return latency_; }
 
  private:
+  struct PendingOp {
+    kv::Command cmd;
+    uint64_t req_id = 0;     // of the latest transmission
+    TimePoint issued_at = 0;
+    bool done = false;
+  };
+
   void IssueNext();
-  void SendCurrent();
+  void SendOp(size_t idx);
+  void ScheduleResend(size_t idx, Duration delay);
+  void ArmRoundTimeout();
   void OnReply(const raft::ClientReply& reply);
-  void OnTimeout(uint64_t generation);
+  void OnRoundTimeout(uint64_t generation);
+  void CompleteOp(PendingOp& op, const raft::ClientReply& reply);
 
   World& world_;
   Router& router_;
@@ -83,16 +127,16 @@ class ClosedLoopClient {
   bool running_ = false;
 
   uint64_t next_seq_ = 1;
-  uint64_t generation_ = 0;  // invalidates stale timeout events
-  kv::Command current_;
-  uint64_t current_req_id_ = 0;
-  TimePoint issued_at_ = 0;
+  uint64_t generation_ = 0;  // bumped per round; invalidates stale events
+  std::vector<PendingOp> round_;
+  size_t round_open_ = 0;
 
   uint64_t ops_done_ = 0;
   uint64_t retries_ = 0;
+  uint64_t wrong_shard_retries_ = 0;
   LatencyRecorder latency_;
-  /// Liveness token: scheduled timeout events hold a weak_ptr so they
-  /// become no-ops when the client is destroyed before they fire.
+  /// Liveness token: scheduled events hold a weak_ptr so they become no-ops
+  /// when the client is destroyed before they fire.
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 };
 
@@ -104,6 +148,7 @@ class ClientFleet {
   void Start();
   void Stop();
   uint64_t TotalOps() const;
+  uint64_t TotalWrongShardRetries() const;
   /// Pooled latency across all clients.
   LatencyRecorder PooledLatency() const;
   ThroughputSeries& throughput() { return throughput_; }

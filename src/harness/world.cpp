@@ -106,6 +106,59 @@ NodeId World::CreateSpareNode() {
   return id;
 }
 
+Result<std::vector<shard::ShardId>> World::BootstrapShards(
+    size_t n_shards, size_t nodes_per_shard,
+    const std::vector<std::string>& boundaries, Duration timeout) {
+  if (n_shards == 0) return Rejected("need at least one shard");
+  if (boundaries.size() + 1 != n_shards) {
+    return Rejected("need exactly n_shards - 1 boundary keys");
+  }
+  std::vector<KeyRange> ranges;
+  if (n_shards == 1) {
+    ranges.push_back(KeyRange::Full());
+  } else {
+    auto split = KeyRange::Full().SplitAt(boundaries);
+    if (!split.ok()) return split.status();
+    ranges = *split;
+  }
+  std::vector<shard::ShardInfo> infos;
+  for (const KeyRange& range : ranges) {
+    auto members = CreateCluster(nodes_per_shard, range);
+    if (!WaitForLeader(members, timeout)) {
+      return Timeout("no leader for shard over " + range.ToString());
+    }
+    shard::ShardInfo si;
+    si.range = range;
+    si.members = members;
+    NodeId leader = LeaderOf(members);
+    si.leader_hint = leader;
+    si.epoch = node(leader).epoch();
+    si.uid = node(leader).cluster_uid();
+    infos.push_back(std::move(si));
+  }
+  if (Status s = shard_map_.Bootstrap(std::move(infos)); !s.ok()) return s;
+  std::vector<shard::ShardId> ids;
+  for (const auto& si : shard_map_.Shards()) ids.push_back(si.id);
+  return ids;
+}
+
+Status World::WipeNode(NodeId id, Duration timeout) {
+  if (!HasNode(id)) return NotFound("no node " + std::to_string(id));
+  raft::BootstrapReq req;
+  req.from = kAdminId;
+  req.op_id = NextReqId();
+  req.genesis = raft::ConfigState{};  // memberless: the node becomes a spare
+  req.genesis.range = KeyRange::Empty();
+  net_.Send(kAdminId, id, raft::MakeMessage(raft::Message(req)), 128);
+  bool ok = RunUntil(
+      [&]() {
+        return node(id).config().members.empty() &&
+               node(id).cluster_uid() == 0;
+      },
+      timeout);
+  return ok ? OkStatus() : Timeout("node did not reinitialize");
+}
+
 void World::ScheduleTick(NodeId id) {
   // Stagger tick phases across nodes so the world has no artificial global
   // synchrony.

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "core/node.h"
+#include "shard/shard_map.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 
@@ -54,6 +55,24 @@ class World {
   /// Create a node that is not yet a member of anything (to be added via a
   /// membership change).
   NodeId CreateSpareNode();
+
+  /// Create `n_shards` clusters of `nodes_per_shard` nodes tiling the full
+  /// key space at `boundaries` (n_shards - 1 keys), wait for their leaders,
+  /// and seed the hosted shard map. Returns the shard ids in range order.
+  Result<std::vector<shard::ShardId>> BootstrapShards(
+      size_t n_shards, size_t nodes_per_shard,
+      const std::vector<std::string>& boundaries,
+      Duration timeout = 30 * kSecond);
+
+  /// Wipe a node back to a blank spare (the TC baseline's terminate step:
+  /// BootstrapReq with an empty genesis). Used to recycle nodes freed by a
+  /// merge before they staff a future split.
+  Status WipeNode(NodeId id, Duration timeout = 5 * kSecond);
+
+  /// The authoritative shard map (§V's always-available overlay stand-in):
+  /// the placement driver mutates it, routing clients cache copies of it.
+  shard::ShardMap& shard_map() { return shard_map_; }
+  const shard::ShardMap& shard_map() const { return shard_map_; }
 
   core::Node& node(NodeId id);
   const core::Node& node(NodeId id) const;
@@ -141,6 +160,7 @@ class World {
   sim::EventQueue events_;
   sim::Network net_;
   NamingService naming_;
+  shard::ShardMap shard_map_;
   std::map<NodeId, std::unique_ptr<core::Node>> nodes_;
   NodeId next_node_id_ = 1;
   uint64_t next_tx_id_ = 1;

@@ -1,5 +1,8 @@
 #include "kv/kv.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace recraft::kv {
 
 namespace {
@@ -133,6 +136,21 @@ OpResult Store::Apply(const Command& cmd) {
     sess->last_result = res;
   }
   return res;
+}
+
+Result<std::string> Store::KeyAtFraction(double fraction) const {
+  if (data_.size() < 2) return Rejected("too few keys to pick a split point");
+  if (fraction <= 0.0 || fraction >= 1.0) {
+    return Rejected("fraction must be in (0,1)");
+  }
+  size_t idx = static_cast<size_t>(static_cast<double>(data_.size()) * fraction);
+  idx = std::min(std::max<size_t>(idx, 1), data_.size() - 1);
+  auto it = data_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(idx));
+  // Map keys are unique and >= range().lo(), and idx >= 1, so it->first is
+  // strictly greater than the smallest key and therefore > lo; keys are
+  // stored only when inside the range, so it is also < hi.
+  return it->first;
 }
 
 Result<std::string> Store::Get(const std::string& key) const {

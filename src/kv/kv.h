@@ -76,6 +76,12 @@ class Store {
   size_t size() const { return data_.size(); }
   size_t ApproxBytes() const { return approx_bytes_; }
 
+  /// The stored key at `fraction` (in (0,1)) of the sorted key population —
+  /// the placement driver's split-point picker (fraction 0.5 = median).
+  /// The returned key is strictly inside range() (valid as a split key);
+  /// fails when fewer than two distinct keys exist.
+  Result<std::string> KeyAtFraction(double fraction) const;
+
   /// Point-in-time copy of the whole store.
   SnapshotPtr TakeSnapshot() const;
 

@@ -33,6 +33,7 @@ struct BytesVisitor {
   }
   size_t operator()(const MergeCommitReply&) const { return 32; }
   size_t operator()(const MergeFinalize&) const { return 24; }
+  size_t operator()(const ExchangeDone&) const { return 24; }
   size_t operator()(const SnapPullReq&) const { return 24; }
   size_t operator()(const SnapPullReply& m) const {
     return 32 + (m.snap ? m.snap->SerializedBytes() : 0);
@@ -46,7 +47,10 @@ struct BytesVisitor {
     }
     return 128;
   }
-  size_t operator()(const ClientReply& m) const { return 40 + m.value.size(); }
+  size_t operator()(const ClientReply& m) const {
+    return 56 + m.value.size() + m.serving_range.lo().size() +
+           m.serving_range.hi().size();
+  }
   size_t operator()(const RangeSnapReq&) const { return 32; }
   size_t operator()(const RangeSnapReply& m) const {
     return 40 + (m.snap ? m.snap->SerializedBytes() : 0);
@@ -91,6 +95,7 @@ struct NameVisitor {
     return "MergeCommitReply";
   }
   const char* operator()(const MergeFinalize&) const { return "MergeFinalize"; }
+  const char* operator()(const ExchangeDone&) const { return "ExchangeDone"; }
   const char* operator()(const SnapPullReq&) const { return "SnapPullReq"; }
   const char* operator()(const SnapPullReply&) const { return "SnapPullReply"; }
   const char* operator()(const ClientRequest&) const { return "ClientRequest"; }

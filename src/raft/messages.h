@@ -168,6 +168,16 @@ struct MergeFinalize {
   TxId tx = 0;
 };
 
+/// Post-merge garbage collection: a resumed member announces it has
+/// completed the snapshot exchange for `tx`. Once every resumed member has
+/// announced, holders prune the sealed snapshots retained for that merge
+/// (`exchange_store_`) — chained merges would otherwise grow the retained
+/// set without bound. Retransmitted until the sender itself prunes.
+struct ExchangeDone {
+  NodeId from = kNoNode;
+  TxId tx = 0;
+};
+
 /// Data-exchange phase: pull subcluster `source_index`'s snapshot.
 struct SnapPullReq {
   NodeId from = kNoNode;
@@ -226,6 +236,12 @@ struct ClientReply {
   Status status;
   std::string value;
   NodeId leader_hint = kNoNode;
+  /// The key range the replying node currently serves and its consensus
+  /// epoch. Routing clients compare these against their cached shard map:
+  /// a kWrongShard rejection (or a reply from a higher epoch with a
+  /// different range) means the map is stale and must be refetched.
+  KeyRange serving_range;
+  uint32_t epoch = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -287,10 +303,10 @@ using Message =
     std::variant<RequestVote, VoteReply, AppendEntries, AppendReply,
                  InstallSnapshot, InstallSnapshotReply, CommitNotify,
                  PullRequest, PullReply, MergePrepareReq, MergePrepareReply,
-                 MergeCommitReq, MergeCommitReply, MergeFinalize, SnapPullReq,
-                 SnapPullReply, ClientRequest, ClientReply, RangeSnapReq,
-                 RangeSnapReply, BootstrapReq, BootstrapAck, NamingRegister,
-                 NamingLookupReq, NamingLookupReply>;
+                 MergeCommitReq, MergeCommitReply, MergeFinalize, ExchangeDone,
+                 SnapPullReq, SnapPullReply, ClientRequest, ClientReply,
+                 RangeSnapReq, RangeSnapReply, BootstrapReq, BootstrapAck,
+                 NamingRegister, NamingLookupReq, NamingLookupReply>;
 
 using MessagePtr = std::shared_ptr<const Message>;
 

@@ -1,0 +1,87 @@
+// One interface over the paper's two reconfiguration mechanisms, so the
+// placement driver (and the shardplane bench) can run an identical policy
+// over the native ReCraft path and the TiKV/CockroachDB-style external
+// cluster-manager baseline — the comparison the paper makes for a single
+// operation, here runnable continuously over many shards.
+#pragma once
+
+#include <memory>
+
+#include "harness/world.h"
+#include "shard/shard_map.h"
+
+namespace recraft::shard {
+
+/// Outcome of one rebalancing operation: the shard entries now covering the
+/// affected span (ids left unassigned; the caller applies them to the map
+/// as a delta) and the nodes that no longer serve any shard.
+struct RebalanceResult {
+  std::vector<ShardInfo> shards;
+  std::vector<NodeId> freed;
+};
+
+class Rebalancer {
+ public:
+  virtual ~Rebalancer() = default;
+  virtual const char* name() const = 0;
+
+  /// Split `shard` in two at `split_key` (strictly inside its range).
+  /// `extra_nodes` are caught-up spares the operation may consume to staff
+  /// the second group when the shard is too small to divide.
+  virtual Result<RebalanceResult> Split(
+      const ShardInfo& shard, const std::string& split_key,
+      const std::vector<NodeId>& extra_nodes) = 0;
+
+  /// Merge two adjacent shards; left.range immediately precedes right.range.
+  virtual Result<RebalanceResult> Merge(const ShardInfo& left,
+                                        const ShardInfo& right) = 0;
+};
+
+/// ReCraft-native: splits and merges run through the participating groups'
+/// own consensus (AdminSplit / AdminMerge with resize-at-merge); merges
+/// resume with the left group's members and free the right group's.
+class NativeRebalancer : public Rebalancer {
+ public:
+  explicit NativeRebalancer(harness::World& world,
+                            Duration op_timeout = 60 * kSecond)
+      : world_(world), op_timeout_(op_timeout) {}
+
+  const char* name() const override { return "native"; }
+  Result<RebalanceResult> Split(const ShardInfo& shard,
+                                const std::string& split_key,
+                                const std::vector<NodeId>& extra_nodes) override;
+  Result<RebalanceResult> Merge(const ShardInfo& left,
+                                const ShardInfo& right) override;
+
+ private:
+  harness::World& world_;
+  Duration op_timeout_;
+};
+
+/// TC baseline: the same operations scripted by an external cluster manager
+/// (membership changes + snapshot migration + node restarts), one fresh CM
+/// actor per operation. After a TC merge the rejoined nodes are removed
+/// again AR-RPC-style so both paths keep shards at their staffed size and
+/// return the same freed set.
+class TcRebalancer : public Rebalancer {
+ public:
+  explicit TcRebalancer(harness::World& world,
+                        Duration op_timeout = 120 * kSecond,
+                        NodeId first_cm_id = 500000)
+      : world_(world), op_timeout_(op_timeout), next_cm_id_(first_cm_id) {}
+
+  const char* name() const override { return "tc"; }
+  Result<RebalanceResult> Split(const ShardInfo& shard,
+                                const std::string& split_key,
+                                const std::vector<NodeId>& extra_nodes) override;
+  Result<RebalanceResult> Merge(const ShardInfo& left,
+                                const ShardInfo& right) override;
+
+ private:
+  harness::World& world_;
+  Duration op_timeout_;
+  NodeId next_cm_id_;
+  uint64_t next_salt_ = 1;
+};
+
+}  // namespace recraft::shard

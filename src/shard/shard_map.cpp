@@ -1,0 +1,168 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace recraft::shard {
+
+std::string ShardInfo::ToString() const {
+  std::string s = "shard#" + std::to_string(id) + " " + range.ToString() + " {";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(members[i]);
+  }
+  s += "} E" + std::to_string(epoch);
+  return s;
+}
+
+Status ShardMap::Validate(const std::map<std::string, ShardInfo>& m) {
+  if (m.empty()) return Rejected("shard map must not be empty");
+  std::vector<ShardId> ids;
+  const ShardInfo* prev = nullptr;
+  for (const auto& [lo, info] : m) {
+    if (info.id == kNoShard) return Rejected("shard without an id");
+    ids.push_back(info.id);
+    if (info.members.empty()) {
+      return Rejected("shard " + std::to_string(info.id) + " has no members");
+    }
+    if (info.range.empty()) {
+      return Rejected("shard " + std::to_string(info.id) + " has empty range");
+    }
+    if (info.range.lo() != lo) {
+      return Internal("shard map key does not match range.lo");
+    }
+    if (prev == nullptr) {
+      if (!lo.empty()) {
+        return Rejected("coverage gap before " + info.range.ToString());
+      }
+    } else if (!prev->range.AdjacentBefore(info.range)) {
+      return Rejected("gap/overlap between " + prev->range.ToString() +
+                      " and " + info.range.ToString());
+    }
+    prev = &info;
+  }
+  if (!prev->range.hi_is_inf()) {
+    return Rejected("coverage gap after " + prev->range.ToString());
+  }
+  std::sort(ids.begin(), ids.end());
+  if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+    return Rejected("duplicate shard id");
+  }
+  return OkStatus();
+}
+
+Status ShardMap::Install(std::map<std::string, ShardInfo> next,
+                         ShardId next_id) {
+  if (Status s = Validate(next); !s.ok()) return s;
+  by_lo_ = std::move(next);
+  next_id_ = next_id;
+  ++version_;  // exactly one bump per applied mutation
+  return OkStatus();
+}
+
+Status ShardMap::Bootstrap(std::vector<ShardInfo> shards) {
+  std::map<std::string, ShardInfo> next;
+  ShardId next_id = next_id_;
+  for (ShardInfo& s : shards) {
+    if (s.id == kNoShard) s.id = next_id++;
+    std::sort(s.members.begin(), s.members.end());
+    std::string lo = s.range.lo();
+    if (!next.emplace(std::move(lo), std::move(s)).second) {
+      return Rejected("two shards share the same range.lo");
+    }
+  }
+  return Install(std::move(next), next_id);
+}
+
+Status ShardMap::Apply(const ShardMapDelta& delta) {
+  std::map<std::string, ShardInfo> next = by_lo_;
+  ShardId next_id = next_id_;
+  for (ShardId id : delta.remove) {
+    auto it = std::find_if(next.begin(), next.end(),
+                           [id](const auto& kv) { return kv.second.id == id; });
+    if (it == next.end()) {
+      return Rejected("delta removes unknown shard " + std::to_string(id));
+    }
+    next.erase(it);
+  }
+  for (ShardInfo add : delta.add) {
+    if (add.id == kNoShard) add.id = next_id++;
+    std::sort(add.members.begin(), add.members.end());
+    std::string lo = add.range.lo();
+    if (!next.emplace(std::move(lo), std::move(add)).second) {
+      return Rejected("delta adds a shard over an occupied range.lo");
+    }
+  }
+  return Install(std::move(next), next_id);
+}
+
+ShardInfo* ShardMap::FindById(ShardId id) {
+  for (auto& [lo, info] : by_lo_) {
+    if (info.id == id) return &info;
+  }
+  return nullptr;
+}
+
+Status ShardMap::UpdateMembership(ShardId id, std::vector<NodeId> members,
+                                  uint32_t epoch) {
+  if (members.empty()) return Rejected("membership delta with no members");
+  ShardInfo* info = FindById(id);
+  if (info == nullptr) {
+    return Rejected("membership delta for unknown shard " + std::to_string(id));
+  }
+  std::sort(members.begin(), members.end());
+  info->members = std::move(members);
+  info->epoch = std::max(info->epoch, epoch);
+  if (info->leader_hint != kNoNode &&
+      !std::binary_search(info->members.begin(), info->members.end(),
+                          info->leader_hint)) {
+    info->leader_hint = kNoNode;
+  }
+  ++version_;
+  return OkStatus();
+}
+
+void ShardMap::UpdateLeaderHint(ShardId id, NodeId leader) {
+  ShardInfo* info = FindById(id);
+  if (info != nullptr) info->leader_hint = leader;
+}
+
+const ShardInfo* ShardMap::Lookup(const std::string& key) const {
+  auto it = by_lo_.upper_bound(key);
+  if (it == by_lo_.begin()) return nullptr;
+  --it;
+  return it->second.range.CompareKey(key) == 0 ? &it->second : nullptr;
+}
+
+const ShardInfo* ShardMap::Get(ShardId id) const {
+  return const_cast<ShardMap*>(this)->FindById(id);
+}
+
+std::vector<ShardInfo> ShardMap::Shards() const {
+  std::vector<ShardInfo> out;
+  out.reserve(by_lo_.size());
+  for (const auto& [lo, info] : by_lo_) out.push_back(info);
+  return out;
+}
+
+std::string ShardMap::ToString() const {
+  std::string s = "map v" + std::to_string(version_) + ":";
+  for (const auto& [lo, info] : by_lo_) s += "\n  " + info.ToString();
+  return s;
+}
+
+std::vector<std::string> UniformKeyBoundaries(const std::string& prefix,
+                                              uint64_t key_space,
+                                              size_t n_shards) {
+  std::vector<std::string> keys;
+  char buf[48];
+  for (size_t i = 1; i < n_shards; ++i) {
+    uint64_t k = key_space * i / n_shards;
+    std::snprintf(buf, sizeof(buf), "%s%08llu", prefix.c_str(),
+                  static_cast<unsigned long long>(k));
+    keys.emplace_back(buf);
+  }
+  return keys;
+}
+
+}  // namespace recraft::shard

@@ -1,0 +1,98 @@
+// The shard map: an epoch-versioned registry of which consensus group
+// serves which key range. It is the data-plane counterpart of the paper's
+// etcd overlay / naming layer: routing clients cache a copy and refetch it
+// when a reply proves the copy stale (kWrongShard, or a higher-epoch reply
+// with a different serving range), and the placement driver mutates it with
+// atomic split / merge / membership deltas.
+//
+// Invariants (checked on every mutation; a delta that would violate them is
+// rejected without changing the map):
+//   * the shards' ranges cover the full key space exactly once — no gap,
+//     no overlap, first lo = -inf, last hi = +inf;
+//   * every shard has at least one member and a unique non-zero id;
+//   * the map version increases by exactly one per applied mutation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/key_range.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace recraft::shard {
+
+using ShardId = uint32_t;
+inline constexpr ShardId kNoShard = 0;
+
+struct ShardInfo {
+  ShardId id = kNoShard;  // assigned by the map when 0
+  KeyRange range;
+  std::vector<NodeId> members;  // kept sorted
+  NodeId leader_hint = kNoNode;
+  uint32_t epoch = 0;  // consensus epoch of the serving group (a hint)
+  ClusterUid uid = 0;
+  std::string ToString() const;
+};
+
+/// An atomic mutation: drop the shards in `remove`, insert the shards in
+/// `add`. The surviving ranges must still tile the key space.
+struct ShardMapDelta {
+  std::vector<ShardId> remove;
+  std::vector<ShardInfo> add;
+};
+
+class ShardMap {
+ public:
+  uint64_t version() const { return version_; }
+  size_t size() const { return by_lo_.size(); }
+  bool empty() const { return by_lo_.empty(); }
+
+  /// Replace the whole map (initial placement). Assigns ids to entries
+  /// with id == kNoShard.
+  Status Bootstrap(std::vector<ShardInfo> shards);
+
+  /// Apply a split/merge delta atomically: validated against the full
+  /// invariant set first; on failure the map (and version) are untouched.
+  Status Apply(const ShardMapDelta& delta);
+
+  /// Membership delta for one shard (after an add/remove on its group).
+  Status UpdateMembership(ShardId id, std::vector<NodeId> members,
+                          uint32_t epoch);
+
+  /// Record a fresher leader hint. Hints are advisory: no version bump.
+  void UpdateLeaderHint(ShardId id, NodeId leader);
+
+  /// The shard covering `key` (binary search over range.lo), or nullptr —
+  /// which only happens on an empty map, given full coverage.
+  const ShardInfo* Lookup(const std::string& key) const;
+  const ShardInfo* Get(ShardId id) const;
+  /// All shards in key-range order.
+  std::vector<ShardInfo> Shards() const;
+
+  /// Re-verify the invariants of the current content (tests; mutation paths
+  /// already enforce them).
+  Status CheckInvariants() const { return Validate(by_lo_); }
+  std::string ToString() const;
+
+ private:
+  static Status Validate(const std::map<std::string, ShardInfo>& m);
+  /// Validate `next` and swap it in under a bumped version.
+  Status Install(std::map<std::string, ShardInfo> next, ShardId next_id);
+  ShardInfo* FindById(ShardId id);
+
+  std::map<std::string, ShardInfo> by_lo_;  // keyed by range.lo
+  uint64_t version_ = 0;
+  ShardId next_id_ = 1;
+};
+
+/// Boundary keys partitioning the zero-padded decimal key population the
+/// workload clients generate ("<prefix>%08llu", see ClosedLoopClient) into
+/// `n_shards` near-equal spans. Returns n_shards - 1 keys.
+std::vector<std::string> UniformKeyBoundaries(const std::string& prefix,
+                                              uint64_t key_space,
+                                              size_t n_shards);
+
+}  // namespace recraft::shard

@@ -309,11 +309,12 @@ void ClusterManager::SendCurrent() {
         genesis.members = op.groups[group_cursor_];
         std::sort(genesis.members.begin(), genesis.members.end());
         genesis.range = op.ranges[group_cursor_];
-        genesis.uid = Mix64(0x7c17, Mix64(id_, group_cursor_ + op_seq_));
+        genesis.uid =
+            Mix64(0x7c17 + opts_.op_salt, Mix64(id_, group_cursor_ + op_seq_));
         for (NodeId n : pending_acks_) {
           raft::BootstrapReq req;
           req.from = id_;
-          req.op_id = op_seq_ * 1000 + group_cursor_;
+          req.op_id = opts_.op_salt * 100000 + op_seq_ * 1000 + group_cursor_;
           req.genesis = genesis;
           req.data = snaps_[group_cursor_];
           world_.net().Send(id_, n, raft::MakeMessage(raft::Message(req)),
@@ -377,11 +378,11 @@ void ClusterManager::SendCurrent() {
         raft::ConfigState empty;
         empty.members = {};
         empty.range = KeyRange::Empty();
-        empty.uid = Mix64(0xdead, op_seq_);
+        empty.uid = Mix64(0xdead + opts_.op_salt, op_seq_);
         for (NodeId n : pending_acks_) {
           raft::BootstrapReq req;
           req.from = id_;
-          req.op_id = op_seq_ * 2000 + group_cursor_;
+          req.op_id = opts_.op_salt * 100000 + op_seq_ * 2000 + group_cursor_;
           req.genesis = empty;
           world_.net().Send(id_, n, raft::MakeMessage(raft::Message(req)), 128);
         }

@@ -22,7 +22,7 @@ TEST(AdminSetRange, ShrinkDropsOutsideKeys) {
     EXPECT_EQ(w.node(id).config().range, KeyRange("", "m"));
     EXPECT_EQ(w.node(id).store().size(), 1u);
   }
-  EXPECT_EQ(w.Get(c, "z").status().code(), Code::kOutOfRange);
+  EXPECT_EQ(w.Get(c, "z").status().code(), Code::kWrongShard);
 }
 
 TEST(AdminSetRange, AbsorbBulkLoadsAdjacentData) {

@@ -149,6 +149,117 @@ TEST(Merge, AbortWhenParticipantBusy) {
   EXPECT_EQ(w.node(w.LeaderOf(f.groups[0])).epoch(), 1u);
 }
 
+TEST(Merge, AbortRetransmittedUntilParticipantsAck) {
+  // Regression for the abort-path liveness hole: the coordinator used to
+  // tear its runtime down the moment C_abort applied, so a participant that
+  // recorded CTX' depended on the one-shot abort fan-out. If that message
+  // was lost, the participant's pending transaction blocked every future
+  // reconfiguration forever. The coordinator must keep retransmitting the
+  // abort (mirroring the commit path) until every participant acks.
+  MergeFixture f(13, 3);
+  auto& w = f.w;
+  const auto& g0 = f.groups[0];  // coordinator cluster
+  const auto& g1 = f.groups[1];  // records CTX' and votes OK
+  const auto& g2 = f.groups[2];  // votes NO (busy with another transaction)
+  // Warm every cluster so prepares are recorded rather than answered Busy.
+  ASSERT_TRUE(w.Put(g0, "a8", "warm").ok());
+  ASSERT_TRUE(w.Put(g1, "h8", "warm").ok());
+  ASSERT_TRUE(w.Put(g2, "p8", "warm").ok());
+
+  // Occupy g2 with a fake pending transaction so it votes NO on the real
+  // one (same trick as AbortWhenParticipantBusy).
+  auto fake_draft = w.MakeMergeDraft({g0, g2});
+  ASSERT_TRUE(fake_draft.ok());
+  raft::MergePlan fake = *fake_draft;
+  fake.tx = w.NextTxId();
+  fake.new_uid = raft::DeriveMergeUid(fake.tx);
+  raft::MergePrepareReq fake_req;
+  fake_req.from = harness::kAdminId;
+  fake_req.plan = fake;
+  ASSERT_TRUE(w.RunUntil([&]() { return w.LeaderOf(g2) != kNoNode; },
+                         5 * kSecond));
+  w.net().Send(harness::kAdminId, w.LeaderOf(g2),
+               raft::MakeMessage(raft::Message(fake_req)), 128);
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        NodeId l = w.LeaderOf(g2);
+        return l != kNoNode && w.node(l).config().merge_tx.has_value();
+      },
+      5 * kSecond));
+
+  // Delay every g2 -> g0 link so the NO vote (and the abort decision)
+  // arrives well after g1 has recorded its OK.
+  for (NodeId c : g2) {
+    for (NodeId a : g0) w.net().SetLinkLatency(c, a, 1500 * kMillisecond);
+  }
+
+  // Fire the real three-way merge asynchronously.
+  auto plan = w.MakeMergeDraft({g0, g1, g2});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(w.RunUntil([&]() { return w.LeaderOf(g0) != kNoNode; },
+                         5 * kSecond));
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = raft::AdminMerge{*plan};
+  w.net().Send(harness::kAdminId, w.LeaderOf(g0),
+               raft::MakeMessage(raft::Message(req)), 128);
+
+  // Wait for g1 to durably record its OK decision, give its reply a moment
+  // to reach the coordinator, then cut every g0 <-> g1 link: the one-shot
+  // abort fan-out to g1 is guaranteed to be lost.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        NodeId l = w.LeaderOf(g1);
+        if (l == kNoNode) return false;
+        const auto& n = w.node(l);
+        return n.config().merge_tx.has_value() &&
+               n.config().merge_tx->tx == plan->tx &&
+               n.config().merge_tx_index <= n.last_applied();
+      },
+      5 * kSecond));
+  w.RunFor(100 * kMillisecond);
+  for (NodeId a : g0) {
+    for (NodeId b : g1) w.net().Block(a, b);
+  }
+
+  // The delayed NO arrives; the coordinator commits and applies C_abort.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId a : g0) {
+          if (w.node(a).counters().Get("merge.aborted") > 0) return true;
+        }
+        return false;
+      },
+      10 * kSecond));
+  // Let the (doomed) one-shot fan-out window pass while g1 is unreachable.
+  w.RunFor(300 * kMillisecond);
+  for (NodeId a : g0) {
+    for (NodeId b : g1) w.net().Unblock(a, b);
+  }
+
+  // The fix: the coordinator keeps retransmitting the abort, so g1 clears
+  // its pending transaction once the partition heals.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId b : g1) {
+          if (w.node(b).config().merge_tx.has_value()) return false;
+        }
+        return true;
+      },
+      20 * kSecond))
+      << "g1 still holds CTX': "
+      << w.node(g1[0]).config().ToString();
+
+  // And g1 is reconfigurable again: a fresh merge with g0 completes.
+  ASSERT_TRUE(w.AdminMerge({g0, g1}, {}, 60 * kSecond).ok());
+  std::vector<NodeId> merged;
+  merged.insert(merged.end(), g0.begin(), g0.end());
+  merged.insert(merged.end(), g1.begin(), g1.end());
+  std::sort(merged.begin(), merged.end());
+  ASSERT_TRUE(f.MergedAndServing(merged, 30 * kSecond));
+}
+
 TEST(Merge, CoordinatorLeaderCrashDuringPrepare) {
   MergeFixture f(6, 2);
   auto& w = f.w;

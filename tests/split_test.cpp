@@ -54,8 +54,8 @@ TEST(Split, DataIsPartitionedByRange) {
   // g1 owns [ "", "m"), g2 owns ["m", inf).
   EXPECT_EQ(*w.Get(g1, "a1"), "va1");
   EXPECT_EQ(*w.Get(g2, "m1"), "vm1");
-  EXPECT_EQ(w.Get(g1, "m1").status().code(), Code::kOutOfRange);
-  EXPECT_EQ(w.Get(g2, "a1").status().code(), Code::kOutOfRange);
+  EXPECT_EQ(w.Get(g1, "m1").status().code(), Code::kWrongShard);
+  EXPECT_EQ(w.Get(g2, "a1").status().code(), Code::kWrongShard);
   // Stores physically dropped the other half.
   ExpectConverged(w, g1);
   ExpectConverged(w, g2);

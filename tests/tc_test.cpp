@@ -54,7 +54,7 @@ TEST(TcSplit, ProducesTwoServingClusters) {
   EXPECT_EQ(*f.w.Get(g1, "a1"), "va1");
   EXPECT_EQ(*f.w.Get(g2, "m1"), "vm1");
   // Source shrank its range.
-  EXPECT_EQ(f.w.Get(g1, "m1").status().code(), Code::kOutOfRange);
+  EXPECT_EQ(f.w.Get(g1, "m1").status().code(), Code::kWrongShard);
   // Both sides accept new writes.
   EXPECT_TRUE(f.w.Put(g1, "a9", "x").ok());
   EXPECT_TRUE(f.w.Put(g2, "z9", "y").ok());
