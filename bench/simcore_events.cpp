@@ -1,0 +1,330 @@
+// Simulator-core performance: how many events per second the discrete-event
+// core can schedule, cancel and fire, and what that buys end to end. Two
+// modes:
+//
+//   $ ./simcore_events                      # google-benchmark micros
+//   $ ./simcore_events --json [path]        # fixed-size suite -> JSON
+//   $ ./simcore_events --json --smoke       # CTest-sized run
+//
+// The --json suite hand-times the schedule/cancel/fire churn micro, a pure
+// schedule+fire throughput loop, a network fan-out loop, and a
+// message-heavy shard-plane world (events/sec of the whole simulator), and
+// writes BENCH_simperf.json so CI can track the perf trajectory.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "shard/shard_map.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+#if __has_include(<benchmark/benchmark.h>) && defined(RECRAFT_HAVE_BENCHMARK)
+#include <benchmark/benchmark.h>
+#define RECRAFT_GBENCH 1
+#endif
+
+namespace recraft::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Workload kernels, shared by the --json timing loops and the
+// google-benchmark micros so the two harnesses can never drift apart in
+// what they measure.
+
+// Schedule/cancel/fire churn — the timer-race pattern (arm a timer, cancel
+// it when the awaited message arrives, re-arm) interleaved with fired work
+// events. One step: 1 cancel + 2 schedules + 1 pop = 4 queue ops.
+struct ChurnWorkload {
+  static constexpr size_t kTimers = 4096;
+  static constexpr double kOpsPerStep = 4.0;
+
+  sim::EventQueue q;
+  Rng rng{7};
+  std::vector<sim::EventId> timers;
+  uint64_t fired = 0;
+  size_t cursor = 0;
+
+  ChurnWorkload() {
+    timers.reserve(kTimers);
+    for (size_t i = 0; i < kTimers; ++i) {
+      timers.push_back(
+          q.Schedule(1 + rng.Uniform(0, 9999), [this]() { ++fired; }));
+    }
+  }
+  void Step() {
+    q.Cancel(timers[cursor]);  // the race the timer lost
+    timers[cursor] =
+        q.Schedule(1 + rng.Uniform(0, 9999), [this]() { ++fired; });  // re-arm
+    q.Schedule(1 + rng.Uniform(0, 99), [this]() { ++fired; });  // the winner
+    q.RunOne();
+    cursor = (cursor + 1) % kTimers;
+  }
+};
+
+// Pure schedule + fire throughput in bursts against a long-lived queue
+// (worlds keep one queue for the whole run, so the pool is warm in steady
+// state). One step: schedule `batch` events, drain them.
+struct ScheduleFireWorkload {
+  static constexpr size_t kBatch = 10000;
+
+  sim::EventQueue q;
+  Rng rng{11};
+  uint64_t fired = 0;
+
+  void Step() {
+    for (size_t i = 0; i < kBatch; ++i) {
+      q.Schedule(rng.Uniform(0, 999), [this]() { ++fired; });
+    }
+    q.RunFor(1000);
+  }
+};
+
+// Network fan-out — one sender multicasting to every receiver, the per-send
+// hot path (counters, crash/partition checks, latency, delivery). One step:
+// one multicast burst, drained.
+struct FanoutWorkload {
+  sim::EventQueue events;
+  sim::Network net;
+  NodeId receivers;
+  uint64_t delivered = 0;
+  std::shared_ptr<int> payload = std::make_shared<int>(0);
+
+  explicit FanoutWorkload(NodeId n_receivers)
+      : net(events,
+            []() {
+              sim::NetworkOptions o;
+              o.jitter = 50;
+              return o;
+            }(),
+            Rng(3)),
+        receivers(n_receivers) {
+    for (NodeId n = 1; n <= receivers; ++n) {
+      net.Register(n,
+                   [this](NodeId, std::shared_ptr<const void>, size_t) {
+                     ++delivered;
+                   });
+    }
+  }
+  void Step() {
+    for (NodeId n = 1; n <= receivers; ++n) net.Send(0, n, payload, 128);
+    events.RunFor(2 * kMillisecond);  // drain the burst
+  }
+};
+
+double ChurnOpsPerSec(size_t iters) {
+  ChurnWorkload w;
+  auto t0 = Clock::now();
+  for (size_t i = 0; i < iters; ++i) w.Step();
+  double secs = SecondsSince(t0);
+  return secs > 0
+             ? ChurnWorkload::kOpsPerStep * static_cast<double>(iters) / secs
+             : 0;
+}
+
+double ScheduleFireEventsPerSec(size_t batches) {
+  ScheduleFireWorkload w;
+  auto t0 = Clock::now();
+  for (size_t b = 0; b < batches; ++b) w.Step();
+  double secs = SecondsSince(t0);
+  return secs > 0 ? static_cast<double>(w.fired) / secs : 0;
+}
+
+double FanoutDeliveriesPerSec(size_t rounds, NodeId receivers) {
+  FanoutWorkload w(receivers);
+  auto t0 = Clock::now();
+  for (size_t r = 0; r < rounds; ++r) w.Step();
+  double secs = SecondsSince(t0);
+  return secs > 0 ? static_cast<double>(w.delivered) / secs : 0;
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a message-heavy shard plane — every client op is a fan of
+// ClientRequest/AppendEntries/replies, so events/sec here is the simulator's
+// whole-stack capacity, the constant factor behind every paper figure.
+struct E2eResult {
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+  double client_ops_per_sec = 0;
+  uint64_t events = 0;
+};
+
+E2eResult RunShardPlane(Duration sim_time) {
+  harness::WorldOptions opts;
+  opts.seed = 0x51e5;
+  opts.net.base_latency = 1 * kMillisecond;
+  harness::World w(opts);
+  auto boundaries = shard::UniformKeyBoundaries("k", 100000, 4);
+  auto ids = w.BootstrapShards(4, 3, boundaries);
+  if (!ids.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n",
+                 ids.status().ToString().c_str());
+    return {};
+  }
+  harness::Router router(&w.shard_map());
+  auto copts = PaperClient();
+  copts.batch_size = 4;
+  harness::ClientFleet fleet(w, router, 24, copts);
+  fleet.Start();
+  w.RunFor(1 * kSecond);  // warmup: elect, populate, settle routes
+  uint64_t ev0 = w.events().events_executed();
+  uint64_t ops0 = fleet.TotalOps();
+  TimePoint t0 = w.now();
+  auto w0 = Clock::now();
+  w.RunFor(sim_time);
+  E2eResult res;
+  res.wall_seconds = SecondsSince(w0);
+  res.sim_seconds = Sec(w.now() - t0);
+  res.events = w.events().events_executed() - ev0;
+  if (res.wall_seconds > 0) {
+    res.events_per_sec =
+        static_cast<double>(res.events) / res.wall_seconds;
+    res.client_ops_per_sec =
+        static_cast<double>(fleet.TotalOps() - ops0) / res.wall_seconds;
+  }
+  fleet.Stop();
+  return res;
+}
+
+int RunJson(const std::string& path, bool smoke) {
+  const size_t churn_iters = smoke ? 200000 : 2000000;
+  const size_t sf_batches = smoke ? 50 : 400;
+  const size_t fan_rounds = smoke ? 4000 : 40000;
+  const Duration e2e_sim = smoke ? 1 * kSecond : 4 * kSecond;
+
+  PrintHeader("simcore_events (json mode)");
+  double churn = ChurnOpsPerSec(churn_iters);
+  std::printf("  churn (schedule/cancel/fire):  %.3fM ops/s\n", churn / 1e6);
+  double sf = ScheduleFireEventsPerSec(sf_batches);
+  std::printf("  schedule+fire:                 %.3fM events/s\n", sf / 1e6);
+  double fan = FanoutDeliveriesPerSec(fan_rounds, 64);
+  std::printf("  network fan-out:               %.3fM deliveries/s\n",
+              fan / 1e6);
+  E2eResult e2e = RunShardPlane(e2e_sim);
+  std::printf(
+      "  e2e shard plane: %.2fs sim in %.2fs wall — %.3fM events/s, "
+      "%.0f client ops/s\n",
+      e2e.sim_seconds, e2e.wall_seconds, e2e.events_per_sec / 1e6,
+      e2e.client_ops_per_sec);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"simcore_events\",\n"
+               "  \"smoke\": %s,\n"
+               "  \"micro\": {\n"
+               "    \"churn_ops_per_sec\": %.0f,\n"
+               "    \"schedule_fire_events_per_sec\": %.0f,\n"
+               "    \"fanout_deliveries_per_sec\": %.0f\n"
+               "  },\n"
+               "  \"e2e\": {\n"
+               "    \"shards\": 4,\n"
+               "    \"clients\": 24,\n"
+               "    \"sim_seconds\": %.3f,\n"
+               "    \"wall_seconds\": %.3f,\n"
+               "    \"events\": %llu,\n"
+               "    \"events_per_sec\": %.0f,\n"
+               "    \"client_ops_per_sec\": %.0f\n"
+               "  }\n"
+               "}\n",
+               smoke ? "true" : "false", churn, sf, fan, e2e.sim_seconds,
+               e2e.wall_seconds,
+               static_cast<unsigned long long>(e2e.events),
+               e2e.events_per_sec, e2e.client_ops_per_sec);
+  std::fclose(f);
+  std::printf("  wrote %s\n", path.c_str());
+  return e2e.events > 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark micros (kept separate from --json so `ctest -L bench`
+// stays cheap while interactive runs get proper statistical treatment).
+#ifdef RECRAFT_GBENCH
+
+void BM_ScheduleFire(benchmark::State& state) {
+  ScheduleFireWorkload w;
+  for (auto _ : state) {
+    w.Step();
+    benchmark::DoNotOptimize(w.fired);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          ScheduleFireWorkload::kBatch);
+}
+BENCHMARK(BM_ScheduleFire);
+
+void BM_ChurnCancelFire(benchmark::State& state) {
+  ChurnWorkload w;
+  for (auto _ : state) {
+    w.Step();
+    benchmark::DoNotOptimize(w.fired);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(
+      static_cast<double>(state.iterations()) * ChurnWorkload::kOpsPerStep));
+}
+BENCHMARK(BM_ChurnCancelFire);
+
+void BM_NetworkFanout(benchmark::State& state) {
+  FanoutWorkload w(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    w.Step();
+    benchmark::DoNotOptimize(w.delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkFanout)->Arg(8)->Arg(64);
+
+void BM_CounterAddByName(benchmark::State& state) {
+  CounterSet c;
+  for (auto _ : state) {
+    c.Add("net.sent");
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAddByName);
+
+#endif  // RECRAFT_GBENCH
+
+}  // namespace
+}  // namespace recraft::bench
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_simperf.json";
+  bool json = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (json || smoke) {
+    return recraft::bench::RunJson(json_path, smoke);
+  }
+#ifdef RECRAFT_GBENCH
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "google-benchmark not available; run with --json instead\n");
+  return recraft::bench::RunJson(json_path, smoke);
+#endif
+}

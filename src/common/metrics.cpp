@@ -28,15 +28,30 @@ Duration LatencyRecorder::Max() const {
 }
 
 double ThroughputSeries::Rate(uint64_t i) const {
-  auto it = buckets_.find(i);
-  if (it == buckets_.end()) return 0.0;
-  return static_cast<double>(it->second) /
+  if (i >= buckets_.size()) return 0.0;
+  return static_cast<double>(buckets_[i]) /
          (static_cast<double>(window_) / static_cast<double>(kSecond));
 }
 
-uint64_t ThroughputSeries::NumWindows() const {
-  if (buckets_.empty()) return 0;
-  return buckets_.rbegin()->first + 1;
+CounterSet::Id CounterSet::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  Id id = static_cast<Id>(values_.size());
+  names_.emplace_back(name);
+  values_.push_back(0);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+uint64_t CounterSet::Get(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : values_[it->second];
+}
+
+std::map<std::string, uint64_t> CounterSet::all() const {
+  std::map<std::string, uint64_t> out;
+  for (size_t i = 0; i < names_.size(); ++i) out[names_[i]] = values_[i];
+  return out;
 }
 
 }  // namespace recraft

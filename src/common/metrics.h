@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -35,35 +38,60 @@ class LatencyRecorder {
 };
 
 /// Counts events into fixed-width time windows so benches can print
-/// per-second throughput series (Fig. 7a / 8a).
+/// per-second throughput series (Fig. 7a / 8a). Windows are a dense array
+/// indexed by t / window — recording is an increment, not a map probe.
 class ThroughputSeries {
  public:
   explicit ThroughputSeries(Duration window = kSecond) : window_(window) {}
 
-  void Record(TimePoint t, uint64_t n = 1) { buckets_[t / window_] += n; }
+  void Record(TimePoint t, uint64_t n = 1) {
+    uint64_t w = t / window_;
+    if (w >= buckets_.size()) buckets_.resize(w + 1, 0);
+    buckets_[w] += n;
+  }
 
   /// Requests per second in window `i` (0-based).
   double Rate(uint64_t i) const;
-  uint64_t NumWindows() const;
+  uint64_t NumWindows() const { return buckets_.size(); }
   Duration window() const { return window_; }
 
  private:
   Duration window_;
-  std::map<uint64_t, uint64_t> buckets_;
+  std::vector<uint64_t> buckets_;
 };
 
 /// Named monotonically increasing counters (messages sent, elections, ...).
+/// Hot paths intern a name once (usually at construction) and Add() through
+/// the returned id — a plain array increment. The string API stays for cold
+/// paths, tests and reporting.
 class CounterSet {
  public:
-  void Add(const std::string& name, uint64_t n = 1) { counters_[name] += n; }
-  uint64_t Get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
-  }
-  const std::map<std::string, uint64_t>& all() const { return counters_; }
+  using Id = uint32_t;
+
+  /// Intern `name`, returning a stable O(1) handle (idempotent).
+  Id Intern(std::string_view name);
+
+  void Add(Id id, uint64_t n = 1) { values_[id] += n; }
+  uint64_t Get(Id id) const { return values_[id]; }
+
+  void Add(std::string_view name, uint64_t n = 1) { Add(Intern(name), n); }
+  uint64_t Get(std::string_view name) const;
+
+  /// Name-sorted snapshot for reporting. Interned-but-untouched counters
+  /// report 0, like any other never-incremented counter.
+  std::map<std::string, uint64_t> all() const;
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, Id, StringHash, std::equal_to<>> index_;
+  std::vector<std::string> names_;
+  std::vector<uint64_t> values_;
 };
 
 }  // namespace recraft

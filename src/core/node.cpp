@@ -23,6 +23,13 @@ Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
       send_(std::move(send)),
       rng_(rng),
       store_(genesis.range) {
+  cid_.msg_sent = counters_.Intern("msg.sent");
+  cid_.msg_recv = counters_.Intern("msg.recv");
+  cid_.entries_applied = counters_.Intern("entries.applied");
+  cid_.append_sent = counters_.Intern("repl.append_sent");
+  cid_.commits = counters_.Intern("repl.commits");
+  cid_.client_proposed = counters_.Intern("client.proposed");
+  cid_.proposed = counters_.Intern("repl.proposed");
   bool bootstrap = !genesis.members.empty();
   raft::ConfInit init;
   init.members = genesis.members;
@@ -48,7 +55,7 @@ Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
 }
 
 void Node::Send(NodeId to, raft::Message m) {
-  counters_.Add("msg.sent");
+  counters_.Add(cid_.msg_sent);
   send_(to, raft::MakeMessage(std::move(m)));
 }
 
@@ -197,7 +204,7 @@ void Node::Tick() {
 }
 
 void Node::Receive(NodeId from, const raft::Message& m) {
-  counters_.Add("msg.recv");
+  counters_.Add(cid_.msg_recv);
   std::visit(
       [&](const auto& body) {
         using T = std::decay_t<decltype(body)>;
@@ -331,7 +338,7 @@ void Node::RecordApplied(const raft::LogEntry& e) {
 
 void Node::ApplyEntry(const raft::LogEntry& e) {
   RecordApplied(e);
-  counters_.Add("entries.applied");
+  counters_.Add(cid_.entries_applied);
   if (const auto* cmd = std::get_if<kv::Command>(&e.payload)) {
     kv::OpResult res = store_.Apply(*cmd);
     auto it = pending_.find(e.index);
@@ -478,7 +485,7 @@ void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
       ReplyToClient(from, m.req_id, idx.status());
       return;
     }
-    counters_.Add("client.proposed");
+    counters_.Add(cid_.client_proposed);
     return;
   }
   if (const auto* split = std::get_if<raft::AdminSplit>(&m.body)) {

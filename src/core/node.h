@@ -390,6 +390,13 @@ class Node {
 
   std::vector<AppliedRecord> applied_trace_;
   CounterSet counters_;
+  // Pre-interned handles for the per-message counters (see CounterSet):
+  // everything else uses the string API, these fire on every send/receive.
+  struct HotCounters {
+    CounterSet::Id msg_sent, msg_recv, entries_applied, append_sent, commits;
+    CounterSet::Id client_proposed, proposed;
+  };
+  HotCounters cid_{};
 };
 
 }  // namespace recraft::core

@@ -127,7 +127,7 @@ void Node::MaybeSendAppend(NodeId peer, bool force_empty) {
     p.next = entries.back().index + 1;  // optimistic pipelining
     ++p.inflight;
   }
-  counters_.Add("repl.append_sent");
+  counters_.Add(cid_.append_sent);
   Send(peer, std::move(ae));
 }
 
@@ -317,7 +317,7 @@ void Node::AdvanceCommit() {
   // log, so checking the top of the advanced range suffices.
   if (new_commit > commit_ && log_.TermAt(new_commit) == term_) {
     commit_ = new_commit;
-    counters_.Add("repl.commits");
+    counters_.Add(cid_.commits);
     ApplyCommitted();
     MaybeCompact();
     // Propagate the new commit index promptly (matters for split/merge
@@ -339,7 +339,7 @@ Result<Index> Node::Propose(raft::Payload payload) {
     log_.TruncateFrom(e.index);
     return Rejected("invalid configuration transition");
   }
-  counters_.Add("repl.proposed");
+  counters_.Add(cid_.proposed);
   AdvanceCommit();  // single-node quorums commit immediately
   BroadcastAppend(false);
   return e.index;

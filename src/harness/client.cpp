@@ -141,8 +141,8 @@ void ClosedLoopClient::SendOp(size_t idx) {
   req.req_id = op.req_id;
   req.from = id_;
   req.body = op.cmd;
-  world_.net().Send(id_, target, raft::MakeMessage(raft::Message(req)),
-                    32 + op.cmd.WireBytes());
+  auto msg = raft::MakeMessage(raft::Message(req));
+  world_.net().Send(id_, target, msg, msg.wire_bytes());
 }
 
 void ClosedLoopClient::ScheduleResend(size_t idx, Duration delay) {

@@ -33,10 +33,10 @@ World::World(WorldOptions opts)
                       naming_.HandleRegister(*reg);
                     } else if (std::get_if<raft::NamingLookupReq>(&m) !=
                                nullptr) {
-                      net_.Send(kNamingServiceId, from,
-                                raft::MakeMessage(raft::Message(
-                                    naming_.Directory())),
-                                64 + naming_.size() * 64);
+                      auto reply = raft::MakeMessage(
+                          raft::Message(naming_.Directory()));
+                      net_.Send(kNamingServiceId, from, reply,
+                                reply.wire_bytes());
                     }
                   });
   }
@@ -65,7 +65,7 @@ std::vector<NodeId> World::CreateCluster(size_t n, KeyRange range) {
     core::Options node_opts = opts_.node;
     if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
     auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-      net_.Send(id, to, msg, raft::MessageBytes(*msg));
+      net_.Send(id, to, msg, msg.wire_bytes());
     };
     nodes_[id] = std::make_unique<core::Node>(
         id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
@@ -92,7 +92,7 @@ NodeId World::CreateSpareNode() {
   core::Options node_opts = opts_.node;
   if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
   auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-    net_.Send(id, to, msg, raft::MessageBytes(*msg));
+    net_.Send(id, to, msg, msg.wire_bytes());
   };
   nodes_[id] = std::make_unique<core::Node>(
       id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
@@ -149,7 +149,8 @@ Status World::WipeNode(NodeId id, Duration timeout) {
   req.op_id = NextReqId();
   req.genesis = raft::ConfigState{};  // memberless: the node becomes a spare
   req.genesis.range = KeyRange::Empty();
-  net_.Send(kAdminId, id, raft::MakeMessage(raft::Message(req)), 128);
+  auto msg = raft::MakeMessage(raft::Message(req));
+  net_.Send(kAdminId, id, msg, msg.wire_bytes());
   bool ok = RunUntil(
       [&]() {
         return node(id).config().members.empty() &&
@@ -248,7 +249,8 @@ Result<raft::ClientReply> World::Call(NodeId to, raft::ClientBody body,
   req.req_id = req_id;
   req.from = kAdminId;
   req.body = std::move(body);
-  net_.Send(kAdminId, to, raft::MakeMessage(raft::Message(req)), 128);
+  auto msg = raft::MakeMessage(raft::Message(req));
+  net_.Send(kAdminId, to, msg, msg.wire_bytes());
   bool got = RunUntil(
       [&]() { return admin_replies_.count(req_id) > 0; }, timeout);
   if (!got) return Timeout("no reply from node " + std::to_string(to));

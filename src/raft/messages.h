@@ -308,17 +308,58 @@ using Message =
                  RangeSnapReq, RangeSnapReply, BootstrapReq, BootstrapAck,
                  NamingRegister, NamingLookupReq, NamingLookupReply>;
 
-using MessagePtr = std::shared_ptr<const Message>;
-
 /// On-wire size estimate for bandwidth accounting.
 size_t MessageBytes(const Message& m);
 
 /// Short human-readable tag ("AppendEntries", ...) for logs and traces.
 const char* MessageName(const Message& m);
 
+/// Shared handle to an immutable message, created by MakeMessage. Carries
+/// the message's on-wire size, computed exactly once — senders that fan a
+/// message out (heartbeats, commit notifies) used to re-walk the payload
+/// with MessageBytes on every Send. Converts to the network's opaque
+/// payload type; receivers cast back to `const Message`.
+class MessagePtr {
+ public:
+  MessagePtr() = default;
+
+  const Message& operator*() const { return rec_->msg; }
+  const Message* operator->() const { return &rec_->msg; }
+  const Message* get() const { return rec_ ? &rec_->msg : nullptr; }
+  explicit operator bool() const { return rec_ != nullptr; }
+
+  /// On-wire size for bandwidth accounting, memoized at MakeMessage.
+  size_t wire_bytes() const { return rec_ ? rec_->bytes : 0; }
+
+  /// View as the network's opaque payload (shares ownership).
+  std::shared_ptr<const Message> shared() const {
+    if (!rec_) return nullptr;
+    return std::shared_ptr<const Message>(rec_, &rec_->msg);
+  }
+  /* implicit */ operator std::shared_ptr<const void>() const {  // NOLINT
+    return shared();
+  }
+
+ private:
+  struct Rec {
+    size_t bytes = 0;
+    Message msg;
+  };
+
+  explicit MessagePtr(std::shared_ptr<const Rec> rec) : rec_(std::move(rec)) {}
+
+  template <typename T>
+  friend MessagePtr MakeMessage(T&& body);
+
+  std::shared_ptr<const Rec> rec_;
+};
+
 template <typename T>
 MessagePtr MakeMessage(T&& body) {
-  return std::make_shared<const Message>(std::forward<T>(body));
+  auto rec = std::make_shared<MessagePtr::Rec>();
+  rec->msg = Message(std::forward<T>(body));
+  rec->bytes = MessageBytes(rec->msg);
+  return MessagePtr(std::move(rec));
 }
 
 }  // namespace recraft::raft

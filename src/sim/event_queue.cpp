@@ -1,57 +1,198 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
+#include <algorithm>
+#include <bit>
+
+#include "common/rng.h"
 
 namespace recraft::sim {
 
-EventId EventQueue::Schedule(Duration delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+EventQueue::EventQueue() : wheel_(kNumBuckets) {}
+
+uint32_t EventQueue::AllocSlot(EventFn fn) {
+  uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Rec& r = pool_[slot];
+  ++r.gen;  // even (free) -> odd (live)
+  r.fn = std::move(fn);
+  return slot;
 }
 
-EventId EventQueue::ScheduleAt(TimePoint when, std::function<void()> fn) {
+void EventQueue::FreeSlot(uint32_t slot) {
+  Rec& r = pool_[slot];
+  ++r.gen;      // odd (live) -> even (free): outstanding ids/entries die
+  r.fn.Reset();  // release captures promptly (payloads, liveness tokens)
+  r.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::WheelInsert(const Entry& e) {
+  size_t i = (e.t >> kBucketBits) & kBucketMask;
+  auto& v = wheel_[i];
+  v.push_back(e);
+  std::push_heap(v.begin(), v.end(), Later{});
+  occupied_[i >> 6] |= 1ULL << (i & 63);
+  ++wheel_size_;
+}
+
+void EventQueue::InsertEntry(const Entry& e) {
+  // Near events go to their calendar bucket; events beyond the wheel's
+  // window — or (rarely, after an empty-wheel jump) behind it — overflow
+  // into the far heap, which Locate() compares against and harvests from.
+  if ((e.t >> kBucketBits) - cursor_ < kNumBuckets) {
+    WheelInsert(e);
+  } else {
+    far_.push_back(e);
+    std::push_heap(far_.begin(), far_.end(), Later{});
+  }
+}
+
+EventId EventQueue::ScheduleAt(TimePoint when, EventFn fn) {
   assert(when >= now_);
-  EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  ++live_count_;
-  return id;
+  if (when < now_) when = now_;
+  uint32_t slot = AllocSlot(std::move(fn));
+  uint32_t gen = pool_[slot].gen;
+  InsertEntry(Entry{when, next_seq_++, slot, gen});
+  ++live_;
+  return (static_cast<EventId>(slot) << 32) | gen;
 }
 
 void EventQueue::Cancel(EventId id) {
   if (id == kNoEvent) return;
-  // Lazily discarded when popped; the id set stays small because fired
-  // events remove themselves from it.
-  cancelled_.insert(id);
+  uint32_t slot = static_cast<uint32_t>(id >> 32);
+  uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= pool_.size()) return;
+  Rec& r = pool_[slot];
+  if (r.gen != gen) return;  // already fired, cancelled or recycled: no-op
+  FreeSlot(slot);            // the queued Entry goes stale; purged lazily
+  --live_;
 }
 
-void EventQueue::PurgeCancelledTop() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    queue_.pop();
-    --live_count_;
+void EventQueue::PurgeFarTop() {
+  while (!far_.empty() && pool_[far_.front().slot].gen != far_.front().gen) {
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    far_.pop_back();
   }
 }
 
-bool EventQueue::PopAndRun() {
-  PurgeCancelledTop();
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  --live_count_;
-  now_ = ev.t;
-  ++executed_;
-  ev.fn();
+void EventQueue::PurgeBucketTop(size_t idx) {
+  auto& v = wheel_[idx];
+  while (!v.empty() && pool_[v.front().slot].gen != v.front().gen) {
+    std::pop_heap(v.begin(), v.end(), Later{});
+    v.pop_back();
+    --wheel_size_;
+  }
+}
+
+size_t EventQueue::ScanOccupied(size_t start) const {
+  size_t w0 = start >> 6;
+  uint64_t head = occupied_[w0] & (~0ULL << (start & 63));
+  if (head != 0) return (w0 << 6) + static_cast<size_t>(std::countr_zero(head));
+  // Wrap around; the final iteration rescans w0's low bits.
+  for (size_t k = 1; k <= kBitmapWords; ++k) {
+    size_t w = (w0 + k) & (kBitmapWords - 1);
+    if (occupied_[w] != 0) {
+      return (w << 6) + static_cast<size_t>(std::countr_zero(occupied_[w]));
+    }
+  }
+  return kNumBuckets;
+}
+
+bool EventQueue::Locate(Entry* out) {
+  PurgeFarTop();
+  if (wheel_size_ == 0) {
+    if (far_.empty()) return false;
+    // Jump an idle wheel forward to the far heap's era so its events can be
+    // bucketed instead of heap-popped one by one.
+    uint64_t fb = far_.front().t >> kBucketBits;
+    if (fb > cursor_) cursor_ = fb;
+  }
+  // Harvest far events that now fall inside the wheel window.
+  for (;;) {
+    PurgeFarTop();
+    if (far_.empty()) break;
+    const Entry top = far_.front();
+    if ((top.t >> kBucketBits) - cursor_ >= kNumBuckets) break;
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    far_.pop_back();
+    WheelInsert(top);
+  }
+  // Earliest wheel entry: first occupied bucket at/after the cursor.
+  bool have_wheel = false;
+  Entry wc{};
+  const size_t start = cursor_ & kBucketMask;
+  for (;;) {
+    size_t i = ScanOccupied(start);
+    if (i == kNumBuckets) break;
+    PurgeBucketTop(i);
+    if (wheel_[i].empty()) {
+      occupied_[i >> 6] &= ~(1ULL << (i & 63));
+      continue;
+    }
+    wc = wheel_[i].front();
+    have_wheel = true;
+    cursor_ += (i - start) & kBucketMask;
+    loc_far_ = false;
+    loc_idx_ = i;
+    break;
+  }
+  // A far entry can only win when it sits behind the wheel window (inserted
+  // after an empty-wheel jump); compare directly so order is always exact.
+  if (!far_.empty()) {
+    const Entry& ft = far_.front();
+    if (!have_wheel || Later{}(wc, ft)) {
+      *out = ft;
+      loc_far_ = true;
+      return true;
+    }
+  }
+  if (!have_wheel) return false;
+  *out = wc;
   return true;
 }
 
-bool EventQueue::RunOne() { return PopAndRun(); }
+void EventQueue::TakeLocated() {
+  if (loc_far_) {
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    far_.pop_back();
+  } else {
+    auto& v = wheel_[loc_idx_];
+    std::pop_heap(v.begin(), v.end(), Later{});
+    v.pop_back();
+    --wheel_size_;
+    if (v.empty()) occupied_[loc_idx_ >> 6] &= ~(1ULL << (loc_idx_ & 63));
+  }
+}
+
+void EventQueue::Fire(const Entry& e) {
+  EventFn fn = std::move(pool_[e.slot].fn);
+  FreeSlot(e.slot);  // the id dies before the callable runs, like a pop
+  --live_;
+  now_ = e.t;
+  ++executed_;
+  digest_ = Mix64(digest_, Mix64(e.t, e.seq));
+  fn();
+}
+
+bool EventQueue::RunOne() {
+  Entry e;
+  if (!Locate(&e)) return false;
+  TakeLocated();
+  Fire(e);
+  return true;
+}
 
 void EventQueue::RunUntil(TimePoint deadline) {
-  for (;;) {
-    PurgeCancelledTop();
-    if (queue_.empty() || queue_.top().t > deadline) break;
-    PopAndRun();
+  Entry e;
+  while (Locate(&e) && e.t <= deadline) {
+    TakeLocated();
+    Fire(e);
   }
   if (now_ < deadline) now_ = deadline;
 }
@@ -59,10 +200,10 @@ void EventQueue::RunUntil(TimePoint deadline) {
 bool EventQueue::RunUntilPred(const std::function<bool()>& pred,
                               TimePoint deadline) {
   if (pred()) return true;
-  for (;;) {
-    PurgeCancelledTop();
-    if (queue_.empty() || queue_.top().t > deadline) break;
-    if (!PopAndRun()) break;
+  Entry e;
+  while (Locate(&e) && e.t <= deadline) {
+    TakeLocated();
+    Fire(e);
     if (pred()) return true;
   }
   if (now_ < deadline) now_ = deadline;

@@ -2,12 +2,37 @@
 // deliveries, node ticks, client arrivals, fault-injection actions — is an
 // event on this queue. Events at the same timestamp fire in scheduling order
 // (FIFO by sequence number), so a run is fully reproducible from its seed.
+//
+// The executed (time, sequence) trace and the order of RNG draws are frozen
+// contracts: the chaos/property suite is schedule-sensitive, so any change
+// to tie-breaking or pop order shows up as test flakes. The determinism
+// regression test compares `execution_digest()` across two same-seed runs.
+//
+// Internals are built for events/sec (the simulator core is the bottleneck
+// of every bench):
+//   - a calendar queue: a ring of 2048 buckets of 64 us, each a small
+//     binary min-heap of 24-byte POD entries ordered by (time, seq), plus an
+//     overflow heap for events beyond the ~131 ms near horizon. Pops scan an
+//     occupancy bitmap from the current bucket, so cost tracks the handful
+//     of events near `now` instead of the whole pending set.
+//   - O(1) cancellation: an EventId packs (pool slot, generation); Cancel
+//     bumps the slot's generation, instantly invalidating the queued entry
+//     (purged lazily when its bucket drains) and releasing the callable.
+//     Cancelling a fired, cancelled or unknown id is a free no-op — nothing
+//     is ever inserted into a side set (the old implementation leaked ids
+//     cancelled after firing).
+//   - pooled, move-only event records: callables live in recycled pool
+//     slots with 48 bytes of inline storage, so the steady state (message
+//     deliveries, ticks, timer churn) allocates nothing per event.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -17,21 +42,122 @@ namespace recraft::sim {
 using EventId = uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
+/// A move-only callable with inline storage. Closures up to kInlineBytes
+/// (enough for a network delivery: this + endpoints + payload shared_ptr +
+/// size) are stored in place; larger ones fall back to a single heap
+/// allocation. Unlike std::function it never copies the callable, so firing
+/// invokes the exact object that was scheduled.
+class EventFn {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  /* implicit */ EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_))
+          D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  /// Destroy the held callable (and release whatever it captured).
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* dst, void* src) {
+        D** s = std::launder(reinterpret_cast<D**>(src));
+        ::new (dst) D*(*s);
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 class EventQueue {
  public:
+  EventQueue();
+
   /// Schedule `fn` to run at now() + delay. Returns an id usable with Cancel.
-  EventId Schedule(Duration delay, std::function<void()> fn);
+  EventId Schedule(Duration delay, EventFn fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   /// Schedule at an absolute time (must be >= now()).
-  EventId ScheduleAt(TimePoint when, std::function<void()> fn);
+  EventId ScheduleAt(TimePoint when, EventFn fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// Cancel a pending event: O(1), destroys the callable immediately.
+  /// Cancelling an already-fired, already-cancelled or unknown id is a
   /// no-op (timers race with the events that cancel them).
   void Cancel(EventId id);
 
   TimePoint now() const { return now_; }
-  bool empty() const { return live_count_ == 0; }
-  size_t pending() const { return live_count_; }
+  bool empty() const { return live_ == 0; }
+  size_t pending() const { return live_; }
 
   /// Run the earliest pending event; returns false when the queue is empty.
   bool RunOne();
@@ -50,28 +176,80 @@ class EventQueue {
 
   uint64_t events_executed() const { return executed_; }
 
+  /// Rolling hash over the executed (time, seq) trace. Two runs of the same
+  /// seeded scenario must produce identical digests — the determinism
+  /// regression the schedule-sensitive suites rely on.
+  uint64_t execution_digest() const { return digest_; }
+
+  /// Number of pool slots ever allocated (high-water mark of concurrently
+  /// pending events). Exposed so tests can assert cancellation churn does
+  /// not grow internal state without bound.
+  size_t pool_slots() const { return pool_.size(); }
+
  private:
-  struct Event {
+  // A queued reference to a pooled event record. POD; bucket heaps order by
+  // (t, seq). `gen` detects cancellation: the entry is stale (skipped and
+  // discarded) once the pool slot's generation moved on.
+  struct Entry {
     TimePoint t;
-    EventId id;
-    std::function<void()> fn;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t gen;
   };
+
+  struct Rec {
+    EventFn fn;
+    uint32_t gen = 0;  // odd = live, even = free; ids embed the live value
+    uint32_t next_free = kNilSlot;
+  };
+
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+  static constexpr int kBucketBits = 6;        // 64 us per bucket
+  static constexpr size_t kNumBuckets = 2048;  // ~131 ms near horizon
+  static constexpr size_t kBucketMask = kNumBuckets - 1;
+  static constexpr size_t kBitmapWords = kNumBuckets / 64;
+
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
-  void PurgeCancelledTop();
-  bool PopAndRun();
+  uint32_t AllocSlot(EventFn fn);
+  void FreeSlot(uint32_t slot);
+  void InsertEntry(const Entry& e);
+  void WheelInsert(const Entry& e);
+  void PurgeFarTop();
+  void PurgeBucketTop(size_t idx);
+  size_t ScanOccupied(size_t start) const;
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  /// Find the earliest live pending entry (purging stale ones and migrating
+  /// far events on the way); false when nothing is pending. Caches the
+  /// entry's location for TakeLocated().
+  bool Locate(Entry* out);
+  /// Remove the entry Locate() just found from its heap.
+  void TakeLocated();
+  /// Consume the entry: free its slot, advance time, invoke the callable.
+  void Fire(const Entry& e);
+
+  std::vector<std::vector<Entry>> wheel_;  // kNumBuckets min-heaps
+  uint64_t occupied_[kBitmapWords] = {};
+  size_t wheel_size_ = 0;       // entries (incl. stale) across all buckets
+  std::vector<Entry> far_;      // min-heap of events beyond the horizon
+  uint64_t cursor_ = 0;         // bucket number; wheel covers [cursor, +N)
+
+  std::vector<Rec> pool_;
+  uint32_t free_head_ = kNilSlot;
+
+  bool loc_far_ = false;  // location cache for TakeLocated()
+  size_t loc_idx_ = 0;
+
   TimePoint now_ = 0;
-  EventId next_id_ = 1;
-  size_t live_count_ = 0;
+  uint64_t next_seq_ = 1;
+  size_t live_ = 0;
   uint64_t executed_ = 0;
+  uint64_t digest_ = 0x9e3779b97f4a7c15ULL;
 };
 
 }  // namespace recraft::sim

@@ -6,38 +6,74 @@
 
 namespace recraft::sim {
 
+namespace {
+
+template <typename T>
+void EnsureIndex(std::vector<T>& v, NodeId id, T fill) {
+  if (id >= v.size()) v.resize(static_cast<size_t>(id) + 1, fill);
+}
+
+}  // namespace
+
+Network::Network(EventQueue& events, NetworkOptions opts, Rng rng)
+    : events_(events), opts_(opts), rng_(rng) {
+  cid_.sent = counters_.Intern("net.sent");
+  cid_.bytes = counters_.Intern("net.bytes");
+  cid_.delivered = counters_.Intern("net.delivered");
+  cid_.drop_src_crashed = counters_.Intern("net.dropped.src_crashed");
+  cid_.drop_dst_crashed = counters_.Intern("net.dropped.dst_crashed");
+  cid_.drop_partition = counters_.Intern("net.dropped.partition");
+  cid_.drop_random = counters_.Intern("net.dropped.random");
+  cid_.drop_unregistered = counters_.Intern("net.dropped.unregistered");
+}
+
 void Network::Register(NodeId node, DeliveryHandler handler) {
+  EnsureIndex(handlers_, node, DeliveryHandler{});
   handlers_[node] = std::move(handler);
 }
 
-void Network::Unregister(NodeId node) { handlers_.erase(node); }
+void Network::Unregister(NodeId node) {
+  if (node < handlers_.size()) handlers_[node] = nullptr;
+}
+
+void Network::Crash(NodeId node) {
+  EnsureIndex(crashed_, node, uint8_t{0});
+  crashed_[node] = 1;
+}
 
 bool Network::CanCommunicate(NodeId a, NodeId b) const {
   if (a == b) return true;
-  if (blocked_.count({std::min(a, b), std::max(a, b)}) > 0) return false;
-  if (!group_of_.empty()) {
+  if (!blocked_.empty() &&
+      blocked_.count(PackLink(std::min(a, b), std::max(a, b))) > 0) {
+    return false;
+  }
+  if (partitions_active_) {
     // Nodes absent from every group (admin, clients, the naming service)
     // are unaffected by the partition and reach everyone.
-    auto ga = group_of_.find(a);
-    auto gb = group_of_.find(b);
-    if (ga != group_of_.end() && gb != group_of_.end() &&
-        ga->second != gb->second) {
-      return false;
-    }
+    int32_t ga = GroupOf(a);
+    int32_t gb = GroupOf(b);
+    if (ga >= 0 && gb >= 0 && ga != gb) return false;
   }
   return true;
 }
 
 Duration Network::DeliveryDelay(NodeId from, NodeId to, size_t bytes) {
   Duration base;
-  auto it = link_latency_.find({from, to});
-  if (it != link_latency_.end()) {
-    base = it->second;
-  } else if (from == to) {
-    base = opts_.loopback_latency;
-  } else {
-    base = opts_.base_latency;
-    if (opts_.jitter > 0) base += rng_.Uniform(0, 2 * opts_.jitter);
+  bool overridden = false;
+  if (!link_latency_.empty()) {
+    auto it = link_latency_.find(PackLink(from, to));
+    if (it != link_latency_.end()) {
+      base = it->second;
+      overridden = true;
+    }
+  }
+  if (!overridden) {
+    if (from == to) {
+      base = opts_.loopback_latency;
+    } else {
+      base = opts_.base_latency;
+      if (opts_.jitter > 0) base += rng_.Uniform(0, 2 * opts_.jitter);
+    }
   }
   Duration transfer = 0;
   if (opts_.bandwidth_bytes_per_sec > 0) {
@@ -50,67 +86,70 @@ Duration Network::DeliveryDelay(NodeId from, NodeId to, size_t bytes) {
 
 void Network::Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
                    size_t bytes) {
-  counters_.Add("net.sent");
-  counters_.Add("net.bytes", bytes);
-  if (crashed_.count(from) > 0) {
-    counters_.Add("net.dropped.src_crashed");
+  counters_.Add(cid_.sent);
+  counters_.Add(cid_.bytes, bytes);
+  if (IsCrashed(from)) {
+    counters_.Add(cid_.drop_src_crashed);
     return;
   }
   if (!CanCommunicate(from, to)) {
-    counters_.Add("net.dropped.partition");
+    counters_.Add(cid_.drop_partition);
     return;
   }
   if (opts_.drop_probability > 0 && from != to &&
       rng_.Chance(opts_.drop_probability)) {
-    counters_.Add("net.dropped.random");
+    counters_.Add(cid_.drop_random);
     return;
   }
   Duration delay = DeliveryDelay(from, to, bytes);
   events_.Schedule(delay, [this, from, to, payload = std::move(payload),
                            bytes]() {
-    if (crashed_.count(to) > 0) {
-      counters_.Add("net.dropped.dst_crashed");
+    if (IsCrashed(to)) {
+      counters_.Add(cid_.drop_dst_crashed);
       return;
     }
     // Re-check reachability at delivery time: a partition raised while the
     // message was in flight also loses it (conservative, like TCP resets).
     if (!CanCommunicate(from, to)) {
-      counters_.Add("net.dropped.partition");
+      counters_.Add(cid_.drop_partition);
       return;
     }
-    auto it = handlers_.find(to);
-    if (it == handlers_.end()) {
-      counters_.Add("net.dropped.unregistered");
+    if (to >= handlers_.size() || !handlers_[to]) {
+      counters_.Add(cid_.drop_unregistered);
       return;
     }
-    counters_.Add("net.delivered");
-    it->second(from, payload, bytes);
+    counters_.Add(cid_.delivered);
+    handlers_[to](from, payload, bytes);
   });
 }
 
 void Network::Block(NodeId a, NodeId b) {
-  blocked_.insert({std::min(a, b), std::max(a, b)});
+  blocked_.insert(PackLink(std::min(a, b), std::max(a, b)));
 }
 
 void Network::Unblock(NodeId a, NodeId b) {
-  blocked_.erase({std::min(a, b), std::max(a, b)});
+  blocked_.erase(PackLink(std::min(a, b), std::max(a, b)));
 }
 
 void Network::SetPartitions(const std::vector<std::vector<NodeId>>& groups) {
-  group_of_.clear();
-  int g = 0;
+  std::fill(group_of_.begin(), group_of_.end(), -1);
+  int32_t g = 0;
   for (const auto& group : groups) {
-    for (NodeId n : group) group_of_[n] = g;
+    for (NodeId n : group) {
+      EnsureIndex(group_of_, n, int32_t{-1});
+      group_of_[n] = g;
+    }
     ++g;
   }
+  partitions_active_ = true;
 }
 
 void Network::SetLinkLatency(NodeId from, NodeId to, Duration latency) {
-  link_latency_[{from, to}] = latency;
+  link_latency_[PackLink(from, to)] = latency;
 }
 
 void Network::ClearLinkLatency(NodeId from, NodeId to) {
-  link_latency_.erase({from, to});
+  link_latency_.erase(PackLink(from, to));
 }
 
 }  // namespace recraft::sim

@@ -3,13 +3,20 @@
 // blocks, group partitions and crashed endpoints. Payloads are opaque to the
 // network; the harness is the single place that casts them back to the
 // protocol message type.
+//
+// Send/deliver is the simulator's hottest path (one per message, several per
+// client op), so the per-message state is flat: handlers, crash flags and
+// partition groups are dense vectors indexed by NodeId, pairwise state lives
+// in hash sets of packed link keys behind an empty() check, and the traffic
+// counters are pre-interned CounterSet handles. The order of RNG draws per
+// Send (drop test, then jitter) is part of the determinism contract — see
+// event_queue.h.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -35,8 +42,7 @@ using DeliveryHandler =
 
 class Network {
  public:
-  Network(EventQueue& events, NetworkOptions opts, Rng rng)
-      : events_(events), opts_(opts), rng_(rng) {}
+  Network(EventQueue& events, NetworkOptions opts, Rng rng);
 
   /// Register/replace the handler invoked when a message reaches `node`.
   void Register(NodeId node, DeliveryHandler handler);
@@ -49,9 +55,13 @@ class Network {
             size_t bytes);
 
   // --- fault injection -------------------------------------------------
-  void Crash(NodeId node) { crashed_.insert(node); }
-  void Restart(NodeId node) { crashed_.erase(node); }
-  bool IsCrashed(NodeId node) const { return crashed_.count(node) > 0; }
+  void Crash(NodeId node);
+  void Restart(NodeId node) {
+    if (node < crashed_.size()) crashed_[node] = 0;
+  }
+  bool IsCrashed(NodeId node) const {
+    return node < crashed_.size() && crashed_[node] != 0;
+  }
 
   /// Block both directions between a and b.
   void Block(NodeId a, NodeId b);
@@ -62,7 +72,7 @@ class Network {
   /// naming service) are unaffected and reach everyone. Replaces any
   /// previous partition.
   void SetPartitions(const std::vector<std::vector<NodeId>>& groups);
-  void ClearPartitions() { group_of_.clear(); }
+  void ClearPartitions() { partitions_active_ = false; }
 
   void set_drop_probability(double p) { opts_.drop_probability = p; }
   const NetworkOptions& options() const { return opts_; }
@@ -76,17 +86,31 @@ class Network {
   bool CanCommunicate(NodeId a, NodeId b) const;
 
  private:
+  static uint64_t PackLink(NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  int32_t GroupOf(NodeId n) const {
+    return n < group_of_.size() ? group_of_[n] : -1;
+  }
   Duration DeliveryDelay(NodeId from, NodeId to, size_t bytes);
 
   EventQueue& events_;
   NetworkOptions opts_;
   Rng rng_;
-  std::unordered_map<NodeId, DeliveryHandler> handlers_;
-  std::set<NodeId> crashed_;
-  std::set<std::pair<NodeId, NodeId>> blocked_;  // normalized (min,max)
-  std::unordered_map<NodeId, int> group_of_;     // empty = no partition
-  std::map<std::pair<NodeId, NodeId>, Duration> link_latency_;
+  std::vector<DeliveryHandler> handlers_;        // indexed by NodeId
+  std::vector<uint8_t> crashed_;                 // indexed by NodeId
+  std::unordered_set<uint64_t> blocked_;         // PackLink(min, max)
+  std::vector<int32_t> group_of_;                // -1 = in no group
+  bool partitions_active_ = false;
+  std::unordered_map<uint64_t, Duration> link_latency_;  // PackLink(from, to)
   CounterSet counters_;
+
+  // Pre-interned handles for the per-message counters.
+  struct {
+    CounterSet::Id sent, bytes, delivered;
+    CounterSet::Id drop_src_crashed, drop_dst_crashed;
+    CounterSet::Id drop_partition, drop_random, drop_unregistered;
+  } cid_;
 };
 
 }  // namespace recraft::sim

@@ -292,16 +292,18 @@ void ClusterManager::SendCurrent() {
         step_reqs_.insert(req.req_id);
         req.from = id_;
         req.body = raft::AdminMember{mc};
-        world_.net().Send(id_, GuessLeader(op.source_members),
-                          raft::MakeMessage(raft::Message(req)), 128);
+        auto msg = raft::MakeMessage(raft::Message(req));
+        world_.net().Send(id_, GuessLeader(op.source_members), msg,
+                          msg.wire_bytes());
         return;
       }
       case CmPhase::kSnapshotting: {
         raft::RangeSnapReq req;
         req.from = id_;
         req.range = op.ranges[group_cursor_];
-        world_.net().Send(id_, GuessLeader(op.source_members),
-                          raft::MakeMessage(raft::Message(req)), 64);
+        auto msg = raft::MakeMessage(raft::Message(req));
+        world_.net().Send(id_, GuessLeader(op.source_members), msg,
+                          msg.wire_bytes());
         return;
       }
       case CmPhase::kRestarting: {
@@ -317,8 +319,8 @@ void ClusterManager::SendCurrent() {
           req.op_id = opts_.op_salt * 100000 + op_seq_ * 1000 + group_cursor_;
           req.genesis = genesis;
           req.data = snaps_[group_cursor_];
-          world_.net().Send(id_, n, raft::MakeMessage(raft::Message(req)),
-                            raft::MessageBytes(raft::Message(req)));
+          auto msg = raft::MakeMessage(raft::Message(req));
+          world_.net().Send(id_, n, msg, msg.wire_bytes());
         }
         return;
       }
@@ -332,8 +334,9 @@ void ClusterManager::SendCurrent() {
         req.body = body;
         // Only the remaining source members: after the bootstrap the split-
         // out nodes lead their own cluster and must not get this request.
-        world_.net().Send(id_, GuessLeader(op.groups[0]),
-                          raft::MakeMessage(raft::Message(req)), 128);
+        auto msg = raft::MakeMessage(raft::Message(req));
+        world_.net().Send(id_, GuessLeader(op.groups[0]), msg,
+                          msg.wire_bytes());
         return;
       }
       default:
@@ -347,8 +350,9 @@ void ClusterManager::SendCurrent() {
         raft::RangeSnapReq req;
         req.from = id_;
         req.range = op.ranges[group_cursor_];
-        world_.net().Send(id_, GuessLeader(op.clusters[group_cursor_]),
-                          raft::MakeMessage(raft::Message(req)), 64);
+        auto msg = raft::MakeMessage(raft::Message(req));
+        world_.net().Send(id_, GuessLeader(op.clusters[group_cursor_]), msg,
+                          msg.wire_bytes());
         return;
       }
       case CmPhase::kMergeInject: {
@@ -368,10 +372,9 @@ void ClusterManager::SendCurrent() {
         step_reqs_.insert(req.req_id);
         req.from = id_;
         req.body = body;
-        raft::Message msg(req);
-        world_.net().Send(id_, GuessLeader(op.clusters[0]),
-                          raft::MakeMessage(std::move(msg)),
-                          raft::MessageBytes(raft::Message(req)));
+        auto msg = raft::MakeMessage(raft::Message(std::move(req)));
+        world_.net().Send(id_, GuessLeader(op.clusters[0]), msg,
+                          msg.wire_bytes());
         return;
       }
       case CmPhase::kMergeTerminate: {
@@ -384,7 +387,8 @@ void ClusterManager::SendCurrent() {
           req.from = id_;
           req.op_id = opts_.op_salt * 100000 + op_seq_ * 2000 + group_cursor_;
           req.genesis = empty;
-          world_.net().Send(id_, n, raft::MakeMessage(raft::Message(req)), 128);
+          auto msg = raft::MakeMessage(raft::Message(req));
+          world_.net().Send(id_, n, msg, msg.wire_bytes());
         }
         return;
       }
@@ -397,8 +401,9 @@ void ClusterManager::SendCurrent() {
         step_reqs_.insert(req.req_id);
         req.from = id_;
         req.body = raft::AdminMember{mc};
-        world_.net().Send(id_, GuessLeader(op.clusters[0]),
-                          raft::MakeMessage(raft::Message(req)), 128);
+        auto msg = raft::MakeMessage(raft::Message(req));
+        world_.net().Send(id_, GuessLeader(op.clusters[0]), msg,
+                          msg.wire_bytes());
         return;
       }
       default:

@@ -180,6 +180,41 @@ TEST(Metrics, ThroughputWindows) {
   EXPECT_EQ(s.NumWindows(), 2u);
 }
 
+TEST(Metrics, ThroughputSparseWindows) {
+  ThroughputSeries s(kSecond);
+  s.Record(5 * kSecond + 1);  // first record far from t=0
+  s.Record(100 * kMillisecond, 3);
+  EXPECT_DOUBLE_EQ(s.Rate(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Rate(3), 0.0);
+  EXPECT_DOUBLE_EQ(s.Rate(5), 1.0);
+  EXPECT_DOUBLE_EQ(s.Rate(99), 0.0);  // beyond the series: zero, no growth
+  EXPECT_EQ(s.NumWindows(), 6u);
+}
+
+TEST(Metrics, CounterSetInternedAndStringViewsAgree) {
+  CounterSet c;
+  CounterSet::Id sent = c.Intern("net.sent");
+  EXPECT_EQ(sent, c.Intern("net.sent"));  // idempotent
+  c.Add(sent);
+  c.Add(sent, 4);
+  c.Add("net.sent");  // string API lands on the same counter
+  EXPECT_EQ(c.Get(sent), 6u);
+  EXPECT_EQ(c.Get("net.sent"), 6u);
+  EXPECT_EQ(c.Get("never.touched"), 0u);
+}
+
+TEST(Metrics, CounterSetSnapshotIsNameSorted) {
+  CounterSet c;
+  c.Add("b.two", 2);
+  c.Add("a.one");
+  c.Intern("z.zero");  // interned but never incremented: reports 0
+  auto all = c.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.begin()->first, "a.one");
+  EXPECT_EQ(all["b.two"], 2u);
+  EXPECT_EQ(all["z.zero"], 0u);
+}
+
 TEST(EpochTerm, OrderingAcrossEpochs) {
   using raft::EpochTerm;
   EpochTerm low = EpochTerm::Make(0, 1000);

@@ -2,6 +2,10 @@
 // predicates, network latency/bandwidth, drops, partitions and crashes.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+
+#include "common/rng.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 
@@ -77,6 +81,180 @@ TEST(EventQueue, RunUntilPredTimesOut) {
   bool hit = q.RunUntilPred([]() { return false; }, 500);
   EXPECT_FALSE(hit);
   EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, RunUntilPredInitiallyTrueRunsNothing) {
+  EventQueue q;
+  bool ran = false;
+  q.Schedule(10, [&]() { ran = true; });
+  EXPECT_TRUE(q.RunUntilPred([]() { return true; }, 1000));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.now(), 0u);  // satisfied before any event: time does not move
+}
+
+TEST(EventQueue, RunUntilPredDeadlineInclusive) {
+  EventQueue q;
+  int count = 0;
+  q.Schedule(100, [&]() { ++count; });
+  q.Schedule(100, [&]() { ++count; });
+  q.Schedule(101, [&]() { ++count; });
+  // Events exactly at the deadline run; the one just past it does not.
+  EXPECT_FALSE(q.RunUntilPred([]() { return false; }, 100));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunUntilPredChecksAfterEveryEvent) {
+  EventQueue q;
+  int count = 0;
+  // Three events at the same timestamp: the predicate trips mid-timestamp
+  // and must stop the run before the third fires.
+  for (int i = 0; i < 3; ++i) q.Schedule(10, [&]() { ++count; });
+  EXPECT_TRUE(q.RunUntilPred([&]() { return count == 2; }, 1000));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelSemantics) {
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.Schedule(10, [&]() { ++fired; });
+  EventId b = q.Schedule(20, [&]() { ++fired; });
+  q.Cancel(a);
+  q.Cancel(a);         // double cancel: no-op
+  q.Cancel(kNoEvent);  // null id: no-op
+  q.Cancel(0xdeadbeef00000005ULL);  // unknown id: no-op
+  q.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  q.Cancel(b);  // already fired: no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelStaleIdDoesNotKillSlotReuser) {
+  EventQueue q;
+  bool second_ran = false;
+  EventId a = q.Schedule(10, []() {});
+  q.Cancel(a);
+  // The freed slot is recycled; the stale id must not cancel the new event.
+  EventId b = q.Schedule(10, [&]() { second_ran = true; });
+  q.Cancel(a);
+  q.RunUntil(100);
+  EXPECT_TRUE(second_ran);
+  EXPECT_NE(a, b);
+}
+
+TEST(EventQueue, CancelFromInsideCallback) {
+  EventQueue q;
+  bool late_ran = false;
+  EventId self = kNoEvent;
+  EventId victim = q.Schedule(50, [&]() { late_ran = true; });
+  self = q.Schedule(10, [&]() {
+    q.Cancel(self);    // own id already fired: no-op, no growth
+    q.Cancel(victim);  // a pending timer the message beat
+  });
+  q.RunUntil(100);
+  EXPECT_FALSE(late_ran);
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression for the Cancel id leak: cancelling already-fired ids used to
+// insert into a tombstone set that nothing ever drained, so long runs with
+// timer races grew without bound. Now stale cancels are no-ops and fired
+// slots recycle, so internal state stays at the high-water mark of
+// *concurrently pending* events.
+TEST(EventQueue, CancelChurnStaysBounded) {
+  EventQueue q;
+  uint64_t fired = 0;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 1000; ++round) {
+    ids.clear();
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(q.Schedule(1 + i, [&]() { ++fired; }));
+    }
+    q.RunUntil(q.now() + 20);  // everything fires
+    for (EventId id : ids) q.Cancel(id);  // cancel dead ids, twice
+    for (EventId id : ids) q.Cancel(id);
+  }
+  EXPECT_EQ(fired, 8000u);
+  // 8 concurrent events + the pool's headroom; the old implementation's
+  // tombstone set would have reached 8000 entries here.
+  EXPECT_LE(q.pool_slots(), 16u);
+  EXPECT_TRUE(q.empty());
+}
+
+// The old PopAndRun copied the closure out of priority_queue::top(); firing
+// must invoke the originally scheduled callable, moved, never copied.
+TEST(EventQueue, FiringInvokesUncopiedCallableExactlyOnce) {
+  struct CopyCounter {
+    int* copies;
+    int* calls;
+    CopyCounter(int* cp, int* cl) : copies(cp), calls(cl) {}
+    CopyCounter(const CopyCounter& o) : copies(o.copies), calls(o.calls) {
+      ++*copies;
+    }
+    CopyCounter(CopyCounter&& o) noexcept : copies(o.copies), calls(o.calls) {}
+    void operator()() { ++*calls; }
+  };
+  int copies = 0, calls = 0;
+  EventQueue q;
+  q.Schedule(10, CopyCounter(&copies, &calls));
+  q.RunUntil(100);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(EventQueue, MoveOnlyAndOversizedCallables) {
+  EventQueue q;
+  int sum = 0;
+  // Move-only capture (std::function could not even hold this).
+  auto token = std::make_unique<int>(7);
+  q.Schedule(10, [&sum, t = std::move(token)]() { sum += *t; });
+  // Oversized capture: spills to the heap fallback but still fires.
+  std::array<char, 100> big{};
+  big[0] = 35;
+  q.Schedule(20, [&sum, big]() { sum += big[0]; });
+  q.RunUntil(100);
+  EXPECT_EQ(sum, 42);
+}
+
+TEST(EventQueue, OrderPreservedAcrossFarHorizon) {
+  // Mix near events with events far beyond the calendar's ~131 ms window,
+  // scheduled in shuffled order; execution must follow (time, seq) exactly.
+  EventQueue q;
+  Rng rng(99);
+  std::vector<std::pair<TimePoint, int>> fired;
+  std::vector<Duration> delays;
+  for (int i = 0; i < 500; ++i) {
+    delays.push_back(rng.Uniform(0, 2 * kSecond));
+  }
+  for (int i = 0; i < 500; ++i) {
+    TimePoint at = delays[static_cast<size_t>(i)];
+    q.Schedule(at, [&fired, at, i]() { fired.push_back({at, i}); });
+  }
+  q.RunUntil(3 * kSecond);
+  ASSERT_EQ(fired.size(), 500u);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_TRUE(fired[i - 1].first < fired[i].first ||
+                (fired[i - 1].first == fired[i].first &&
+                 fired[i - 1].second < fired[i].second))
+        << "out of order at " << i;
+  }
+}
+
+TEST(EventQueue, ExecutionDigestIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    EventQueue q;
+    Rng rng(seed);
+    int n = 0;
+    for (int i = 0; i < 200; ++i) {
+      EventId id = q.Schedule(rng.Uniform(0, 5000), [&n]() { ++n; });
+      if (rng.Chance(0.3)) q.Cancel(id);
+    }
+    q.RunUntil(10000);
+    return q.execution_digest();
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
 }
 
 struct NetFixture {
