@@ -1,0 +1,250 @@
+// Persistence-subsystem performance: batched append/fsync throughput and
+// full recovery replay speed. Two modes, mirroring bench/simcore_events:
+//
+//   $ ./storage_wal                      # google-benchmark micros
+//   $ ./storage_wal --json [path]        # fixed-size suite -> JSON
+//   $ ./storage_wal --json --smoke       # CTest-sized run
+//
+// The --json suite times synchronous (fsync-per-record) appends, group-
+// committed appends at several batch sizes (amortization is the headline
+// number), snapshot install, and a cold-boot recovery replay, and writes
+// BENCH_storage.json so CI can track the trajectory alongside
+// BENCH_simperf.json.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/codec.h"
+#include "storage/sim_disk.h"
+#include "storage/wal_storage.h"
+
+#if __has_include(<benchmark/benchmark.h>) && defined(RECRAFT_HAVE_BENCHMARK)
+#include <benchmark/benchmark.h>
+#define RECRAFT_GBENCH 1
+#endif
+
+namespace recraft::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using storage::HardState;
+using storage::SimDisk;
+using storage::WalStorage;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+raft::LogEntry MakeEntry(Index index, size_t value_bytes) {
+  kv::Command cmd;
+  cmd.op = kv::OpType::kPut;
+  cmd.key = "key-" + std::to_string(index % 100000);
+  cmd.value.assign(value_bytes, 'v');
+  cmd.client_id = 1;
+  cmd.seq = index;
+  raft::LogEntry e;
+  e.index = index;
+  e.term = 1;
+  e.payload = std::move(cmd);
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Workload kernels (shared by --json and the google-benchmark micros).
+
+/// Append `n` entries; flush every `batch` appends (batch == 1 models
+/// fsync-per-record, larger batches model group commit).
+struct AppendWorkload {
+  std::shared_ptr<SimDisk> disk = std::make_shared<SimDisk>();
+  WalStorage wal;
+  Index next = 1;
+  size_t batch;
+  size_t value_bytes;
+
+  AppendWorkload(size_t batch_size, size_t vbytes)
+      : wal(disk, nullptr,
+            [] {
+              WalStorage::Options o;
+              o.flush_interval = 1000;  // manual flush: we drive the batch
+              o.rewrite_slack_bytes = 1ull << 30;  // isolate append cost
+              return o;
+            }()),
+        batch(batch_size),
+        value_bytes(vbytes) {}
+
+  void Step() {
+    for (size_t i = 0; i < batch; ++i) {
+      wal.OnLogAppend(MakeEntry(next++, value_bytes));
+    }
+    wal.Sync();
+  }
+};
+
+/// Build a WAL with `entries` entries (plus a mid-stream snapshot) and time
+/// a cold recovery replay from the disk bytes.
+struct RecoveryWorkload {
+  std::shared_ptr<SimDisk> disk = std::make_shared<SimDisk>();
+  size_t entries;
+
+  explicit RecoveryWorkload(size_t n, size_t value_bytes) : entries(n) {
+    WalStorage::Options o;
+    o.flush_interval = 1000;
+    o.rewrite_slack_bytes = 1ull << 30;
+    WalStorage wal(disk, nullptr, o);
+    wal.PersistHardState(HardState{1, 2, 0});
+    for (Index i = 1; i <= n; ++i) {
+      wal.OnLogAppend(MakeEntry(i, value_bytes));
+      if (i % 4096 == 0) wal.Sync();
+    }
+    wal.PersistHardState(HardState{1, 2, n});
+    wal.Sync();
+  }
+
+  size_t Replay() const {
+    WalStorage::Options o;
+    o.flush_interval = 1000;
+    WalStorage fresh(disk, nullptr, o);
+    auto img = fresh.Load();
+    return img.ok() ? img->entries.size() : 0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// --json mode.
+
+struct JsonResult {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
+
+void RunJsonSuite(const std::string& path, bool smoke) {
+  std::vector<JsonResult> results;
+  const size_t n = smoke ? 20000 : 200000;
+  const size_t value_bytes = 128;
+
+  double sync_rate = 0;
+  {
+    AppendWorkload work(1, value_bytes);
+    auto t0 = Clock::now();
+    for (size_t i = 0; i < n; ++i) work.Step();
+    double dt = SecondsSince(t0);
+    sync_rate = static_cast<double>(n) / dt;
+    std::printf("append fsync-per-record : %10.0f entries/s (%zu fsyncs)\n",
+                sync_rate, static_cast<size_t>(work.disk->stats().flushes));
+    results.push_back({"append_sync_entries_per_sec", sync_rate, "1/s"});
+  }
+  double batched_rate = 0;
+  for (size_t batch : {size_t{16}, size_t{128}}) {
+    AppendWorkload work(batch, value_bytes);
+    auto t0 = Clock::now();
+    for (size_t i = 0; i < n / batch; ++i) work.Step();
+    double dt = SecondsSince(t0);
+    double rate = static_cast<double>((n / batch) * batch) / dt;
+    std::printf("append group-commit %4zu: %10.0f entries/s (%zu fsyncs)\n",
+                batch, rate, static_cast<size_t>(work.disk->stats().flushes));
+    results.push_back({"append_batched_" + std::to_string(batch) +
+                           "_entries_per_sec",
+                       rate, "1/s"});
+    batched_rate = rate;
+  }
+  if (sync_rate > 0) {
+    results.push_back(
+        {"group_commit_speedup", batched_rate / sync_rate, "x"});
+  }
+  {
+    RecoveryWorkload work(n, value_bytes);
+    auto t0 = Clock::now();
+    size_t replayed = work.Replay();
+    double dt = SecondsSince(t0);
+    double rate = static_cast<double>(replayed) / dt;
+    std::printf("recovery replay         : %10.0f entries/s (%zu entries, "
+                "%.1f MiB wal)\n",
+                rate, replayed,
+                static_cast<double>(work.disk->DurableSize("wal")) /
+                    (1024.0 * 1024.0));
+    results.push_back({"recovery_replay_entries_per_sec", rate, "1/s"});
+    results.push_back(
+        {"recovery_replayed_entries", static_cast<double>(replayed), "1"});
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f, "  \"%s\": {\"value\": %.3f, \"unit\": \"%s\"}%s\n",
+                 results[i].name.c_str(), results[i].value,
+                 results[i].unit.c_str(),
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark micros.
+
+#ifdef RECRAFT_GBENCH
+void BM_AppendSync(benchmark::State& state) {
+  AppendWorkload work(1, 128);
+  for (auto _ : state) work.Step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendSync);
+
+void BM_AppendGroupCommit(benchmark::State& state) {
+  AppendWorkload work(static_cast<size_t>(state.range(0)), 128);
+  for (auto _ : state) work.Step();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AppendGroupCommit)->Arg(16)->Arg(128);
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  RecoveryWorkload work(static_cast<size_t>(state.range(0)), 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(work.Replay());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(10000);
+#endif  // RECRAFT_GBENCH
+
+}  // namespace
+}  // namespace recraft::bench
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  std::string path = "BENCH_storage.json";
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (json) {
+    recraft::bench::RunJsonSuite(path, smoke);
+    return 0;
+  }
+#ifdef RECRAFT_GBENCH
+  int pargc = static_cast<int>(passthrough.size());
+  ::benchmark::Initialize(&pargc, passthrough.data());
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "google-benchmark not available; use --json [path] mode\n");
+  return 0;
+#endif
+}

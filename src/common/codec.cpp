@@ -38,6 +38,15 @@ Result<std::string> Decoder::GetString() {
   return out;
 }
 
+Result<std::vector<uint8_t>> Decoder::GetBytes() {
+  auto n = GetU32();
+  if (!n.ok()) return n.status();
+  if (auto s = Need(*n); !s.ok()) return s;
+  std::vector<uint8_t> out(buf_.data() + pos_, buf_.data() + pos_ + *n);
+  pos_ += *n;
+  return out;
+}
+
 const char* CodeName(Code c) {
   switch (c) {
     case Code::kOk: return "OK";

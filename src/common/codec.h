@@ -22,6 +22,11 @@ class Encoder {
     PutU32(static_cast<uint32_t>(s.size()));
     PutRaw(s.data(), s.size());
   }
+  /// Length-prefixed byte blob (nested encodings, e.g. kv snapshots).
+  void PutBytes(const std::vector<uint8_t>& b) {
+    PutU32(static_cast<uint32_t>(b.size()));
+    PutRaw(b.data(), b.size());
+  }
 
   const std::vector<uint8_t>& buffer() const { return buf_; }
   std::vector<uint8_t> Take() { return std::move(buf_); }
@@ -44,6 +49,7 @@ class Decoder {
   Result<uint64_t> GetU64();
   Result<bool> GetBool();
   Result<std::string> GetString();
+  Result<std::vector<uint8_t>> GetBytes();
 
   bool AtEnd() const { return pos_ == buf_.size(); }
   size_t remaining() const { return buf_.size() - pos_; }

@@ -123,7 +123,13 @@ void Node::OnMemberChangeCommitted(const raft::ConfMember& cm, Index index) {
     rec.uid = cfg.uid;
     rec.members = cfg.members;
     rec.range = cfg.range;
-    history_.push_back(std::move(rec));
+    // A boot-from-storage replay re-runs this handler; don't duplicate the
+    // record a pre-crash incarnation (or an installed snapshot) left.
+    bool dup = !history_.empty() && history_.back().kind == rec.kind &&
+               history_.back().epoch == rec.epoch &&
+               history_.back().uid == rec.uid &&
+               history_.back().members == rec.members;
+    if (!dup) history_.push_back(std::move(rec));
   }
 
   if (role_ != Role::kLeader) return;

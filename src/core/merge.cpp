@@ -453,6 +453,12 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
     counters_.Add("merge.aborted");
     int my_source = plan.SourceOf(id_);
     if (my_source == plan.coordinator) {
+      // Every coordinator-source member (not just the current leader)
+      // remembers the unsettled abort: the cleared config no longer records
+      // the tx, so this map is what a *later* leader resumes retransmission
+      // from (ResumeUnsettledAbort). Erased cluster-wide when the
+      // ConfAbortSettled marker applies.
+      unsettled_aborts_[plan.tx] = plan;
       // Coordinator leader: answer the admin now (the outcome is final),
       // but keep the kCommitting runtime alive — mirroring the commit path
       // — until every participant acks the abort. A participant that
@@ -516,8 +522,18 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
 
   // C_new committed: seal this node's data at the pre-merge boundary so the
   // exchanged snapshots of every member of this source are identical.
+  // Idempotent: a boot-time replay of the outcome entry must not overwrite
+  // the sealed (pre-merge) snapshot with the current store.
   int sealed_source = plan.SourceOf(id_);
-  exchange_store_[{plan.tx, sealed_source}] = store_.TakeSnapshot();
+  if (exchange_store_.count({plan.tx, sealed_source}) == 0) {
+    auto sealed = store_.TakeSnapshot();
+    exchange_store_[{plan.tx, sealed_source}] = sealed;
+    // Durable before the transition resets the log: after the reset the
+    // sealed blob is the *only* copy of this node's pre-merge data.
+    if (storage_ != nullptr) {
+      storage_->PersistSealed(plan.tx, sealed_source, sealed);
+    }
+  }
   // Answer anyone who asked before we sealed.
   auto waiters = exchange_waiters_.find({plan.tx, sealed_source});
   if (waiters != exchange_waiters_.end()) {
@@ -576,13 +592,23 @@ void Node::FinishMergeAsCoordinator() {
   raft::MergePlan plan = merge_.plan;
   if (!merge_.outcome_is_commit) {
     // Abort fully acknowledged: every participant resolved its CTX'. The
-    // admin was answered when the abort applied; just tear down.
+    // admin was answered when the abort applied; tear down and replicate a
+    // settle marker so every member (and any future leader) drops its
+    // retransmission bookkeeping.
     if (merge_.admin_client != kNoNode) {
       ReplyToClient(merge_.admin_client, merge_.admin_req_id,
                     Rejected("merge aborted by participant vote"));
     }
+    const TxId tx = plan.tx;
     merge_ = MergeRuntime{};
     counters_.Add("merge.abort_finalized");
+    if (unsettled_aborts_.count(tx) > 0) {
+      auto idx = Propose(raft::ConfAbortSettled{tx});
+      if (!idx.ok()) {
+        RLOG_WARN("merge", "n%u could not propose abort settle: %s", id_,
+                  idx.status().ToString().c_str());
+      }
+    }
     return;
   }
   if (merge_.admin_client != kNoNode) {
@@ -623,9 +649,31 @@ void Node::HandleMergeFinalize(NodeId from, const raft::MergeFinalize& m) {
   }
 }
 
+void Node::ResumeUnsettledAbort() {
+  if (merge_.phase != MergePhase::kIdle) return;
+  for (const auto& [tx, plan] : unsettled_aborts_) {
+    if (plan.SourceOf(id_) != plan.coordinator) continue;
+    merge_ = MergeRuntime{};
+    merge_.phase = MergePhase::kCommitting;
+    merge_.plan = plan;
+    merge_.outcome_is_commit = false;
+    merge_.outcome_applied_self = true;  // the abort applied before clearing
+    merge_.retry_countdown = opts_.merge_retry_ticks;
+    merge_.contact = DefaultContacts(plan);
+    counters_.Add("merge.abort_resumed");
+    SendCommits();
+    return;  // one transaction at a time; settling chains to the next
+  }
+}
+
 void Node::ResumeMergeAsLeader() {
   const auto& cfg = config_.Current();
-  if (!cfg.merge_tx.has_value()) return;
+  if (!cfg.merge_tx.has_value()) {
+    // No transaction recorded in the config — but an applied abort may
+    // still await participant acks (the apply clears the config record).
+    ResumeUnsettledAbort();
+    return;
+  }
   int my_source = cfg.merge_tx->SourceOf(id_);
   if (my_source != cfg.merge_tx->coordinator) return;  // participants react
 
@@ -698,6 +746,7 @@ void Node::TransitionToMerged(const raft::MergePlan& plan) {
   leader_ = kNoNode;
   votes_.clear();
   ClearProgress();
+  DropPendingAcks();
   merge_ = MergeRuntime{};
   ResetElectionTimer();
   RegisterWithNaming();
@@ -706,6 +755,7 @@ void Node::TransitionToMerged(const raft::MergePlan& plan) {
     // Resize-at-merge dropped us; we keep serving our sealed snapshot to
     // the resumed members but hold no merged state ourselves.
     store_ = kv::Store(KeyRange::Empty());
+    PersistExchangeMetaNow();  // the armed GC entry survives reboots
     return;
   }
   StartExchange(plan);
@@ -726,6 +776,9 @@ void Node::StartExchange(const raft::MergePlan& plan) {
     }
   }
   exchange_ = std::move(ex);
+  // The pending plan is durable from here: a crash at any point until the
+  // assembled store is snapshotted boots back into this exchange.
+  PersistExchangeMetaNow();
   // Fan the pull out to every member of each missing source: whichever has
   // sealed its snapshot answers (and the rest push on sealing), so a single
   // lagging contact cannot stall the exchange.
@@ -838,8 +891,13 @@ void Node::MaybeFinishExchange() {
   // InstallSnapshot — which carries the store — rather than replaying a
   // data-less log.
   snapshot_ = BuildSnapshot();
+  if (storage_ != nullptr) storage_->InstallSnapshot(snapshot_);
   log_.CompactTo(snapshot_->last_index, snapshot_->last_term);
   counters_.Add("log.compactions");
+  // Only now — with the assembled store durable in the snapshot — may the
+  // pending-exchange marker clear: a crash a moment earlier boots back
+  // into the exchange and re-pulls, a crash after boots from the snapshot.
+  PersistExchangeMetaNow();
   ResetElectionTimer();
   // Expedite the first election of the merged cluster: the lowest resumed
   // member campaigns immediately instead of waiting for a full election
@@ -877,8 +935,9 @@ void Node::HandleExchangeDone(NodeId from, const raft::ExchangeDone& m) {
     // member): buffer the report; TransitionToMerged fills the member lists.
     it = exchange_gc_.emplace(m.tx, ExchangeGc{}).first;
   }
-  it->second.done.insert(from);
+  bool grew = it->second.done.insert(from).second;
   MaybePruneExchange(m.tx);
+  if (grew) PersistExchangeMetaNow();
 }
 
 void Node::ExchangeGcTick() {
@@ -915,6 +974,10 @@ void Node::MaybePruneExchange(TxId tx) {
     w = exchange_waiters_.erase(w);
   }
   exchange_gc_.erase(it);
+  if (storage_ != nullptr) {
+    storage_->PruneSealed(tx);
+    PersistExchangeMetaNow();
+  }
   counters_.Add("merge.exchange_pruned");
 }
 

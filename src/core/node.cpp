@@ -16,13 +16,7 @@ const char* RoleName(Role r) {
   return "?";
 }
 
-Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
-           SendFn send)
-    : id_(id),
-      opts_(opts),
-      send_(std::move(send)),
-      rng_(rng),
-      store_(genesis.range) {
+void Node::InternCounters() {
   cid_.msg_sent = counters_.Intern("msg.sent");
   cid_.msg_recv = counters_.Intern("msg.recv");
   cid_.entries_applied = counters_.Intern("entries.applied");
@@ -30,6 +24,22 @@ Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
   cid_.commits = counters_.Intern("repl.commits");
   cid_.client_proposed = counters_.Intern("client.proposed");
   cid_.proposed = counters_.Intern("repl.proposed");
+}
+
+Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
+           SendFn send, storage::Storage* storage)
+    : id_(id),
+      opts_(opts),
+      send_(std::move(send)),
+      rng_(rng),
+      storage_(storage),
+      store_(genesis.range) {
+  InternCounters();
+  if (storage_ != nullptr) {
+    storage_->SetDurableCallback([this]() { OnStorageDurable(); });
+    // Attached before the genesis append so the bootstrap entry is durable.
+    log_.Attach(storage_);
+  }
   bool bootstrap = !genesis.members.empty();
   raft::ConfInit init;
   init.members = genesis.members;
@@ -52,6 +62,56 @@ Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
   // Stagger initial timeouts so the first election converges quickly.
   ticks_since_heard_ = static_cast<int>(rng_.Uniform(
       0, static_cast<uint64_t>(opts_.election_timeout_min_ticks)));
+  MaybePersistHard();
+}
+
+Node::Node(NodeId id, Options opts, storage::Storage* storage, Rng rng,
+           SendFn send)
+    : id_(id),
+      opts_(opts),
+      send_(std::move(send)),
+      rng_(rng),
+      storage_(storage),
+      store_(KeyRange::Empty()) {
+  InternCounters();
+  assert(storage_ != nullptr && "boot-from-storage needs a backend");
+  storage_->SetDurableCallback([this]() { OnStorageDurable(); });
+  BootFromStorage();  // recovery.cpp; attaches the log sink itself
+  ResetElectionTimer();
+  ticks_since_heard_ = static_cast<int>(rng_.Uniform(
+      0, static_cast<uint64_t>(opts_.election_timeout_min_ticks)));
+  MaybePersistHard();
+}
+
+void Node::MaybePersistHard() {
+  if (storage_ == nullptr) return;
+  storage::HardState hs{term_, voted_for_, commit_};
+  if (hs == persisted_hard_) return;
+  persisted_hard_ = hs;
+  storage_->PersistHardState(hs);
+}
+
+void Node::DropPendingAcks() { pending_acks_.clear(); }
+
+void Node::OnStorageDurable() {
+  if (storage_ == nullptr) return;
+  const Index durable = storage_->DurableIndex();
+  while (!pending_acks_.empty()) {
+    PendingAck& pa = pending_acks_.front();
+    if (pa.reply.match > durable) break;
+    // Re-validate: the ack's claim must still describe this log (same term,
+    // same entry term at the claimed match position).
+    if (pa.reply.et == term_ &&
+        log_.TermAt(pa.reply.match) == pa.match_term) {
+      counters_.Add("storage.ack_released");
+      Send(pa.to, pa.reply);
+    }
+    pending_acks_.pop_front();
+  }
+  // The leader's own vote in the commit quorum is gated on durability;
+  // a completed flush can advance the commit index.
+  if (role_ == Role::kLeader) AdvanceCommit();
+  MaybePersistHard();
 }
 
 void Node::Send(NodeId to, raft::Message m) {
@@ -134,6 +194,11 @@ bool Node::ObserveEt(EpochTerm et, NodeId from) {
 }
 
 void Node::Tick() {
+  TickBody();
+  MaybePersistHard();
+}
+
+void Node::TickBody() {
   // Fresh admission budget; serve requests deferred by a saturated leader.
   tick_budget_used_ = 0;
   while (!deferred_requests_.empty() &&
@@ -254,6 +319,10 @@ void Node::Receive(NodeId from, const raft::Message& m) {
         // NamingRegister / NamingLookupReq are handled by the naming actor.
       },
       m);
+  // Hard-state chokepoint: everything this event mutated becomes durable
+  // before any message it sent can be delivered (delivery has latency, and
+  // crash injection lands between events).
+  MaybePersistHard();
 }
 
 void Node::OnCrash() {
@@ -270,6 +339,7 @@ void Node::OnRestart() {
   ClearProgress();
   pending_.clear();
   deferred_requests_.clear();
+  DropPendingAcks();
   ResetElectionTimer();
   // A coordinator mid-2PC recovers from its committed log when it next
   // becomes leader (ResumeMergeAsLeader); forget the volatile runtime.
@@ -386,6 +456,17 @@ void Node::ApplyEntry(const raft::LogEntry& e) {
   }
   if (const auto* oc = std::get_if<raft::ConfMergeOutcome>(&e.payload)) {
     OnMergeOutcomeApplied(*oc, e.index);
+    return;
+  }
+  if (const auto* as = std::get_if<raft::ConfAbortSettled>(&e.payload)) {
+    // Every participant acked the abort of `tx`: drop the retransmission
+    // bookkeeping. Replay-safe (erasing an absent tx is a no-op).
+    unsettled_aborts_.erase(as->tx);
+    // Chain: if this leader carries further unsettled aborts (back-to-back
+    // aborted merges across leader changes), resume the next one.
+    if (role_ == Role::kLeader && merge_.phase == MergePhase::kIdle) {
+      ResumeUnsettledAbort();
+    }
     return;
   }
   if (const auto* sr = std::get_if<raft::ConfSetRange>(&e.payload)) {
@@ -573,6 +654,13 @@ void Node::HandleBootstrapReq(NodeId from, const raft::BootstrapReq& m) {
 
 void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
   counters_.Add("node.reinit");
+  // Wipe the durable medium first: the node sheds its previous identity
+  // entirely (the TC terminate step), then re-persists the new genesis
+  // through the normal log/hard-state paths below.
+  if (storage_ != nullptr) {
+    storage_->WipeAll();
+    persisted_hard_ = storage::HardState{};
+  }
   term_ = 0;
   voted_for_ = kNoNode;
   log_.Reset(0, 0);
@@ -584,11 +672,13 @@ void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
   exchange_store_.clear();
   exchange_waiters_.clear();
   exchange_gc_.clear();
+  unsettled_aborts_.clear();
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();
   ClearProgress();
   pending_.clear();
+  DropPendingAcks();
   merge_ = MergeRuntime{};
   exchange_.reset();
   pull_target_ = kNoNode;

@@ -31,6 +31,7 @@
 #include "raft/epoch_term.h"
 #include "raft/log.h"
 #include "raft/messages.h"
+#include "storage/storage.h"
 
 namespace recraft::core {
 
@@ -96,13 +97,26 @@ class Node {
   using SendFn = std::function<void(NodeId to, raft::MessagePtr msg)>;
 
   /// `genesis` must list the initial members (including `id` unless the node
-  /// starts as a learner-to-be-added) with a valid range and uid.
+  /// starts as a learner-to-be-added) with a valid range and uid. `storage`
+  /// (optional, non-owning, must outlive the node) receives every durable
+  /// mutation from the start — including the genesis entry.
   Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
+       SendFn send, storage::Storage* storage = nullptr);
+
+  /// Boot purely from durable state: replays `storage`'s WAL/snapshot into
+  /// a fresh node (hard state, log, KV store, configuration, merge-exchange
+  /// runtime) with no access to any previous incarnation's memory. The
+  /// harness's CrashNode/RestartNode pair is built on this.
+  Node(NodeId id, Options opts, storage::Storage* storage, Rng rng,
        SendFn send);
 
   // --- simulator driver -------------------------------------------------
   void Tick();
   void Receive(NodeId from, const raft::Message& m);
+  /// Invoked by the storage backend (from the top of the event loop) when a
+  /// group-commit flush completes: releases durability-gated follower acks
+  /// and re-runs the leader's commit accounting.
+  void OnStorageDurable();
 
   /// Crash/restart. Persistent state (term, vote, log, commit, applied KV
   /// state, configuration, history) survives; volatile leadership state,
@@ -130,6 +144,10 @@ class Node {
   /// the ExchangeDone gossip (see merge.cpp): entries are pruned once every
   /// resumed member reports its exchange complete.
   size_t exchange_store_size() const { return exchange_store_.size(); }
+  /// Aborted merges this coordinator-source member still tracks for
+  /// retransmission (cleared by the replicated ConfAbortSettled marker).
+  size_t unsettled_abort_count() const { return unsettled_aborts_.size(); }
+  storage::Storage* storage() { return storage_; }
   bool IsRetired() const { return !config().IsMember(id_); }
   const std::vector<raft::ReconfigRecord>& history() const { return history_; }
   CounterSet& counters() { return counters_; }
@@ -157,8 +175,24 @@ class Node {
   friend class NodeTestPeer;
 
   // -- helpers (node.cpp) -------------------------------------------------
+  void InternCounters();
+  void TickBody();
   void Send(NodeId to, raft::Message m);
   void ResetElectionTimer();
+  /// Persist (term, vote, commit) if any changed since the last persist.
+  /// Called from the Tick/Receive epilogues — the single chokepoint through
+  /// which every hard-state mutation reaches storage before any message
+  /// sent by the same event can be delivered.
+  void MaybePersistHard();
+  /// Drop durability-gated acks whose log positions were invalidated
+  /// (truncation, snapshot install, log reset).
+  void DropPendingAcks();
+  /// Rebuild the node from storage_->Load(): install the snapshot, replay
+  /// the log into the config tracker, re-seed the merge-exchange runtime,
+  /// then apply committed entries to rebuild the KV store (recovery.cpp).
+  void BootFromStorage();
+  /// Serialize the current exchange_/exchange_gc_ state to storage.
+  void PersistExchangeMetaNow();
   bool CanCampaign() const;
   void BecomeFollower(EpochTerm et, NodeId leader);
   /// Handle an incoming epoch-term: adopt same-epoch higher terms, trigger
@@ -306,6 +340,10 @@ class Node {
   void SendPrepares();
   void SendCommits();
   void ResumeMergeAsLeader();
+  /// A fresh coordinator-cluster leader resumes retransmitting a fully
+  /// applied abort whose participant acks are still outstanding (the config
+  /// no longer records the tx; unsettled_aborts_ does).
+  void ResumeUnsettledAbort();
   void TransitionToMerged(const raft::MergePlan& plan);
   void MergeTick();
   void StartExchange(const raft::MergePlan& plan);
@@ -329,6 +367,11 @@ class Node {
   const Options opts_;
   SendFn send_;
   Rng rng_;
+  /// Pluggable persistence backend (may be null: purely volatile node, the
+  /// pre-storage behavior). Non-owning; the harness keeps the durable
+  /// medium alive across node incarnations.
+  storage::Storage* storage_ = nullptr;
+  storage::HardState persisted_hard_;
 
   // Persistent (survives crash/restart).
   uint64_t term_ = 0;  // EpochTerm raw
@@ -340,6 +383,12 @@ class Node {
   raft::ConfigTracker config_;
   std::vector<raft::ReconfigRecord> history_;
   raft::RaftSnapshotPtr snapshot_;  // last compaction point
+  /// Aborted merge transactions awaiting participant acks, kept by every
+  /// coordinator-source member so ANY later leader can resume the abort
+  /// retransmission (the C_abort apply clears the config's merge fields).
+  /// Erased when the replicated ConfAbortSettled marker applies; survives
+  /// compaction inside RaftSnapshot::unsettled_aborts.
+  std::map<TxId, raft::MergePlan> unsettled_aborts_;
   /// Snapshots retained to serve merge data exchange: (tx, source) -> snap.
   /// Grows by one entry per merge this node participates in and is only
   /// reclaimed by Reinit; acceptable at current scale (entries are shared
@@ -373,6 +422,17 @@ class Node {
     NodeId client;
   };
   std::map<Index, PendingClient> pending_;
+  /// Follower acks gated on WAL durability: an AppendReply must not claim
+  /// `match` until every entry at or below it is durable, or a crash could
+  /// lose an entry the leader's commit quorum counted. Released by
+  /// OnStorageDurable; re-validated (term + entry term at match) at send
+  /// time so a truncation cannot resurrect a stale claim.
+  struct PendingAck {
+    NodeId to;
+    raft::AppendReply reply;
+    uint64_t match_term;
+  };
+  std::deque<PendingAck> pending_acks_;
   /// Client requests beyond this tick's admission budget (see
   /// max_client_requests_per_tick), served FIFO on subsequent ticks.
   std::deque<std::pair<NodeId, raft::ClientRequest>> deferred_requests_;

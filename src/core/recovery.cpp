@@ -164,6 +164,7 @@ void Node::HandlePullReply(NodeId from, const raft::PullReply& m) {
     if (e.index <= log_.last_index()) {
       log_.TruncateFrom(e.index);
       config_.OnTruncate(e.index);
+      DropPendingAcks();
     }
     // Gap between our log end and the pulled batch: ask again from our end.
     if (e.index != log_.last_index() + 1) break;
@@ -181,11 +182,18 @@ void Node::HandlePullReply(NodeId from, const raft::PullReply& m) {
 }
 
 void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
+  snapshot_ = std::make_shared<raft::RaftSnapshot>(snap);
+  // Blob before log reset: a crash in between leaves the old log plus a
+  // newer snapshot — recovery prefers whichever the WAL marker survived
+  // with; both states are consistent.
+  if (storage_ != nullptr) storage_->InstallSnapshot(snapshot_);
   if (snap.kv) store_.Restore(*snap.kv);
   log_.Reset(snap.last_index, snap.last_term);
+  DropPendingAcks();
   commit_ = snap.last_index;
   applied_ = snap.last_index;
   config_.ForceState(snap.config, snap.last_index);
+  unsettled_aborts_ = snap.unsettled_aborts;
   // Merge histories: keep ours, add unseen records (they are ordered by
   // epoch; a simple de-dup by (epoch, uid) suffices).
   for (const auto& rec : snap.history) {
@@ -198,7 +206,6 @@ void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
     }
     if (!seen) history_.push_back(rec);
   }
-  snapshot_ = std::make_shared<raft::RaftSnapshot>(snap);
   if (et.raw() > term_) {
     term_ = et.raw();
     voted_for_ = kNoNode;
@@ -208,13 +215,165 @@ void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
   ClearProgress();
   FailPendingClients(Code::kUnavailable);
   // If we were waiting on a merge exchange and the snapshot is the merged
-  // cluster's state, the wait is over.
+  // cluster's state, the wait is over. The snapshot (with the merged data)
+  // is already durable above, so clearing the pending marker is safe.
   if (exchange_.has_value() &&
       snap.config.uid == exchange_->plan.new_uid) {
     exchange_.reset();
+    PersistExchangeMetaNow();
   }
   ResetElectionTimer();
   counters_.Add("recovery.install_snapshot");
+}
+
+// ---------------------------------------------------------------------------
+// Boot from storage: reconstruct a node purely from its durable image —
+// no volatile state from any previous incarnation survives. Used by the
+// harness's CrashNode/RestartNode pair and exercised by the crash-recovery
+// chaos suites.
+
+void Node::BootFromStorage() {
+  counters_.Add("node.boot");
+  raft::ConfigState blank;
+  blank.range = KeyRange::Empty();
+
+  auto loaded = storage_->Load();
+  if (!loaded.ok()) {
+    // Unrecoverable medium: boot as an amnesiac spare. Votes and terms are
+    // flushed synchronously, so even this cannot double-vote; peers restore
+    // the node through the §V paths (pull, InstallSnapshot).
+    RLOG_ERROR("boot", "n%u: storage load failed: %s", id_,
+               loaded.status().ToString().c_str());
+    counters_.Add("node.boot_amnesia");
+    config_.Init(std::move(blank));
+    log_.Attach(storage_);
+    return;
+  }
+  storage::BootImage img = std::move(*loaded);
+  config_.Init(std::move(blank));
+  if (!img.present) {
+    // Blank disk: a spare that never held state.
+    log_.Attach(storage_);
+    return;
+  }
+
+  term_ = img.hard.term;
+  voted_for_ = img.hard.voted_for;
+
+  if (img.snap != nullptr) {
+    const raft::RaftSnapshot& snap = *img.snap;
+    if (snap.kv != nullptr) {
+      store_.Restore(*snap.kv);
+    } else {
+      store_ = kv::Store(snap.config.range);
+    }
+    config_.ForceState(snap.config, snap.last_index);
+    history_ = snap.history;
+    unsettled_aborts_ = snap.unsettled_aborts;
+    snapshot_ = img.snap;
+  }
+  log_.BootSetBase(img.base_index, img.base_term);
+  applied_ = img.base_index;
+
+  // A merged cluster's log begins with its committed outcome entry, whose
+  // configuration was force-installed by TransitionToMerged rather than
+  // derived from the entry (the tracker treats outcome entries as pending
+  // resolutions). Rebuild that fiat state the same way — before replaying
+  // the rest of the log, so post-merge config entries stack on top of it.
+  bool merged_genesis = false;
+  if (img.snap == nullptr && img.base_index == 0 && !img.entries.empty()) {
+    if (const auto* oc = std::get_if<raft::ConfMergeOutcome>(
+            &img.entries.front().payload);
+        oc != nullptr && oc->commit && img.entries.front().index == 1) {
+      merged_genesis = true;
+      const raft::MergePlan& plan = oc->plan;
+      raft::ConfigState ns;
+      ns.mode = raft::ConfigMode::kStable;
+      ns.members = plan.ResumeMembers();
+      std::sort(ns.members.begin(), ns.members.end());
+      ns.range = plan.new_range;
+      ns.uid = plan.new_uid;
+      config_.ForceState(std::move(ns), 1);
+      term_ = std::max(term_, EpochTerm::Make(plan.new_epoch, 0).raw());
+      bool seen = false;
+      for (const auto& rec : history_) {
+        if (rec.uid == plan.new_uid && rec.epoch == plan.new_epoch) {
+          seen = true;
+        }
+      }
+      if (!seen) {
+        raft::ReconfigRecord rec;
+        rec.kind = raft::ReconfigRecord::Kind::kMerge;
+        rec.epoch = plan.new_epoch;
+        rec.uid = plan.new_uid;
+        rec.members = plan.ResumeMembers();
+        rec.range = plan.new_range;
+        history_.push_back(std::move(rec));
+      }
+      store_ = kv::Store(IsRetired() ? KeyRange::Empty() : plan.new_range);
+    }
+  }
+
+  // Replay entries into the cache and the wait-free config tracker. The
+  // merged-genesis entry is already reflected in the forced state — feeding
+  // it to the tracker again would mark the resolved merge as pending.
+  for (auto& e : img.entries) {
+    if (!(merged_genesis && e.index == 1)) config_.OnAppend(e);
+    log_.BootAppend(std::move(e));
+  }
+  commit_ = std::min<Index>(std::max<Index>(img.hard.commit, applied_),
+                            log_.last_index());
+
+  // Merge-exchange runtime: sealed snapshots this node serves, and GC
+  // bookkeeping for pruning them.
+  exchange_store_ = std::move(img.sealed);
+  for (const auto& g : img.exchange.gc) {
+    ExchangeGc gc;
+    gc.resumed = g.resumed;
+    gc.targets = g.targets;
+    gc.done.insert(g.done.begin(), g.done.end());
+    gc.self_done = g.self_done;
+    gc.retry_countdown = opts_.merge_retry_ticks;
+    exchange_gc_[g.tx] = std::move(gc);
+  }
+
+  // The cache now mirrors durable state: attach the sink so new mutations
+  // persist (replayed state must not be echoed back).
+  log_.Attach(storage_);
+
+  // Resume a pending snapshot exchange *before* applying: the store lacks
+  // other sources' data, so the deferred-apply guard must hold. Only when
+  // the durable log already is the merged one — otherwise the replay below
+  // re-runs the transition and starts the exchange itself.
+  if (img.exchange.pending_plan.has_value() && !exchange_.has_value() &&
+      config_.Current().uid == img.exchange.pending_plan->new_uid) {
+    counters_.Add("recovery.exchange_resumed");
+    StartExchange(*img.exchange.pending_plan);
+  }
+
+  // Rebuild the state machine by replaying committed entries through the
+  // normal apply path (reconfig handlers re-run with their replay guards).
+  ApplyCommitted();
+  RLOG_INFO("boot", "n%u booted from storage: base=%llu last=%llu commit=%llu",
+            id_, static_cast<unsigned long long>(log_.base_index()),
+            static_cast<unsigned long long>(log_.last_index()),
+            static_cast<unsigned long long>(commit_));
+}
+
+void Node::PersistExchangeMetaNow() {
+  if (storage_ == nullptr) return;
+  storage::ExchangeMeta meta;
+  if (exchange_.has_value()) meta.pending_plan = exchange_->plan;
+  for (const auto& [tx, gc] : exchange_gc_) {
+    storage::ExchangeGcImage img;
+    img.tx = tx;
+    img.resumed = gc.resumed;
+    img.targets = gc.targets;
+    img.done.assign(gc.done.begin(), gc.done.end());
+    img.self_done = gc.self_done;
+    meta.gc.push_back(std::move(img));
+  }
+  storage_->PersistExchangeMeta(meta);
 }
 
 void Node::HandleNamingLookupReply(const raft::NamingLookupReply& m) {

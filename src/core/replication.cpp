@@ -194,6 +194,7 @@ void Node::HandleAppendEntries(NodeId from, const raft::AppendEntries& m) {
     if (e.index <= log_.last_index()) {
       log_.TruncateFrom(e.index);
       config_.OnTruncate(e.index);
+      DropPendingAcks();  // queued claims about the old suffix are void
       counters_.Add("repl.truncations");
     }
     log_.Append(e);
@@ -206,7 +207,20 @@ void Node::HandleAppendEntries(NodeId from, const raft::AppendEntries& m) {
   }
   reply.ok = true;
   reply.match = last_new;
-  Send(from, std::move(reply));
+  // Durability gate: the ack must not claim `match` before every entry at
+  // or below it is durable — the leader counts this ack toward commit, and
+  // a committed entry must survive any crash of a full quorum. With no
+  // storage (or a synchronous backend) the gate is already satisfied.
+  const Index durable =
+      storage_ == nullptr ? last_new
+                          : std::min(log_.last_index(), storage_->DurableIndex());
+  if (last_new <= durable) {
+    Send(from, std::move(reply));
+  } else {
+    counters_.Add("storage.ack_deferred");
+    pending_acks_.push_back(
+        PendingAck{from, reply, log_.TermAt(last_new)});
+  }
 }
 
 void Node::HandleAppendReply(NodeId from, const raft::AppendReply& m) {
@@ -302,10 +316,17 @@ void Node::AdvanceCommit() {
   if (role_ != Role::kLeader) return;
   const auto& cfg = config_.Current();
   Index last = log_.last_index();
+  // The leader's own vote counts only up to its durable horizon: counting
+  // an unflushed entry toward commit would let a crash erase a committed
+  // entry from the only quorum that held it. Without storage (or with a
+  // synchronous backend) this is simply last_index().
+  const Index self_match =
+      storage_ == nullptr ? last : std::min(last, storage_->DurableIndex());
   Index new_commit = commit_;
   for (Index i = commit_ + 1; i <= last; ++i) {
     auto q = raft::CommitQuorum(cfg, i, id_);
-    std::set<NodeId> acks{id_};
+    std::set<NodeId> acks;
+    if (i <= self_match) acks.insert(id_);
     for (const auto& [n, p] : progress_) {
       if (p.match >= i) acks.insert(n);
     }
@@ -352,6 +373,7 @@ raft::RaftSnapshotPtr Node::BuildSnapshot() const {
   snap->kv = store_.TakeSnapshot();
   snap->config = config_.StateAtOrBefore(applied_);
   snap->history = history_;
+  snap->unsettled_aborts = unsettled_aborts_;
   return snap;
 }
 
@@ -359,6 +381,10 @@ void Node::MaybeCompact() {
   if (opts_.snapshot_threshold == 0) return;
   if (applied_ - log_.base_index() < opts_.snapshot_threshold) return;
   snapshot_ = BuildSnapshot();
+  // Snapshot first, then truncate: a crash between the two leaves a longer
+  // log plus a snapshot it subsumes — recoverable either way. The opposite
+  // order could lose the compacted prefix.
+  if (storage_ != nullptr) storage_->InstallSnapshot(snapshot_);
   log_.CompactTo(snapshot_->last_index, snapshot_->last_term);
   counters_.Add("log.compactions");
 }

@@ -123,7 +123,13 @@ void Node::CompleteSplit() {
     split_admin_req_id_ = 0;
   }
 
-  uint32_t new_epoch = current_et().epoch() + 1;
+  // The post-split epoch derives from the C_new entry's own epoch (one past
+  // it), NOT from the node's current term: a boot-from-storage replay runs
+  // this handler with the *restored* post-split term already in place, and
+  // deriving from current_et() would bump the epoch a second time. In live
+  // runs the two are identical (the epoch cannot change between appending
+  // and applying C_new).
+  uint32_t new_epoch = raft::EpochTerm(cnew_term).epoch() + 1;
   RLOG_INFO("split", "n%u completes split into sub %d %s at epoch %u", id_,
             sub_idx, mine.ToString().c_str(), new_epoch);
 
@@ -137,20 +143,31 @@ void Node::CompleteSplit() {
   ns.uid = mine.uid;
   config_.ForceState(std::move(ns), cnew_index);
 
-  raft::ReconfigRecord rec;
-  rec.kind = raft::ReconfigRecord::Kind::kSplit;
-  rec.epoch = new_epoch;
-  rec.uid = mine.uid;
-  rec.members = mine.members;
-  rec.range = mine.range;
-  rec.boundary_index = cnew_index;
-  history_.push_back(std::move(rec));
+  bool replayed = false;  // already completed before a crash+reboot
+  for (const auto& prior : history_) {
+    if (prior.epoch == new_epoch && prior.uid == mine.uid) replayed = true;
+  }
+  if (!replayed) {
+    raft::ReconfigRecord rec;
+    rec.kind = raft::ReconfigRecord::Kind::kSplit;
+    rec.epoch = new_epoch;
+    rec.uid = mine.uid;
+    rec.members = mine.members;
+    rec.range = mine.range;
+    rec.boundary_index = cnew_index;
+    history_.push_back(std::move(rec));
+  }
 
   // Epoch bump; each node carries its own term number into the new epoch so
   // stale leaders of distinct old terms stay distinguishable (election
-  // safety per (cluster, epoch, term)).
-  term_ = EpochTerm::Make(new_epoch, current_et().term()).raw();
-  voted_for_ = kNoNode;
+  // safety per (cluster, epoch, term)). On a replay whose restored term is
+  // already at (or past) the new epoch this is a no-op — in particular the
+  // vote must NOT reset, or a rebooted node could double-vote in a term it
+  // already voted in.
+  if (current_et().epoch() < new_epoch) {
+    term_ = EpochTerm::Make(new_epoch, current_et().term()).raw();
+    voted_for_ = kNoNode;
+  }
   counters_.Add("split.completed");
 
   Role prior = role_;

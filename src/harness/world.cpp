@@ -51,6 +51,40 @@ World::World(WorldOptions opts)
 
 World::~World() = default;
 
+storage::Storage* World::MakeStorage(NodeId id, bool fresh_instance) {
+  switch (opts_.storage) {
+    case StorageMode::kNone:
+      return nullptr;
+    case StorageMode::kInMemory:
+      // The object *is* the durable medium: one instance for the whole run.
+      if (storages_.count(id) == 0) {
+        storages_[id] = std::make_unique<storage::InMemoryStorage>();
+      }
+      return storages_[id].get();
+    case StorageMode::kWal: {
+      if (disks_.count(id) == 0) {
+        disks_[id] = std::make_shared<storage::SimDisk>(opts_.disk);
+      }
+      if (fresh_instance || storages_.count(id) == 0) {
+        storages_[id] = std::make_unique<storage::WalStorage>(
+            disks_[id], &events_, opts_.wal);
+      }
+      return storages_[id].get();
+    }
+  }
+  return nullptr;
+}
+
+void World::RegisterNodeHandler(NodeId id) {
+  net_.Register(id, [this, id](NodeId from,
+                               std::shared_ptr<const void> payload, size_t) {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;  // down (CrashNode) — delivery dropped
+    it->second->Receive(from,
+                        *std::static_pointer_cast<const raft::Message>(payload));
+  });
+}
+
 std::vector<NodeId> World::CreateCluster(size_t n, KeyRange range) {
   std::vector<NodeId> members;
   members.reserve(n);
@@ -69,12 +103,8 @@ std::vector<NodeId> World::CreateCluster(size_t n, KeyRange range) {
     };
     nodes_[id] = std::make_unique<core::Node>(
         id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
-        std::move(send));
-    net_.Register(id, [this, id](NodeId from,
-                                 std::shared_ptr<const void> payload, size_t) {
-      nodes_[id]->Receive(
-          from, *std::static_pointer_cast<const raft::Message>(payload));
-    });
+        std::move(send), MakeStorage(id, /*fresh_instance=*/false));
+    RegisterNodeHandler(id);
     ScheduleTick(id);
   }
   return members;
@@ -96,12 +126,8 @@ NodeId World::CreateSpareNode() {
   };
   nodes_[id] = std::make_unique<core::Node>(
       id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
-      std::move(send));
-  net_.Register(id, [this, id](NodeId from,
-                               std::shared_ptr<const void> payload, size_t) {
-    nodes_[id]->Receive(from,
-                        *std::static_pointer_cast<const raft::Message>(payload));
-  });
+      std::move(send), MakeStorage(id, /*fresh_instance=*/false));
+  RegisterNodeHandler(id);
   ScheduleTick(id);
   return id;
 }
@@ -164,14 +190,17 @@ void World::ScheduleTick(NodeId id) {
   // Stagger tick phases across nodes so the world has no artificial global
   // synchrony.
   Duration offset = rng_.Uniform(0, opts_.node.tick_interval - 1);
-  events_.Schedule(offset, [this, id]() { TickNode(id); });
+  uint64_t gen = node_gen_[id];
+  events_.Schedule(offset, [this, id, gen]() { TickNode(id, gen); });
 }
 
-void World::TickNode(NodeId id) {
+void World::TickNode(NodeId id, uint64_t gen) {
+  if (gen != node_gen_[id]) return;  // stale chain from before a CrashNode
   auto it = nodes_.find(id);
   if (it == nodes_.end()) return;
   if (!net_.IsCrashed(id)) it->second->Tick();
-  events_.Schedule(opts_.node.tick_interval, [this, id]() { TickNode(id); });
+  events_.Schedule(opts_.node.tick_interval,
+                   [this, id, gen]() { TickNode(id, gen); });
 }
 
 core::Node& World::node(NodeId id) {
@@ -201,6 +230,55 @@ void World::Crash(NodeId id) {
 void World::Restart(NodeId id) {
   net_.Restart(id);
   if (HasNode(id)) node(id).OnRestart();
+}
+
+storage::Storage* World::NodeStorage(NodeId id) {
+  auto it = storages_.find(id);
+  return it == storages_.end() ? nullptr : it->second.get();
+}
+
+Status World::CrashNode(NodeId id, const storage::CrashSpec& spec) {
+  if (opts_.storage == StorageMode::kNone) {
+    return Rejected("CrashNode needs a storage mode (WorldOptions::storage)");
+  }
+  if (!HasNode(id)) return NotFound("no node " + std::to_string(id));
+  net_.Crash(id);
+  node(id).OnCrash();
+  ++node_gen_[id];  // kills the tick chain at its next firing
+  // Mangle the in-flight (unacknowledged) writes per the crash spec, then
+  // destroy every byte of volatile state. In WAL mode the storage instance
+  // dies too: recovery must reparse the disk, not reuse a live model.
+  if (auto it = storages_.find(id); it != storages_.end()) {
+    it->second->Crash(spec);
+    if (opts_.storage == StorageMode::kWal) storages_.erase(it);
+  }
+  nodes_.erase(id);
+  return OkStatus();
+}
+
+Status World::RestartNode(NodeId id) {
+  if (opts_.storage == StorageMode::kNone) {
+    return Rejected("RestartNode needs a storage mode");
+  }
+  if (HasNode(id)) return Rejected("node is up; use Restart for soft faults");
+  bool known = storages_.count(id) > 0 || disks_.count(id) > 0;
+  if (!known) return NotFound("node " + std::to_string(id) + " never existed");
+  net_.Restart(id);
+  core::Options node_opts = opts_.node;
+  if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
+  auto send = [this, id](NodeId to, raft::MessagePtr msg) {
+    net_.Send(id, to, msg, msg.wire_bytes());
+  };
+  // A fresh deterministic RNG stream per incarnation: same seed would replay
+  // the same election jitter, different incarnations must not correlate.
+  uint64_t gen = ++node_gen_[id];
+  nodes_[id] = std::make_unique<core::Node>(
+      id, node_opts, MakeStorage(id, /*fresh_instance=*/true),
+      Rng(Mix64(opts_.seed, 0xb007'0000ull + id + (gen << 16))),
+      std::move(send));
+  RegisterNodeHandler(id);
+  ScheduleTick(id);
+  return OkStatus();
 }
 
 bool World::RunUntil(const std::function<bool()>& pred, Duration timeout) {

@@ -13,6 +13,9 @@
 #include "shard/shard_map.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "storage/sim_disk.h"
+#include "storage/storage.h"
+#include "storage/wal_storage.h"
 
 namespace recraft::harness {
 
@@ -20,11 +23,21 @@ inline constexpr NodeId kNamingServiceId = 900;
 inline constexpr NodeId kAdminId = 901;
 inline constexpr NodeId kFirstClientId = 1000;
 
+/// What backs each node's durable state.
+enum class StorageMode {
+  kNone = 0,   // purely volatile nodes (the historical behavior)
+  kInMemory,   // InMemoryStorage: boot-from-storage without byte modeling
+  kWal,        // WalStorage over a per-node SimDisk (crash injection works)
+};
+
 struct WorldOptions {
   uint64_t seed = 1;
   sim::NetworkOptions net;
   core::Options node;  // template for every node created
   bool with_naming_service = true;
+  StorageMode storage = StorageMode::kNone;
+  storage::WalStorage::Options wal;      // kWal only
+  storage::SimDisk::Options disk;        // kWal only
 };
 
 /// The DNS-like registry of §V: loosely consistent, assumed always
@@ -90,6 +103,19 @@ class World {
   void Restart(NodeId id);
   bool IsCrashed(NodeId id) const { return net_.IsCrashed(id); }
 
+  /// Hard crash: destroy the node object entirely — every byte of volatile
+  /// state is gone — applying `spec` to its not-yet-durable writes (torn
+  /// tail, partial batch, ...). Requires a storage mode. The durable medium
+  /// (SimDisk / InMemoryStorage) survives for RestartNode.
+  Status CrashNode(NodeId id, const storage::CrashSpec& spec = {});
+  /// Rebuild a CrashNode'd node purely from its durable medium (WAL replay,
+  /// snapshot load, merge-exchange resumption) and rejoin it to the world.
+  Status RestartNode(NodeId id);
+  /// True when the node was taken down by CrashNode and not yet restarted.
+  bool IsDown(NodeId id) const { return nodes_.count(id) == 0; }
+  /// The node's storage backend (null in kNone mode or while down).
+  storage::Storage* NodeStorage(NodeId id);
+
   // --- time control ---------------------------------------------------------
   void RunFor(Duration d) { events_.RunFor(d); }
   bool RunUntil(const std::function<bool()>& pred, Duration timeout);
@@ -150,7 +176,11 @@ class World {
 
  private:
   void ScheduleTick(NodeId id);
-  void TickNode(NodeId id);
+  void TickNode(NodeId id, uint64_t gen);
+  /// Create (or re-create, for WAL reboots) the storage backend for `id`.
+  /// Returns null in kNone mode.
+  storage::Storage* MakeStorage(NodeId id, bool fresh_instance);
+  void RegisterNodeHandler(NodeId id);
   Result<raft::ClientReply> CallLeader(const std::vector<NodeId>& members,
                                        raft::ClientBody body,
                                        Duration timeout);
@@ -161,7 +191,16 @@ class World {
   sim::Network net_;
   NamingService naming_;
   shard::ShardMap shard_map_;
+  // Durable media outlive node objects: disks (kWal) persist for the whole
+  // run; storages_ holds the live backend per node (replaced on WAL reboot
+  // so recovery genuinely reparses disk bytes). Declared before nodes_ so
+  // nodes (which hold raw Storage pointers) are destroyed first.
+  std::map<NodeId, std::shared_ptr<storage::SimDisk>> disks_;
+  std::map<NodeId, storage::StoragePtr> storages_;
   std::map<NodeId, std::unique_ptr<core::Node>> nodes_;
+  /// Incarnation counter per node: stale tick chains from before a
+  /// CrashNode notice the bump and die off.
+  std::map<NodeId, uint64_t> node_gen_;
   NodeId next_node_id_ = 1;
   uint64_t next_tx_id_ = 1;
   uint64_t next_req_id_ = 1;

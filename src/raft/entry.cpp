@@ -27,6 +27,7 @@ struct BytesVisitor {
   size_t operator()(const ConfSetRange& c) const {
     return 48 + (c.absorb ? c.absorb->SerializedBytes() : 0);
   }
+  size_t operator()(const ConfAbortSettled&) const { return 16; }
 };
 
 struct DescribeVisitor {
@@ -60,6 +61,9 @@ struct DescribeVisitor {
   }
   std::string operator()(const ConfSetRange& c) const {
     return "Crange:" + c.range.ToString() + (c.absorb ? "+absorb" : "");
+  }
+  std::string operator()(const ConfAbortSettled& c) const {
+    return "CabortSettled(tx=" + std::to_string(c.tx) + ")";
   }
 };
 }  // namespace

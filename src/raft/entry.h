@@ -62,9 +62,19 @@ struct ConfSetRange {
   kv::SnapshotPtr absorb;  // may be null (pure range change)
 };
 
+/// Coordinator-cluster marker: every participant acknowledged the abort of
+/// merge transaction `tx`, so members may drop the retransmission state they
+/// kept since C_abort applied. Without this record a coordinator leader
+/// elected *after* the abort applied had nothing to resume from (the abort
+/// clears the config's merge fields), and a participant whose one-shot abort
+/// fan-out was lost stayed blocked forever.
+struct ConfAbortSettled {
+  TxId tx = 0;
+};
+
 using Payload = std::variant<NoOp, kv::Command, ConfInit, ConfSplitJoint,
                              ConfSplitNew, ConfMember, ConfMergeTx,
-                             ConfMergeOutcome, ConfSetRange>;
+                             ConfMergeOutcome, ConfSetRange, ConfAbortSettled>;
 
 struct LogEntry {
   Index index = 0;

@@ -2,6 +2,14 @@
 // (the snapshot position). Provides the primitives the node builds Raft's
 // matching/truncation rules on, plus Reset() for the merge protocol's
 // fresh-log resumption.
+//
+// Persistence: the in-memory deque is a *cached view* over an optional
+// LogSink (the pluggable storage backend). Every structural mutation —
+// append, truncate, compact, reset — is forwarded to the attached sink, so
+// call sites throughout the node (replication, pull recovery, merge
+// resumption, proposals) persist without knowing storage exists. Reads
+// always come from the cache; recovery rebuilds the cache from the sink's
+// durable contents before attaching it.
 #pragma once
 
 #include <cassert>
@@ -12,8 +20,23 @@
 
 namespace recraft::raft {
 
+/// Receives every structural log mutation, in order. Implemented by the
+/// storage backends; attach with RaftLog::Attach *after* the cache has been
+/// rebuilt from durable state (boot must not re-persist what it replays).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void OnLogAppend(const LogEntry& e) = 0;
+  virtual void OnLogTruncateFrom(Index i) = 0;
+  virtual void OnLogCompactTo(Index i, uint64_t term) = 0;
+  virtual void OnLogReset(Index base, uint64_t term) = 0;
+};
+
 class RaftLog {
  public:
+  /// Attach (or detach, with nullptr) the persistence sink. Mutations from
+  /// this point on are forwarded after updating the cache.
+  void Attach(LogSink* sink) { sink_ = sink; }
   /// Base (snapshot) position: entries exist for indices in
   /// (base_index, last_index].
   Index base_index() const { return base_index_; }
@@ -57,6 +80,7 @@ class RaftLog {
   void Append(LogEntry e) {
     assert(e.index == last_index() + 1);
     entries_.push_back(std::move(e));
+    if (sink_ != nullptr) sink_->OnLogAppend(entries_.back());
   }
 
   /// Remove all entries with index >= i. i must be > base_index().
@@ -65,6 +89,7 @@ class RaftLog {
     if (i > last_index()) return;
     entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i - base_index_ - 1),
                    entries_.end());
+    if (sink_ != nullptr) sink_->OnLogTruncateFrom(i);
   }
 
   /// Drop entries up to and including i (log compaction after a snapshot).
@@ -75,6 +100,7 @@ class RaftLog {
     entries_.erase(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(drop));
     base_index_ = i;
     base_term_ = term;
+    if (sink_ != nullptr) sink_->OnLogCompactTo(i, term);
   }
 
   /// Discard everything and restart at the given base. Used when a merged
@@ -82,6 +108,21 @@ class RaftLog {
   /// snapshot is installed.
   void Reset(Index base, uint64_t term) {
     entries_.clear();
+    base_index_ = base;
+    base_term_ = term;
+    if (sink_ != nullptr) sink_->OnLogReset(base, term);
+  }
+
+  /// Rebuild the cache from durable state at boot: appends without sink
+  /// forwarding (the entry is already durable — echoing it back would
+  /// double-write the WAL).
+  void BootAppend(LogEntry e) {
+    assert(sink_ == nullptr && "attach the sink after the cache is rebuilt");
+    assert(e.index == last_index() + 1);
+    entries_.push_back(std::move(e));
+  }
+  void BootSetBase(Index base, uint64_t term) {
+    assert(entries_.empty());
     base_index_ = base;
     base_term_ = term;
   }
@@ -106,6 +147,7 @@ class RaftLog {
   std::deque<LogEntry> entries_;
   Index base_index_ = 0;
   uint64_t base_term_ = 0;
+  LogSink* sink_ = nullptr;
 };
 
 }  // namespace recraft::raft

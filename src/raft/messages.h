@@ -3,6 +3,7 @@
 // sizes for bandwidth accounting come from MessageBytes().
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <variant>
@@ -37,9 +38,15 @@ struct RaftSnapshot {
   kv::SnapshotPtr kv;
   ConfigState config;
   std::vector<ReconfigRecord> history;
+  /// Aborted merge transactions this (coordinator-source) node must keep
+  /// retransmitting until every participant acks — survives compaction of
+  /// the C_abort entry, and thus leader changes and reboots (see
+  /// ConfAbortSettled).
+  std::map<TxId, MergePlan> unsettled_aborts;
 
   size_t WireBytes() const {
-    return 128 + (kv ? kv->SerializedBytes() : 0) + history.size() * 64;
+    return 128 + (kv ? kv->SerializedBytes() : 0) + history.size() * 64 +
+           unsettled_aborts.size() * 96;
   }
 };
 using RaftSnapshotPtr = std::shared_ptr<const RaftSnapshot>;

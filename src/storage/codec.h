@@ -1,0 +1,66 @@
+// Binary serialization for everything the persistence subsystem writes to
+// disk: log entries (every payload variant), hard state, configuration
+// state, merge plans, reconfiguration history and full consensus snapshots.
+// Built on the common Encoder/Decoder (little-endian, length-prefixed) plus
+// a CRC32 used by the WAL record framing to detect torn tail writes.
+//
+// The encoding is the durable format — recovery after a crash parses these
+// bytes with no access to the dead process's memory — so every Decode
+// returns a Result and treats truncation/garbage as an error, never UB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/codec.h"
+#include "raft/entry.h"
+#include "raft/messages.h"
+
+namespace recraft::storage {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Guards each WAL record's
+/// payload so a torn tail write is detected instead of replayed as garbage.
+uint32_t Crc32(const uint8_t* data, size_t n);
+inline uint32_t Crc32(const std::vector<uint8_t>& v) {
+  return Crc32(v.data(), v.size());
+}
+
+// --- building blocks -------------------------------------------------------
+
+void EncodeKeyRange(Encoder& enc, const KeyRange& r);
+Result<KeyRange> DecodeKeyRange(Decoder& dec);
+
+void EncodeNodeVec(Encoder& enc, const std::vector<NodeId>& v);
+Result<std::vector<NodeId>> DecodeNodeVec(Decoder& dec);
+
+void EncodeSubCluster(Encoder& enc, const raft::SubCluster& s);
+Result<raft::SubCluster> DecodeSubCluster(Decoder& dec);
+
+void EncodeSplitPlan(Encoder& enc, const raft::SplitPlan& p);
+Result<raft::SplitPlan> DecodeSplitPlan(Decoder& dec);
+
+void EncodeMergePlan(Encoder& enc, const raft::MergePlan& p);
+Result<raft::MergePlan> DecodeMergePlan(Decoder& dec);
+
+void EncodeMemberChange(Encoder& enc, const raft::MemberChange& mc);
+Result<raft::MemberChange> DecodeMemberChange(Decoder& dec);
+
+void EncodeConfigState(Encoder& enc, const raft::ConfigState& c);
+Result<raft::ConfigState> DecodeConfigState(Decoder& dec);
+
+void EncodeReconfigRecord(Encoder& enc, const raft::ReconfigRecord& r);
+Result<raft::ReconfigRecord> DecodeReconfigRecord(Decoder& dec);
+
+void EncodeKvSnapshot(Encoder& enc, const kv::Snapshot& s);
+Result<kv::Snapshot> DecodeKvSnapshot(Decoder& dec);
+
+// --- top-level durable objects ---------------------------------------------
+
+void EncodeLogEntry(Encoder& enc, const raft::LogEntry& e);
+Result<raft::LogEntry> DecodeLogEntry(Decoder& dec);
+
+void EncodeRaftSnapshot(Encoder& enc, const raft::RaftSnapshot& s);
+Result<raft::RaftSnapshot> DecodeRaftSnapshot(Decoder& dec);
+
+}  // namespace recraft::storage

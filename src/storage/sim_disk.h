@@ -1,0 +1,95 @@
+// A deterministic simulated disk for the persistence subsystem. Holds named
+// byte files with a durable region and a pending (written-but-not-fsynced)
+// region; Flush() moves pending bytes to the durable region and charges
+// simulated I/O latency to a busy-time accumulator so benches can report
+// how much disk time a workload would have spent. Crashing discards pending
+// bytes — optionally keeping a prefix, which is how torn tail records and
+// partially flushed batches are injected (a real crash can land mid-way
+// through the sector writes of an fsync that never returned).
+//
+// Determinism: the disk draws no randomness and schedules no events; all
+// timing flows through the owning WalStorage's use of the EventQueue, so a
+// run remains a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace recraft::storage {
+
+class SimDisk {
+ public:
+  struct Options {
+    Duration fsync_latency = 100;                       // per flush, us
+    uint64_t throughput_bytes_per_sec = 512ull << 20;   // sequential write
+  };
+
+  struct Stats {
+    uint64_t flushes = 0;          // fsync count (durability barriers)
+    uint64_t flushed_bytes = 0;    // bytes made durable by flushes
+    uint64_t atomic_writes = 0;    // whole-file atomic replacements
+    uint64_t appended_bytes = 0;   // bytes entering the pending region
+    Duration io_busy = 0;          // simulated time the disk spent writing
+    uint64_t crash_lost_bytes = 0; // pending bytes discarded by crashes
+  };
+
+  SimDisk() : SimDisk(Options()) {}
+  explicit SimDisk(Options opts) : opts_(opts) {}
+
+  /// Append bytes to a file's pending region (not durable until Flush).
+  void Append(const std::string& file, const std::vector<uint8_t>& bytes);
+
+  /// Make a file's pending bytes durable (fsync). Charges I/O latency.
+  void Flush(const std::string& file);
+
+  /// Atomically replace a file's contents, durable immediately (models
+  /// write-temp + fsync + rename). Old content survives a crash up to the
+  /// moment of the rename; the replacement is all-or-nothing.
+  void WriteAtomic(const std::string& file, std::vector<uint8_t> bytes);
+
+  void Delete(const std::string& file);
+  bool Exists(const std::string& file) const;
+  /// Durable contents (pending bytes are invisible to readers — recovery
+  /// only ever sees what survived the crash).
+  const std::vector<uint8_t>& ReadDurable(const std::string& file) const;
+  size_t DurableSize(const std::string& file) const;
+  size_t PendingSize(const std::string& file) const;
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  // --- crash injection ----------------------------------------------------
+  /// Crash: every file loses its pending region.
+  void CrashAll();
+  /// Crash, but `keep_pending_bytes` of `file`'s pending prefix reached the
+  /// platter first (torn/partial write injection). Other files lose all
+  /// pending bytes.
+  void CrashKeepingPrefix(const std::string& file, size_t keep_pending_bytes);
+  /// Injection helper: truncate a file's durable contents to `len` bytes
+  /// (simulates the tail sectors of the last acknowledged write being lost
+  /// or torn — the snapshot/log divergence and torn-tail crash points).
+  void TruncateDurable(const std::string& file, size_t len);
+  /// Injection helper: flip one durable byte (checksum-detectable rot).
+  void CorruptDurable(const std::string& file, size_t offset);
+
+  const Stats& stats() const { return stats_; }
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  struct File {
+    std::vector<uint8_t> durable;
+    std::vector<uint8_t> pending;
+  };
+
+  void ChargeWrite(size_t bytes);
+
+  Options opts_;
+  std::map<std::string, File> files_;
+  Stats stats_;
+  static const std::vector<uint8_t> kEmpty;
+};
+
+}  // namespace recraft::storage

@@ -1,0 +1,99 @@
+#include "storage/storage.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recraft::storage {
+
+void InMemoryStorage::OnLogAppend(const raft::LogEntry& e) {
+  present_ = true;
+  assert(e.index == base_index_ + entries_.size() + 1);
+  entries_.push_back(e);
+}
+
+void InMemoryStorage::OnLogTruncateFrom(Index i) {
+  present_ = true;
+  while (!entries_.empty() && entries_.back().index >= i) {
+    entries_.pop_back();
+  }
+}
+
+void InMemoryStorage::OnLogCompactTo(Index i, uint64_t term) {
+  present_ = true;
+  while (!entries_.empty() && entries_.front().index <= i) {
+    entries_.pop_front();
+  }
+  base_index_ = i;
+  base_term_ = term;
+}
+
+void InMemoryStorage::OnLogReset(Index base, uint64_t term) {
+  present_ = true;
+  entries_.clear();
+  base_index_ = base;
+  base_term_ = term;
+}
+
+void InMemoryStorage::PersistHardState(const HardState& hs) {
+  present_ = true;
+  hard_ = hs;
+}
+
+void InMemoryStorage::InstallSnapshot(const raft::RaftSnapshotPtr& snap) {
+  present_ = true;
+  snap_ = snap;
+}
+
+void InMemoryStorage::PersistSealed(TxId tx, int source,
+                                    const kv::SnapshotPtr& snap) {
+  present_ = true;
+  sealed_[{tx, source}] = snap;
+}
+
+void InMemoryStorage::PruneSealed(TxId tx) {
+  for (auto it = sealed_.lower_bound({tx, -1});
+       it != sealed_.end() && it->first.first == tx;) {
+    it = sealed_.erase(it);
+  }
+}
+
+void InMemoryStorage::PersistExchangeMeta(const ExchangeMeta& meta) {
+  present_ = true;
+  meta_ = meta;
+}
+
+void InMemoryStorage::WipeAll() {
+  present_ = false;
+  hard_ = HardState{};
+  snap_.reset();
+  base_index_ = 0;
+  base_term_ = 0;
+  entries_.clear();
+  sealed_.clear();
+  meta_ = ExchangeMeta{};
+}
+
+Result<BootImage> InMemoryStorage::Load() {
+  BootImage img;
+  img.present = present_;
+  img.hard = hard_;
+  img.snap = snap_;
+  img.base_index = base_index_;
+  img.base_term = base_term_;
+  img.entries.assign(entries_.begin(), entries_.end());
+  img.sealed = sealed_;
+  img.exchange = meta_;
+  return img;
+}
+
+Index InMemoryStorage::DurableIndex() const {
+  return base_index_ + entries_.size();
+}
+
+void InMemoryStorage::Crash(const CrashSpec& spec) {
+  // Everything was durable the moment it was written; a crash loses
+  // nothing. Byte-level crash points need WalStorage.
+  (void)spec;
+}
+
+}  // namespace recraft::storage

@@ -1,0 +1,150 @@
+// Write-ahead-log storage backend over a SimDisk.
+//
+// Layout on the disk:
+//   "wal"             append-only record stream (framing below)
+//   "snap-<gen>"      consensus snapshot blobs, atomic, monotone generation
+//   "seal-<tx>-<src>" sealed merge-exchange kv snapshots, atomic
+//   "exmeta"          exchange runtime metadata, atomic
+//
+// WAL record framing: [u32 len][u32 crc32(payload)][payload], where the
+// payload starts with a one-byte record type. Replay walks the stream and
+// stops at the first truncated or CRC-failing record — a torn tail write is
+// detected and discarded, never replayed as garbage. Because group commit
+// preserves write order and a crash loses only a suffix of the unflushed
+// bytes, the surviving prefix is always a consistent history.
+//
+// Group commit: mutations append records to the disk's pending region and
+// arm a flush timer on the EventQueue (flush_interval); when it fires, one
+// simulated fsync makes every batched record durable and the node is poked
+// through the durable callback (acks and commit-quorum votes are gated on
+// DurableIndex, see storage.h). flush_interval == 0 degenerates to a
+// synchronous flush per mutation batch. Term/vote changes and every blob
+// write flush synchronously regardless — a node must never forget a vote.
+//
+// The WAL file is checkpoint-rewritten (atomically) when compaction has
+// left more dead bytes than live state, so it cannot grow without bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "storage/sim_disk.h"
+#include "storage/storage.h"
+
+namespace recraft::storage {
+
+class WalStorage final : public Storage {
+ public:
+  struct Options {
+    /// Group-commit window. 0 = flush synchronously inside every mutation.
+    Duration flush_interval = 0;
+    /// Rewrite the WAL once its file is this much larger than the live
+    /// state it encodes (dead records from compacted/overwritten history).
+    size_t rewrite_slack_bytes = 256 * 1024;
+    /// Keep this many snapshot generations for divergence recovery.
+    uint32_t snapshots_to_keep = 2;
+  };
+
+  struct Stats {
+    // Write side.
+    uint64_t records = 0;          // WAL records appended
+    uint64_t entry_records = 0;    // of which log-entry appends
+    uint64_t sync_flushes = 0;     // synchronous barriers (votes, blobs)
+    uint64_t batch_flushes = 0;    // group-commit timer flushes
+    uint64_t snapshots_written = 0;
+    uint64_t wal_rewrites = 0;
+    // Recovery side (filled by Load()).
+    uint64_t replayed_records = 0;
+    uint64_t replayed_entries = 0;
+    uint64_t dropped_tail_bytes = 0;  // bytes after the first bad record
+    bool tore_tail = false;           // trailing garbage was detected
+    bool snapshot_fallback = false;   // newest snapshot gen was unusable
+  };
+
+  WalStorage(std::shared_ptr<SimDisk> disk, sim::EventQueue* events)
+      : WalStorage(std::move(disk), events, Options()) {}
+  WalStorage(std::shared_ptr<SimDisk> disk, sim::EventQueue* events,
+             Options opts);
+  ~WalStorage() override;
+
+  WalStorage(const WalStorage&) = delete;
+  WalStorage& operator=(const WalStorage&) = delete;
+
+  // LogSink.
+  void OnLogAppend(const raft::LogEntry& e) override;
+  void OnLogTruncateFrom(Index i) override;
+  void OnLogCompactTo(Index i, uint64_t term) override;
+  void OnLogReset(Index base, uint64_t term) override;
+
+  void PersistHardState(const HardState& hs) override;
+  void InstallSnapshot(const raft::RaftSnapshotPtr& snap) override;
+  void PersistSealed(TxId tx, int source,
+                     const kv::SnapshotPtr& snap) override;
+  void PruneSealed(TxId tx) override;
+  void PersistExchangeMeta(const ExchangeMeta& meta) override;
+  void WipeAll() override;
+  Result<BootImage> Load() override;
+  Index DurableIndex() const override;
+  void Sync() override;
+  void Crash(const CrashSpec& spec) override;
+
+  const Stats& stats() const { return stats_; }
+  const SimDisk& disk() const { return *disk_; }
+  size_t wal_file_bytes() const;
+
+ private:
+  // Record types — part of the durable format; append-only.
+  enum RecordType : uint8_t {
+    kRecHardState = 1,
+    kRecAppend = 2,
+    kRecTruncateFrom = 3,
+    kRecReset = 4,
+    kRecCompactTo = 5,
+    kRecSnapInstalled = 6,
+  };
+
+  // In-memory mirror of the durable logical state, maintained so the WAL
+  // can be checkpoint-rewritten compactly and DurableIndex tracked.
+  struct Model {
+    HardState hard;
+    uint32_t snap_gen = 0;  // 0 = no snapshot
+    Index snap_index = 0;
+    uint64_t snap_term = 0;
+    Index base_index = 0;
+    uint64_t base_term = 0;
+    std::deque<raft::LogEntry> entries;
+    Index last_index() const { return base_index + entries.size(); }
+  };
+
+  static std::string SnapFile(uint32_t gen);
+  static std::string SealFile(TxId tx, int source);
+
+  static std::vector<uint8_t> FrameRecord(const Encoder& payload);
+  void AppendRecord(const Encoder& payload, bool force_sync);
+  void ArmFlush();
+  void FlushNow(bool from_timer);
+  void MaybeRewriteWal();
+  std::vector<uint8_t> EncodeCheckpoint() const;
+  /// Replay the durable WAL bytes into `model`; updates recovery stats.
+  void ReplayWal(const std::vector<uint8_t>& bytes, Model* model);
+
+  std::shared_ptr<SimDisk> disk_;
+  sim::EventQueue* events_;  // may be null (unit tests drive Sync())
+  Options opts_;
+  Model model_;
+  Index durable_index_ = 0;
+  uint64_t pending_records_ = 0;
+  /// Byte offsets (within the total wal stream) where each pending record
+  /// starts — the crash injector cuts at or inside these.
+  std::vector<size_t> pending_record_offsets_;
+  size_t wal_len_ = 0;  // durable + pending bytes
+  size_t last_snap_record_off_ = 0;
+  size_t live_bytes_estimate_ = 0;
+  sim::EventId flush_event_ = sim::kNoEvent;
+  Stats stats_;
+};
+
+}  // namespace recraft::storage

@@ -260,6 +260,152 @@ TEST(Merge, AbortRetransmittedUntilParticipantsAck) {
   ASSERT_TRUE(f.MergedAndServing(merged, 30 * kSecond));
 }
 
+TEST(Merge, AbortResumedAfterCoordinatorLeaderChange) {
+  // The remaining abort-path gap: C_abort clears the config's merge fields,
+  // so a coordinator leader elected *after* the abort applied used to have
+  // nothing to resume retransmission from — a participant that recorded
+  // CTX' and lost the fan-out stayed blocked forever. Every coordinator-
+  // source member now keeps the aborted plan (unsettled_aborts_) until the
+  // replicated ConfAbortSettled marker confirms all participants acked.
+  MergeFixture f(14, 3);
+  auto& w = f.w;
+  const auto& g0 = f.groups[0];  // coordinator cluster
+  const auto& g1 = f.groups[1];  // records CTX' and votes OK
+  const auto& g2 = f.groups[2];  // votes NO (busy with another transaction)
+  ASSERT_TRUE(w.Put(g0, "a8", "warm").ok());
+  ASSERT_TRUE(w.Put(g1, "h8", "warm").ok());
+  ASSERT_TRUE(w.Put(g2, "p8", "warm").ok());
+
+  // Occupy g2 so it votes NO on the real transaction.
+  auto fake_draft = w.MakeMergeDraft({g0, g2});
+  ASSERT_TRUE(fake_draft.ok());
+  raft::MergePlan fake = *fake_draft;
+  fake.tx = w.NextTxId();
+  fake.new_uid = raft::DeriveMergeUid(fake.tx);
+  raft::MergePrepareReq fake_req;
+  fake_req.from = harness::kAdminId;
+  fake_req.plan = fake;
+  ASSERT_TRUE(w.RunUntil([&]() { return w.LeaderOf(g2) != kNoNode; },
+                         5 * kSecond));
+  w.net().Send(harness::kAdminId, w.LeaderOf(g2),
+               raft::MakeMessage(raft::Message(fake_req)), 128);
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        NodeId l = w.LeaderOf(g2);
+        return l != kNoNode && w.node(l).config().merge_tx.has_value();
+      },
+      5 * kSecond));
+
+  // Delay every g2 -> g0 link so the NO vote arrives after g1's OK.
+  for (NodeId c : g2) {
+    for (NodeId a : g0) w.net().SetLinkLatency(c, a, 1500 * kMillisecond);
+  }
+
+  auto plan = w.MakeMergeDraft({g0, g1, g2});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(w.RunUntil([&]() { return w.LeaderOf(g0) != kNoNode; },
+                         5 * kSecond));
+  raft::ClientRequest req;
+  req.req_id = w.NextReqId();
+  req.from = harness::kAdminId;
+  req.body = raft::AdminMerge{*plan};
+  w.net().Send(harness::kAdminId, w.LeaderOf(g0),
+               raft::MakeMessage(raft::Message(req)), 128);
+
+  // g1 durably records its OK decision, then loses contact with g0: the
+  // abort fan-out cannot reach it.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        NodeId l = w.LeaderOf(g1);
+        if (l == kNoNode) return false;
+        const auto& n = w.node(l);
+        return n.config().merge_tx.has_value() &&
+               n.config().merge_tx->tx == plan->tx &&
+               n.config().merge_tx_index <= n.last_applied();
+      },
+      5 * kSecond));
+  w.RunFor(100 * kMillisecond);
+  for (NodeId a : g0) {
+    for (NodeId b : g1) w.net().Block(a, b);
+  }
+
+  // The delayed NO arrives; the coordinator commits and applies C_abort.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId a : g0) {
+          if (w.node(a).counters().Get("merge.aborted") > 0) return true;
+        }
+        return false;
+      },
+      10 * kSecond));
+  // Wait until the abort entry applied on every live g0 member (so any of
+  // them can become the resuming leader), then kill the current leader:
+  // the one node that still held the kCommitting runtime.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId a : g0) {
+          if (w.node(a).unsettled_abort_count() == 0) return false;
+        }
+        return true;
+      },
+      10 * kSecond));
+  NodeId old_leader = w.LeaderOf(g0);
+  ASSERT_NE(old_leader, kNoNode);
+  w.Crash(old_leader);
+  std::vector<NodeId> g0_rest;
+  for (NodeId a : g0) {
+    if (a != old_leader) g0_rest.push_back(a);
+  }
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        NodeId l = w.LeaderOf(g0_rest);
+        return l != kNoNode && l != old_leader;
+      },
+      15 * kSecond));
+  w.RunFor(200 * kMillisecond);
+  for (NodeId a : g0) {
+    for (NodeId b : g1) w.net().Unblock(a, b);
+  }
+
+  // The fix: the NEW coordinator leader — which never ran this 2PC —
+  // resumes the abort retransmission from its unsettled_aborts_ record, so
+  // g1 clears its pending transaction once the partition heals.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId b : g1) {
+          if (w.node(b).config().merge_tx.has_value()) return false;
+        }
+        return true;
+      },
+      30 * kSecond))
+      << "g1 still holds CTX' after coordinator leader change: "
+      << w.node(g1[0]).config().ToString();
+
+  // Once all participants acked, the ConfAbortSettled marker clears the
+  // bookkeeping on every live coordinator member.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        for (NodeId a : g0_rest) {
+          if (w.node(a).unsettled_abort_count() != 0) return false;
+        }
+        return true;
+      },
+      20 * kSecond))
+      << "abort never settled on the coordinator cluster";
+  w.Restart(old_leader);
+  ASSERT_TRUE(w.RunUntil(
+      [&]() { return w.node(old_leader).unsettled_abort_count() == 0; },
+      20 * kSecond));
+
+  // And both clusters are reconfigurable again.
+  ASSERT_TRUE(w.AdminMerge({g0, g1}, {}, 60 * kSecond).ok());
+  std::vector<NodeId> merged;
+  merged.insert(merged.end(), g0.begin(), g0.end());
+  merged.insert(merged.end(), g1.begin(), g1.end());
+  std::sort(merged.begin(), merged.end());
+  ASSERT_TRUE(f.MergedAndServing(merged, 30 * kSecond));
+}
+
 TEST(Merge, CoordinatorLeaderCrashDuringPrepare) {
   MergeFixture f(6, 2);
   auto& w = f.w;

@@ -1,6 +1,8 @@
 // Pull-based recovery and long-term failure handling (§III-B, §V): PULL vote
 // responses, epoch-boundary capping, snapshot fallbacks, reconfiguration
-// history and the naming-service path.
+// history and the naming-service path — plus hard-reboot variants where the
+// node object is destroyed and rebuilt purely from its WAL (storage mode).
+#include "storage/wal_storage.h"
 #include "tests/test_util.h"
 
 namespace recraft::test {
@@ -191,6 +193,49 @@ TEST(Recovery, NamingServiceTracksReconfigurations) {
   }
   EXPECT_TRUE(left);
   EXPECT_TRUE(right);
+}
+
+TEST(Recovery, HardRebootAcrossSplitEpochBoundary) {
+  // The §III-B laggard scenario with a *hard* crash: the sleeper is
+  // destroyed before the split, reboots from its pre-split WAL image
+  // (epoch 0 state), and must cross the epoch boundary via pull/snapshot
+  // recovery — ending in its own subcluster with no sibling keys leaked.
+  WorldOptions opts = TestWorldOptions(20);
+  opts.storage = harness::StorageMode::kWal;
+  opts.wal.flush_interval = 1 * kMillisecond;
+  World w(opts);
+  harness::SafetyChecker checker(w);
+  checker.AttachPeriodic();
+  auto c = w.CreateCluster(6);
+  ASSERT_TRUE(w.WaitForLeader(c));
+  ASSERT_TRUE(w.Put(c, "a", "1").ok());
+  w.RunFor(50 * kMillisecond);
+  std::vector<NodeId> g1{c[0], c[1], c[2]}, g2{c[3], c[4], c[5]};
+  NodeId sleeper = g2[2] == w.LeaderOf(c) ? g2[1] : g2[2];
+  ASSERT_TRUE(
+      w.CrashNode(sleeper, {storage::CrashPoint::kPartialBatch}).ok());
+  ASSERT_TRUE(w.AdminSplit(c, {g1, g2}, {"m"}).ok());
+  ASSERT_TRUE(w.WaitForLeader(g1));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(w.Put(g1, "g1-" + std::to_string(i), "x").ok());
+  }
+  ASSERT_TRUE(w.RestartNode(sleeper).ok());
+  // The reboot restored pre-split epoch-0 state from disk alone...
+  EXPECT_EQ(w.node(sleeper).epoch(), 0u);
+  // ...and the live protocols carry it across the boundary.
+  ASSERT_TRUE(w.RunUntil(
+      [&]() {
+        return w.node(sleeper).epoch() == 1 &&
+               w.node(sleeper).config().mode == raft::ConfigMode::kStable;
+      },
+      20 * kSecond));
+  EXPECT_TRUE(w.RunUntil(
+      [&]() { return w.node(sleeper).config().members == g2; }, 5 * kSecond));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(
+        w.node(sleeper).store().Get("g1-" + std::to_string(i)).ok());
+  }
+  EXPECT_TRUE(checker.ok()) << checker.Report();
 }
 
 TEST(Recovery, CrashedLeaderRejoinsAsFollower) {
