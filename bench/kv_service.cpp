@@ -1,0 +1,195 @@
+// Service-API microbench: what a linearizable read costs on each path.
+//
+//   $ ./kv_service                 # full run, human-readable
+//   $ ./kv_service --json [path]   # also write BENCH_kv.json
+//   $ ./kv_service --smoke         # CTest-sized run
+//
+// Three closed-loop fleets drive a 3-node cluster: gets through the log
+// (every read = a log entry + replication fan-out), gets through ReadIndex
+// (one probe round amortized over a batch, zero log entries — asserted),
+// and bounded scans. Reported as completed ops per *simulated* second (the
+// protocol cost, independent of host speed) plus wall-clock events/s.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/client.h"
+#include "harness/world.h"
+
+namespace recraft {
+namespace {
+
+using harness::ClientFleet;
+using harness::ClientOptions;
+using harness::Router;
+using harness::World;
+using harness::WorldOptions;
+
+struct JsonResult {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
+
+struct RunStats {
+  double ops_per_sim_sec = 0;
+  uint64_t log_entries_added = 0;
+  uint64_t ops = 0;
+  double appends_per_kop = 0;  // leader AppendEntries RPCs per 1000 ops
+};
+
+RunStats RunFleet(uint64_t seed, size_t preload, Duration run_for,
+                  ClientOptions copts) {
+  WorldOptions wopts;
+  wopts.seed = seed;
+  World w(wopts);
+  auto c = w.CreateCluster(3);
+  if (!w.WaitForLeader(c)) {
+    std::fprintf(stderr, "no leader\n");
+    std::exit(1);
+  }
+  char key[32];
+  for (size_t i = 0; i < preload; ++i) {
+    std::snprintf(key, sizeof(key), "k%08zu", i % copts.key_space);
+    if (!w.Put(c, key, std::string(copts.value_bytes, 'v')).ok()) {
+      std::fprintf(stderr, "preload failed\n");
+      std::exit(1);
+    }
+  }
+  Router router;
+  router.SetClusters({Router::Entry{c, KeyRange::Full()}});
+  ClientFleet fleet(w, router, 8, copts);
+  NodeId leader = w.LeaderOf(c);
+  const Index log_before = w.node(leader).last_log_index();
+  const uint64_t appends_before =
+      w.node(leader).counters().Get("repl.append_sent");
+  const TimePoint t0 = w.now();
+  fleet.Start();
+  w.RunFor(run_for);
+  fleet.Stop();
+  w.RunFor(100 * kMillisecond);  // drain in-flight replies
+
+  RunStats out;
+  out.ops = fleet.TotalOps();
+  out.ops_per_sim_sec = static_cast<double>(out.ops) /
+                        (static_cast<double>(w.now() - t0) / kSecond);
+  NodeId l = w.LeaderOf(c);
+  if (l == leader && out.ops > 0) {
+    out.log_entries_added = w.node(l).last_log_index() - log_before;
+    out.appends_per_kop =
+        1000.0 *
+        static_cast<double>(w.node(l).counters().Get("repl.append_sent") -
+                            appends_before) /
+        static_cast<double>(out.ops);
+  }
+  return out;
+}
+
+int Run(bool json, const std::string& path, bool smoke) {
+  const Duration run_for = (smoke ? 2 : 8) * kSecond;
+  const size_t preload = smoke ? 500 : 2000;
+  std::vector<JsonResult> results;
+
+  ClientOptions base;
+  base.key_space = preload;
+  base.value_bytes = 64;
+  base.batch_size = 4;
+
+  auto wall0 = std::chrono::steady_clock::now();
+
+  ClientOptions log_reads = base;
+  log_reads.get_fraction = 1.0;
+  log_reads.reads_via_log = true;
+  RunStats log_run = RunFleet(11, preload, run_for, log_reads);
+  std::printf(
+      "gets via log       : %10.0f ops/sim-s (%llu log entries, "
+      "%.0f appends/kop)\n",
+      log_run.ops_per_sim_sec,
+      static_cast<unsigned long long>(log_run.log_entries_added),
+      log_run.appends_per_kop);
+  results.push_back({"logread_gets_per_sim_sec", log_run.ops_per_sim_sec,
+                     "1/s"});
+  results.push_back({"logread_appends_per_kop", log_run.appends_per_kop,
+                     "1"});
+
+  ClientOptions ri_reads = base;
+  ri_reads.get_fraction = 1.0;
+  RunStats ri_run = RunFleet(11, preload, run_for, ri_reads);
+  std::printf(
+      "gets via ReadIndex : %10.0f ops/sim-s (%llu log entries, "
+      "%.0f appends/kop)\n",
+      ri_run.ops_per_sim_sec,
+      static_cast<unsigned long long>(ri_run.log_entries_added),
+      ri_run.appends_per_kop);
+  results.push_back({"readindex_gets_per_sim_sec", ri_run.ops_per_sim_sec,
+                     "1/s"});
+  results.push_back({"readindex_appends_per_kop", ri_run.appends_per_kop,
+                     "1"});
+  results.push_back({"readindex_log_entries",
+                     static_cast<double>(ri_run.log_entries_added), "1"});
+  if (ri_run.log_entries_added != 0) {
+    std::fprintf(stderr,
+                 "FAIL: ReadIndex gets appended %llu log entries (want 0)\n",
+                 static_cast<unsigned long long>(ri_run.log_entries_added));
+    return 1;
+  }
+  if (log_run.ops_per_sim_sec > 0) {
+    results.push_back({"readindex_speedup",
+                       ri_run.ops_per_sim_sec / log_run.ops_per_sim_sec, "x"});
+  }
+
+  ClientOptions scans = base;
+  scans.scan_fraction = 1.0;
+  scans.scan_limit = 16;
+  RunStats scan_run = RunFleet(12, preload, run_for, scans);
+  double entries_per_sec =
+      scan_run.ops_per_sim_sec * static_cast<double>(scans.scan_limit);
+  std::printf("scans (limit 16)   : %10.0f scans/sim-s (~%.0f entries/s)\n",
+              scan_run.ops_per_sim_sec, entries_per_sec);
+  results.push_back({"scans_per_sim_sec", scan_run.ops_per_sim_sec, "1/s"});
+  results.push_back({"scan_entries_per_sim_sec", entries_per_sec, "1/s"});
+
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count();
+  results.push_back({"bench_wall_seconds", wall, "s"});
+
+  if (json) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(f, "  \"%s\": {\"value\": %.3f, \"unit\": \"%s\"}%s\n",
+                   results[i].name.c_str(), results[i].value,
+                   results[i].unit.c_str(),
+                   i + 1 == results.size() ? "" : ",");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace recraft
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  std::string path = "BENCH_kv.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  return recraft::Run(json, path, smoke);
+}

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "kv/service.h"
 #include "storage/codec.h"
 #include "storage/sim_disk.h"
 #include "storage/wal_storage.h"
@@ -47,7 +48,7 @@ raft::LogEntry MakeEntry(Index index, size_t value_bytes) {
   raft::LogEntry e;
   e.index = index;
   e.term = 1;
-  e.payload = std::move(cmd);
+  e.payload = kv::EncodeCommand(cmd);
   return e;
 }
 

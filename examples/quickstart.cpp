@@ -62,10 +62,10 @@ int main() {
               world.ConfigOf(bigger).ToString().c_str());
 
   // New members replicate the existing data.
-  world.RunUntil([&]() { return world.node(n4).store().size() == 2; },
+  world.RunUntil([&]() { return harness::KvStoreOf(world.node(n4)).size() == 2; },
                  5 * kSecond);
   std::printf("node n%u caught up with %zu keys\n", n4,
-              world.node(n4).store().size());
+              harness::KvStoreOf(world.node(n4)).size());
   std::printf("done (simulated time: %s)\n", FormatTime(world.now()).c_str());
   return 0;
 }

@@ -4,13 +4,13 @@ namespace recraft {
 
 Result<uint8_t> Decoder::GetU8() {
   if (auto s = Need(1); !s.ok()) return s;
-  return buf_[pos_++];
+  return data_[pos_++];
 }
 
 Result<uint32_t> Decoder::GetU32() {
   if (auto s = Need(4); !s.ok()) return s;
   uint32_t v;
-  std::memcpy(&v, buf_.data() + pos_, 4);
+  std::memcpy(&v, data_ + pos_, 4);
   pos_ += 4;
   return v;
 }
@@ -18,7 +18,7 @@ Result<uint32_t> Decoder::GetU32() {
 Result<uint64_t> Decoder::GetU64() {
   if (auto s = Need(8); !s.ok()) return s;
   uint64_t v;
-  std::memcpy(&v, buf_.data() + pos_, 8);
+  std::memcpy(&v, data_ + pos_, 8);
   pos_ += 8;
   return v;
 }
@@ -33,7 +33,7 @@ Result<std::string> Decoder::GetString() {
   auto n = GetU32();
   if (!n.ok()) return n.status();
   if (auto s = Need(*n); !s.ok()) return s;
-  std::string out(reinterpret_cast<const char*>(buf_.data() + pos_), *n);
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), *n);
   pos_ += *n;
   return out;
 }
@@ -42,7 +42,7 @@ Result<std::vector<uint8_t>> Decoder::GetBytes() {
   auto n = GetU32();
   if (!n.ok()) return n.status();
   if (auto s = Need(*n); !s.ok()) return s;
-  std::vector<uint8_t> out(buf_.data() + pos_, buf_.data() + pos_ + *n);
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + *n);
   pos_ += *n;
   return out;
 }

@@ -42,7 +42,13 @@ class Encoder {
 
 class Decoder {
  public:
-  explicit Decoder(const std::vector<uint8_t>& buf) : buf_(buf) {}
+  /// Views, not copies: the buffer must outlive the decoder.
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::string& buf)
+      : data_(reinterpret_cast<const uint8_t*>(buf.data())),
+        size_(buf.size()) {}
 
   Result<uint8_t> GetU8();
   Result<uint32_t> GetU32();
@@ -51,15 +57,16 @@ class Decoder {
   Result<std::string> GetString();
   Result<std::vector<uint8_t>> GetBytes();
 
-  bool AtEnd() const { return pos_ == buf_.size(); }
-  size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
 
  private:
   Status Need(size_t n) {
-    if (pos_ + n > buf_.size()) return Internal("codec: truncated buffer");
+    if (pos_ + n > size_) return Internal("codec: truncated buffer");
     return OkStatus();
   }
-  const std::vector<uint8_t>& buf_;
+  const uint8_t* data_;
+  size_t size_;
   size_t pos_ = 0;
 };
 

@@ -514,8 +514,8 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
   // mid-membership. Treat the entry as the cluster's genesis instead:
   // adopt the merged range for a blank store (the ConfInit replay rule).
   if (config_.Current().uid == plan.new_uid || plan.SourceOf(id_) < 0) {
-    if (store_.range().empty() || store_.size() == 0) {
-      store_ = kv::Store(plan.new_range);
+    if (machine_->range().empty() || machine_->Size() == 0) {
+      machine_->Reset(plan.new_range);
     }
     return;
   }
@@ -526,7 +526,7 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
   // the sealed (pre-merge) snapshot with the current store.
   int sealed_source = plan.SourceOf(id_);
   if (exchange_store_.count({plan.tx, sealed_source}) == 0) {
-    auto sealed = store_.TakeSnapshot();
+    auto sealed = machine_->TakeSnapshot();
     exchange_store_[{plan.tx, sealed_source}] = sealed;
     // Durable before the transition resets the log: after the reset the
     // sealed blob is the *only* copy of this node's pre-merge data.
@@ -754,7 +754,7 @@ void Node::TransitionToMerged(const raft::MergePlan& plan) {
   if (IsRetired()) {
     // Resize-at-merge dropped us; we keep serving our sealed snapshot to
     // the resumed members but hold no merged state ourselves.
-    store_ = kv::Store(KeyRange::Empty());
+    machine_->Reset(KeyRange::Empty());
     PersistExchangeMetaNow();  // the armed GC entry survives reboots
     return;
   }
@@ -845,18 +845,21 @@ void Node::MaybeFinishExchange() {
   if (!exchange_.has_value()) return;
   if (exchange_->have.size() < exchange_->plan.sources.size()) return;
 
-  // Assemble the merged store: restore the lowest range, then absorb the
+  // Assemble the merged state: restore the lowest range, then absorb the
   // rest in key order (ranges are adjacent by construction).
-  std::vector<kv::SnapshotPtr> snaps;
+  std::vector<sm::SnapshotPtr> snaps;
   snaps.reserve(exchange_->have.size());
   for (const auto& [sj, snap] : exchange_->have) snaps.push_back(snap);
   std::sort(snaps.begin(), snaps.end(),
-            [](const kv::SnapshotPtr& a, const kv::SnapshotPtr& b) {
+            [](const sm::SnapshotPtr& a, const sm::SnapshotPtr& b) {
               return a->range.lo() < b->range.lo();
             });
-  store_.Restore(*snaps.front());
+  if (Status s = machine_->Restore(*snaps.front()); !s.ok()) {
+    RLOG_ERROR("merge", "n%u snapshot restore failed: %s", id_,
+               s.ToString().c_str());
+  }
   for (size_t i = 1; i < snaps.size(); ++i) {
-    Status s = store_.MergeIn(*snaps[i]);
+    Status s = machine_->MergeIn(*snaps[i]);
     if (!s.ok()) {
       RLOG_ERROR("merge", "n%u snapshot merge failed: %s", id_,
                  s.ToString().c_str());
@@ -865,8 +868,8 @@ void Node::MaybeFinishExchange() {
   raft::MergePlan plan = exchange_->plan;
   exchange_.reset();
   counters_.Add("merge.exchange_done");
-  RLOG_INFO("merge", "n%u finished snapshot exchange (%zu keys)", id_,
-            store_.size());
+  RLOG_INFO("merge", "n%u finished snapshot exchange (%zu items)", id_,
+            machine_->Size());
   // Announce completion so holders can GC their sealed snapshots once every
   // resumed member is through (retransmitted from ExchangeGcTick until this
   // node prunes its own copy).

@@ -32,8 +32,11 @@ Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
       opts_(opts),
       send_(std::move(send)),
       rng_(rng),
-      storage_(storage),
-      store_(genesis.range) {
+      storage_(storage) {
+  assert(opts_.machine_factory &&
+         "Options::machine_factory must be set (the harness installs the KV "
+         "machine by default)");
+  machine_ = opts_.machine_factory(genesis.range);
   InternCounters();
   if (storage_ != nullptr) {
     storage_->SetDurableCallback([this]() { OnStorageDurable(); });
@@ -71,8 +74,9 @@ Node::Node(NodeId id, Options opts, storage::Storage* storage, Rng rng,
       opts_(opts),
       send_(std::move(send)),
       rng_(rng),
-      storage_(storage),
-      store_(KeyRange::Empty()) {
+      storage_(storage) {
+  assert(opts_.machine_factory && "Options::machine_factory must be set");
+  machine_ = opts_.machine_factory(KeyRange::Empty());
   InternCounters();
   assert(storage_ != nullptr && "boot-from-storage needs a backend");
   storage_->SetDurableCallback([this]() { OnStorageDurable(); });
@@ -247,6 +251,7 @@ void Node::TickBody() {
       }
     }
     MergeTick();
+    ReadTick();  // retransmit an unanswered ReadIndex probe round
     silent_ticks_ = 0;
     return;
   }
@@ -307,6 +312,10 @@ void Node::Receive(NodeId from, const raft::Message& m) {
           HandleSnapPullReq(from, body);
         } else if constexpr (std::is_same_v<T, raft::SnapPullReply>) {
           HandleSnapPullReply(from, body);
+        } else if constexpr (std::is_same_v<T, raft::ReadIndexProbe>) {
+          HandleReadIndexProbe(from, body);
+        } else if constexpr (std::is_same_v<T, raft::ReadIndexAck>) {
+          HandleReadIndexAck(from, body);
         } else if constexpr (std::is_same_v<T, raft::ClientRequest>) {
           HandleClientRequest(from, body);
         } else if constexpr (std::is_same_v<T, raft::RangeSnapReq>) {
@@ -338,6 +347,9 @@ void Node::OnRestart() {
   votes_.clear();
   ClearProgress();
   pending_.clear();
+  pending_reads_.clear();
+  read_probe_inflight_ = false;
+  read_acks_.clear();
   deferred_requests_.clear();
   DropPendingAcks();
   ResetElectionTimer();
@@ -384,6 +396,8 @@ void Node::ApplyCommitted() {
     ApplyEntry(entry);
   }
   MaybeCompact();  // every replica compacts, not just the leader
+  // A confirmed read may have been waiting for its read_index to apply.
+  if (!pending_reads_.empty()) ServeConfirmedReads();
 }
 
 void Node::RecordApplied(const raft::LogEntry& e) {
@@ -393,12 +407,14 @@ void Node::RecordApplied(const raft::LogEntry& e) {
   rec.epoch = current_et().epoch();
   rec.index = e.index;
   rec.term = e.term;
-  if (const auto* cmd = std::get_if<kv::Command>(&e.payload)) {
-    rec.payload_hash = std::hash<std::string>{}(cmd->key) * 31 +
-                       std::hash<std::string>{}(cmd->value) * 7 +
-                       static_cast<size_t>(cmd->op) + cmd->client_id * 131 +
-                       cmd->seq * 17;
-    rec.is_kv = true;
+  if (const auto* cmd = std::get_if<sm::Command>(&e.payload)) {
+    rec.payload_hash =
+        std::hash<std::string>{}(cmd->key) * 31 +
+        std::hash<std::string_view>{}(std::string_view(
+            reinterpret_cast<const char*>(cmd->body.data()),
+            cmd->body.size())) *
+            7;
+    rec.is_cmd = true;
     rec.cmd = *cmd;
   } else {
     rec.payload_hash = std::hash<std::string>{}(e.Describe());
@@ -409,12 +425,12 @@ void Node::RecordApplied(const raft::LogEntry& e) {
 void Node::ApplyEntry(const raft::LogEntry& e) {
   RecordApplied(e);
   counters_.Add(cid_.entries_applied);
-  if (const auto* cmd = std::get_if<kv::Command>(&e.payload)) {
-    kv::OpResult res = store_.Apply(*cmd);
+  if (const auto* cmd = std::get_if<sm::Command>(&e.payload)) {
+    sm::CmdResult res = machine_->Apply(*cmd);
     auto it = pending_.find(e.index);
     if (it != pending_.end()) {
       ReplyToClient(it->second.client, it->second.req_id, res.status,
-                    res.value);
+                    res.payload);
       pending_.erase(it);
     }
     return;
@@ -429,10 +445,10 @@ void Node::ApplyEntry(const raft::LogEntry& e) {
   }
   if (std::holds_alternative<raft::ConfInit>(e.payload)) {
     // Replayed only by nodes that joined after bootstrap: adopt the genesis
-    // range for the (still empty) store. Membership was applied wait-free
+    // range for the (still empty) machine. Membership was applied wait-free
     // on append by the config tracker.
-    if (store_.range().empty() || store_.size() == 0) {
-      store_ = kv::Store(config_.StateAtOrBefore(e.index).range);
+    if (machine_->range().empty() || machine_->Size() == 0) {
+      machine_->Reset(config_.StateAtOrBefore(e.index).range);
     }
     return;
   }
@@ -471,13 +487,13 @@ void Node::ApplyEntry(const raft::LogEntry& e) {
   }
   if (const auto* sr = std::get_if<raft::ConfSetRange>(&e.payload)) {
     if (sr->absorb) {
-      Status s = store_.MergeIn(*sr->absorb);
+      Status s = machine_->MergeIn(*sr->absorb);
       if (!s.ok()) {
         RLOG_ERROR("range", "n%u absorb failed: %s", id_,
                    s.ToString().c_str());
       }
-    } else if (store_.range().ContainsRange(sr->range)) {
-      (void)store_.RestrictRange(sr->range);
+    } else if (machine_->range().ContainsRange(sr->range)) {
+      (void)machine_->RestrictRange(sr->range);
     }
     auto it = pending_.find(e.index);
     if (it != pending_.end()) {
@@ -496,6 +512,10 @@ void Node::FailPendingClients(Code code) {
     ReplyToClient(pc.client, pc.req_id, Status(code), {});
   }
   pending_.clear();
+  // Pending ReadIndex reads die with the leadership that registered them
+  // (every FailPendingClients site is such a boundary): the probe quorum
+  // that would have confirmed them can no longer vouch for this node.
+  FailPendingReads(code);
 }
 
 void Node::ReplyToClient(NodeId client, uint64_t req_id, Status s,
@@ -531,7 +551,13 @@ void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
     ReplyToClient(from, m.req_id, NotLeader());
     return;
   }
-  if (const auto* cmd = std::get_if<kv::Command>(&m.body)) {
+  if (const auto* read = std::get_if<raft::ReadRequest>(&m.body)) {
+    HandleReadRequest(from, m.req_id, *read);
+    return;
+  }
+  if (const auto* cmd = std::get_if<sm::Command>(&m.body)) {
+    // Every command routes by its key; "" is a legal coordinate (the
+    // lowest), contained only by the leftmost shard's range.
     if (!EffectiveRange().Contains(cmd->key)) {
       // The reply carries EffectiveRange()/epoch, so a routing client can
       // tell a stale shard map apart from a bad key.
@@ -630,7 +656,7 @@ void Node::HandleRangeSnapReq(NodeId from, const raft::RangeSnapReq& m) {
     Send(from, std::move(reply));
     return;
   }
-  auto snap = store_.TakeSnapshot(m.range);
+  auto snap = machine_->TakeSnapshot(m.range);
   if (!snap.ok()) {
     reply.retry = false;
     Send(from, std::move(reply));
@@ -652,7 +678,7 @@ void Node::HandleBootstrapReq(NodeId from, const raft::BootstrapReq& m) {
   Send(from, std::move(ack));
 }
 
-void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
+void Node::Reinit(const raft::ConfigState& genesis, sm::SnapshotPtr data) {
   counters_.Add("node.reinit");
   // Wipe the durable medium first: the node sheds its previous identity
   // entirely (the TC terminate step), then re-persists the new genesis
@@ -666,7 +692,7 @@ void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
   log_.Reset(0, 0);
   commit_ = 0;
   applied_ = 0;
-  store_ = kv::Store(genesis.range);
+  machine_->Reset(genesis.range);
   history_.clear();
   snapshot_.reset();
   exchange_store_.clear();
@@ -678,6 +704,9 @@ void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
   votes_.clear();
   ClearProgress();
   pending_.clear();
+  pending_reads_.clear();
+  read_probe_inflight_ = false;
+  read_acks_.clear();
   DropPendingAcks();
   merge_ = MergeRuntime{};
   exchange_.reset();
@@ -701,11 +730,10 @@ void Node::Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data) {
     applied_ = 1;
   }
   if (data) {
-    // Installed data is the snapshot base beneath the genesis entry.
-    kv::Snapshot restricted = *data;
-    restricted.range = genesis.range;
-    store_.Restore(restricted);
-    (void)store_.RestrictRange(genesis.range);
+    // Installed data is the snapshot base beneath the genesis entry; the
+    // machine adopts the genesis range, discarding anything outside it.
+    (void)machine_->Restore(*data);
+    (void)machine_->Rebase(genesis.range);
   }
   ResetElectionTimer();
 }

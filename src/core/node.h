@@ -25,12 +25,12 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
-#include "kv/kv.h"
 #include "raft/config.h"
 #include "raft/config_tracker.h"
 #include "raft/epoch_term.h"
 #include "raft/log.h"
 #include "raft/messages.h"
+#include "sm/state_machine.h"
 #include "storage/storage.h"
 
 namespace recraft::core {
@@ -73,8 +73,15 @@ struct Options {
   /// Leader-side client-request admission per tick (0 = unlimited). Models
   /// the per-node processing/storage bottleneck of the paper's testbed
   /// (512 B writes on Ceph volumes): a saturated cluster's throughput then
-  /// scales by splitting, as in Fig. 7a.
+  /// scales by splitting, as in Fig. 7a. ReadIndex reads are exempt: they
+  /// never touch the log or the WAL.
   size_t max_client_requests_per_tick = 0;
+  /// Constructs the node's replicated state machine. The node is state-
+  /// machine-agnostic; the harness injects the machine type world-wide
+  /// (the KV machine by default, the queue machine, ...).
+  sm::MachineFactory machine_factory;
+  /// Ticks between retransmissions of an unanswered ReadIndex probe round.
+  int read_probe_retry_ticks = 3;
 };
 
 enum class Role : uint8_t { kFollower = 0, kCandidate, kLeader };
@@ -118,9 +125,9 @@ class Node {
   /// and re-runs the leader's commit accounting.
   void OnStorageDurable();
 
-  /// Crash/restart. Persistent state (term, vote, log, commit, applied KV
-  /// state, configuration, history) survives; volatile leadership state,
-  /// timers and pending client replies do not.
+  /// Crash/restart. Persistent state (term, vote, log, commit, applied
+  /// machine state, configuration, history) survives; volatile leadership
+  /// state, timers and pending client replies/reads do not.
   void OnCrash();
   void OnRestart();
 
@@ -136,7 +143,12 @@ class Node {
   const raft::RaftLog& log() const { return log_; }
   const raft::ConfigState& config() const { return config_.Current(); }
   ClusterUid cluster_uid() const { return config().uid; }
-  const kv::Store& store() const { return store_; }
+  /// The replicated state machine (opaque to the consensus core). Tests
+  /// that need the concrete type downcast via the machine's Name().
+  const sm::StateMachine& machine() const { return *machine_; }
+  sm::StateMachine& machine() { return *machine_; }
+  /// Linearizable reads waiting for quorum confirmation / apply catch-up.
+  size_t pending_read_count() const { return pending_reads_.size(); }
   NodeId leader_hint() const { return leader_; }
   MergePhase merge_phase() const { return merge_.phase; }
   bool merge_exchange_pending() const { return exchange_.has_value(); }
@@ -166,8 +178,8 @@ class Node {
     Index index;
     uint64_t term;
     size_t payload_hash;
-    bool is_kv = false;
-    kv::Command cmd;  // valid when is_kv
+    bool is_cmd = false;
+    sm::Command cmd;  // valid when is_cmd (opaque; checkers decode)
   };
   std::vector<AppliedRecord> DrainApplied() { return std::move(applied_trace_); }
 
@@ -275,7 +287,22 @@ class Node {
   void HandleBootstrapReq(NodeId from, const raft::BootstrapReq& m);
   /// Wipe all state and restart as a member of a freshly bootstrapped
   /// cluster (TC baseline's "install snapshot + config and restart" step).
-  void Reinit(const raft::ConfigState& genesis, kv::SnapshotPtr data);
+  void Reinit(const raft::ConfigState& genesis, sm::SnapshotPtr data);
+
+  // -- linearizable reads (read.cpp): the ReadIndex path --------------------
+  /// Register a read: capture read_index = commit_, confirm leadership with
+  /// a probe round, serve from the applied machine state. Zero log entries.
+  void HandleReadRequest(NodeId from, uint64_t req_id,
+                         const raft::ReadRequest& m);
+  void HandleReadIndexProbe(NodeId from, const raft::ReadIndexProbe& m);
+  void HandleReadIndexAck(NodeId from, const raft::ReadIndexAck& m);
+  /// Serve every read whose probe round confirmed and whose read_index has
+  /// been applied; then launch the next probe round if reads are waiting.
+  void ServeConfirmedReads();
+  void MaybeLaunchReadProbe();
+  void BroadcastReadProbe();
+  void FailPendingReads(Code code);
+  void ReadTick();
 
   // -- membership (membership.cpp) -------------------------------------------
   Status CheckReconfigPreconditions() const;
@@ -308,7 +335,7 @@ class Node {
   struct Exchange {
     raft::MergePlan plan;
     int my_source = -1;
-    std::map<int, kv::SnapshotPtr> have;
+    std::map<int, sm::SnapshotPtr> have;
     std::map<int, NodeId> contact;
     int retry_countdown = 0;
   };
@@ -379,7 +406,9 @@ class Node {
   raft::RaftLog log_;
   Index commit_ = 0;
   Index applied_ = 0;
-  kv::Store store_;
+  /// The replicated state machine, built by opts_.machine_factory. Never
+  /// null after construction; the core only speaks the sm interface.
+  sm::MachinePtr machine_;
   raft::ConfigTracker config_;
   std::vector<raft::ReconfigRecord> history_;
   raft::RaftSnapshotPtr snapshot_;  // last compaction point
@@ -393,7 +422,7 @@ class Node {
   /// Grows by one entry per merge this node participates in and is only
   /// reclaimed by Reinit; acceptable at current scale (entries are shared
   /// pointers), revisit when long-lived clusters chain many merges.
-  std::map<std::pair<TxId, int>, kv::SnapshotPtr> exchange_store_;
+  std::map<std::pair<TxId, int>, sm::SnapshotPtr> exchange_store_;
   /// Requesters that asked for a snapshot we had not sealed yet; answered
   /// as soon as it becomes available (avoids polling latency). Mutation
   /// discipline: OnMergeOutcomeApplied finishes iterating a waiter set
@@ -437,6 +466,26 @@ class Node {
   /// max_client_requests_per_tick), served FIFO on subsequent ticks.
   std::deque<std::pair<NodeId, raft::ClientRequest>> deferred_requests_;
   size_t tick_budget_used_ = 0;
+  /// ReadIndex runtime (leader only). A registered read waits for (a) the
+  /// probe round assigned to it to collect an election quorum of same-term
+  /// acks — proof no newer leader could have committed past read_index —
+  /// and (b) applied_ to reach its read_index. Reads registered while a
+  /// probe is in flight join the NEXT round: an ack only vouches for
+  /// leadership at the moment the follower sent it, which must postdate the
+  /// read's registration.
+  struct PendingRead {
+    uint64_t req_id = 0;
+    NodeId client = kNoNode;
+    sm::Command query;
+    Index read_index = 0;
+    uint64_t seq = 0;  // probe round that must confirm before serving
+  };
+  std::deque<PendingRead> pending_reads_;
+  uint64_t read_seq_ = 0;        // latest probe round launched
+  uint64_t read_confirmed_ = 0;  // highest quorum-confirmed round
+  bool read_probe_inflight_ = false;
+  std::set<NodeId> read_acks_;
+  int read_retry_countdown_ = 0;
   MergeRuntime merge_;
   std::optional<Exchange> exchange_;
   uint64_t split_admin_req_id_ = 0;

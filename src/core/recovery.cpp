@@ -187,7 +187,7 @@ void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
   // newer snapshot — recovery prefers whichever the WAL marker survived
   // with; both states are consistent.
   if (storage_ != nullptr) storage_->InstallSnapshot(snapshot_);
-  if (snap.kv) store_.Restore(*snap.kv);
+  if (snap.state) (void)machine_->Restore(*snap.state);
   log_.Reset(snap.last_index, snap.last_term);
   DropPendingAcks();
   commit_ = snap.last_index;
@@ -262,10 +262,10 @@ void Node::BootFromStorage() {
 
   if (img.snap != nullptr) {
     const raft::RaftSnapshot& snap = *img.snap;
-    if (snap.kv != nullptr) {
-      store_.Restore(*snap.kv);
+    if (snap.state != nullptr) {
+      (void)machine_->Restore(*snap.state);
     } else {
-      store_ = kv::Store(snap.config.range);
+      machine_->Reset(snap.config.range);
     }
     config_.ForceState(snap.config, snap.last_index);
     history_ = snap.history;
@@ -310,7 +310,7 @@ void Node::BootFromStorage() {
         rec.range = plan.new_range;
         history_.push_back(std::move(rec));
       }
-      store_ = kv::Store(IsRetired() ? KeyRange::Empty() : plan.new_range);
+      machine_->Reset(IsRetired() ? KeyRange::Empty() : plan.new_range);
     }
   }
 

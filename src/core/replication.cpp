@@ -370,7 +370,7 @@ raft::RaftSnapshotPtr Node::BuildSnapshot() const {
   auto snap = std::make_shared<raft::RaftSnapshot>();
   snap->last_index = applied_;
   snap->last_term = log_.TermAt(applied_);
-  snap->kv = store_.TakeSnapshot();
+  snap->state = machine_->TakeSnapshot();
   snap->config = config_.StateAtOrBefore(applied_);
   snap->history = history_;
   snap->unsettled_aborts = unsettled_aborts_;

@@ -134,7 +134,7 @@ void Node::CompleteSplit() {
             sub_idx, mine.ToString().c_str(), new_epoch);
 
   // Shrink the state machine to the subcluster's range.
-  (void)store_.RestrictRange(mine.range);
+  (void)machine_->RestrictRange(mine.range);
 
   raft::ConfigState ns;
   ns.mode = raft::ConfigMode::kStable;

@@ -1,6 +1,7 @@
 #include "harness/checkers.h"
 
 #include "common/logging.h"
+#include "kv/service.h"
 
 namespace recraft::harness {
 
@@ -96,8 +97,14 @@ void SafetyChecker::DrainApplied() {
                 " applied divergent entries (node " + std::to_string(id) +
                 ")");
       }
-      if (rec.is_kv && inserted) {
-        applied_kv_[rec.uid].push_back(rec.cmd);
+      if (rec.is_cmd && inserted) {
+        // Commands are opaque at the consensus layer; the KV linearizability
+        // checker decodes them back. Non-KV machines' commands (a queue
+        // world) simply do not decode and are covered by the payload-hash
+        // state-machine-safety check above.
+        if (auto cmd = kv::DecodeCommand(rec.cmd); cmd.ok()) {
+          applied_kv_[rec.uid].push_back(std::move(*cmd));
+        }
       }
     }
   }
@@ -132,8 +139,16 @@ std::map<std::string, std::string> KvHistoryChecker::Replay(
       case kv::OpType::kDelete:
         state.erase(cmd.key);
         break;
-      case kv::OpType::kGet:
+      case kv::OpType::kCas: {
+        // Same conditional semantics as the store: expected "" = absent.
+        auto it = state.find(cmd.key);
+        const std::string current = it == state.end() ? "" : it->second;
+        if (current == cmd.expected) state[cmd.key] = cmd.value;
         break;
+      }
+      case kv::OpType::kGet:
+      case kv::OpType::kScan:
+        break;  // reads do not mutate
     }
   }
   return state;

@@ -1,9 +1,21 @@
 #include "harness/client.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace recraft::harness {
+
+namespace {
+/// zeta(n, theta) = sum_{i=1..n} 1/i^theta — computed once per client.
+double Zetan(uint64_t n, double theta) {
+  double z = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    z += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return z;
+}
+}  // namespace
 
 void Router::UpdateCluster(const KeyRange& range,
                            std::vector<NodeId> members) {
@@ -64,6 +76,17 @@ ClosedLoopClient::ClosedLoopClient(World& world, Router& router, NodeId id,
       opts_(opts),
       rng_(Mix64(0xc11e47, id)) {
   if (opts_.batch_size == 0) opts_.batch_size = 1;
+  if (opts_.zipf_theta > 0.0) {
+    // Gray et al., "Quickly generating billion-record synthetic databases":
+    // one uniform draw per key, deterministic given the client RNG.
+    const double theta = opts_.zipf_theta;
+    const double n = static_cast<double>(opts_.key_space);
+    zipf_zetan_ = Zetan(opts_.key_space, theta);
+    const double zeta2 = Zetan(2, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
   world_.net().Register(
       id_, [this](NodeId, std::shared_ptr<const void> payload, size_t) {
         const auto& m =
@@ -81,6 +104,18 @@ void ClosedLoopClient::Start() {
   IssueNext();
 }
 
+uint64_t ClosedLoopClient::NextKey() {
+  if (opts_.zipf_theta <= 0.0) return rng_.Uniform(0, opts_.key_space - 1);
+  const double u = rng_.NextDouble();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, opts_.zipf_theta)) return 1;
+  const double n = static_cast<double>(opts_.key_space);
+  auto k = static_cast<uint64_t>(
+      n * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  return std::min<uint64_t>(k, opts_.key_space - 1);
+}
+
 void ClosedLoopClient::IssueNext() {
   if (!running_) return;
   ++generation_;
@@ -88,14 +123,27 @@ void ClosedLoopClient::IssueNext() {
   round_.resize(opts_.batch_size);
   char buf[48];
   for (PendingOp& op : round_) {
-    uint64_t k = rng_.Uniform(0, opts_.key_space - 1);
+    uint64_t k = NextKey();
     std::snprintf(buf, sizeof(buf), "%s%08llu", opts_.key_prefix.c_str(),
                   static_cast<unsigned long long>(k));
     op.cmd.key = buf;
     op.cmd.client_id = id_;
     op.cmd.seq = next_seq_++;
+    // Draw order is load-bearing for deterministic schedules: with the new
+    // fractions at their 0 defaults this consumes exactly the historical
+    // RNG stream (one key draw, plus one Chance when get_fraction > 0).
     if (opts_.get_fraction > 0 && rng_.Chance(opts_.get_fraction)) {
       op.cmd.op = kv::OpType::kGet;
+    } else if (opts_.scan_fraction > 0 && rng_.Chance(opts_.scan_fraction)) {
+      op.cmd.op = kv::OpType::kScan;
+      op.cmd.scan_hi.clear();  // to the shard's end, capped by the limit
+      op.cmd.scan_limit = opts_.scan_limit;
+    } else if (opts_.cas_fraction > 0 && rng_.Chance(opts_.cas_fraction)) {
+      op.cmd.op = kv::OpType::kCas;
+      op.cmd.value.assign(opts_.value_bytes, 'x');
+      // Alternate between expect-present and expect-absent so both CAS
+      // outcomes (OK and kConflict) occur under load.
+      if (op.cmd.seq % 2 == 0) op.cmd.expected.assign(opts_.value_bytes, 'x');
     } else {
       op.cmd.op = kv::OpType::kPut;
       op.cmd.value.assign(opts_.value_bytes, 'x');
@@ -140,7 +188,14 @@ void ClosedLoopClient::SendOp(size_t idx) {
   raft::ClientRequest req;
   req.req_id = op.req_id;
   req.from = id_;
-  req.body = op.cmd;
+  // Reads ride the ReadIndex path: the leader confirms its commit index
+  // with one probe round and serves from applied state — no log entry, no
+  // WAL flush, no replication fan-out per read.
+  if (kv::IsReadOnly(op.cmd.op) && !opts_.reads_via_log) {
+    req.body = raft::ReadRequest{kv::EncodeCommand(op.cmd)};
+  } else {
+    req.body = kv::EncodeCommand(op.cmd);
+  }
   auto msg = raft::MakeMessage(raft::Message(req));
   world_.net().Send(id_, target, msg, msg.wire_bytes());
 }
@@ -181,6 +236,7 @@ void ClosedLoopClient::OnRoundTimeout(uint64_t generation) {
 void ClosedLoopClient::CompleteOp(PendingOp& op, const raft::ClientReply& reply) {
   op.done = true;
   ++ops_done_;
+  if (kv::IsReadOnly(op.cmd.op)) ++reads_done_;
   Duration lat = world_.now() - op.issued_at;
   latency_.Record(lat);
   if (opts_.latency != nullptr) opts_.latency->Record(lat);
@@ -262,6 +318,12 @@ void ClientFleet::Stop() {
 uint64_t ClientFleet::TotalOps() const {
   uint64_t n = 0;
   for (const auto& c : clients_) n += c->ops_done();
+  return n;
+}
+
+uint64_t ClientFleet::TotalReads() const {
+  uint64_t n = 0;
+  for (const auto& c : clients_) n += c->reads_done();
   return n;
 }
 

@@ -73,6 +73,17 @@ struct ClientOptions {
   std::string key_prefix = "k";
   Duration retry_timeout = 1 * kSecond;
   double get_fraction = 0.0;      // paper evaluates writes
+  /// Fractions of the remaining (non-get) ops issued as bounded range
+  /// reads and compare-and-swaps. Gets and scans use the leader's
+  /// ReadIndex path (no log entry) unless reads_via_log is set.
+  double scan_fraction = 0.0;
+  double cas_fraction = 0.0;
+  uint32_t scan_limit = 8;
+  /// Zipfian key skew (YCSB-style): 0 = uniform; theta in (0,1), e.g. 0.99
+  /// concentrates most traffic on a few hot keys.
+  double zipf_theta = 0.0;
+  /// Legacy read path: route gets/scans through the log as commands.
+  bool reads_via_log = false;
   /// Requests issued per round, grouped per shard. 1 = classic closed loop.
   size_t batch_size = 1;
   /// Record a completion into this series (shared across clients for the
@@ -97,6 +108,7 @@ class ClosedLoopClient {
   void Stop() { running_ = false; }
 
   uint64_t ops_done() const { return ops_done_; }
+  uint64_t reads_done() const { return reads_done_; }
   uint64_t retries() const { return retries_; }
   /// Retries caused specifically by stale routing (kWrongShard or a command
   /// applied outside the executing group's range).
@@ -126,12 +138,19 @@ class ClosedLoopClient {
   Rng rng_;
   bool running_ = false;
 
+  uint64_t NextKey();
+
   uint64_t next_seq_ = 1;
   uint64_t generation_ = 0;  // bumped per round; invalidates stale events
   std::vector<PendingOp> round_;
   size_t round_open_ = 0;
+  // Zipfian generator state (Gray et al.), precomputed when zipf_theta > 0.
+  double zipf_zetan_ = 0.0;
+  double zipf_eta_ = 0.0;
+  double zipf_alpha_ = 0.0;
 
   uint64_t ops_done_ = 0;
+  uint64_t reads_done_ = 0;
   uint64_t retries_ = 0;
   uint64_t wrong_shard_retries_ = 0;
   LatencyRecorder latency_;
@@ -148,6 +167,7 @@ class ClientFleet {
   void Start();
   void Stop();
   uint64_t TotalOps() const;
+  uint64_t TotalReads() const;
   uint64_t TotalWrongShardRetries() const;
   /// Pooled latency across all clients.
   LatencyRecorder PooledLatency() const;

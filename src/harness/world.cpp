@@ -1,6 +1,7 @@
 #include "harness/world.h"
 
 #include <cassert>
+#include <string_view>
 
 #include "common/logging.h"
 
@@ -19,10 +20,21 @@ raft::NamingLookupReply NamingService::Directory() const {
   return reply;
 }
 
+const kv::Store& KvStoreOf(const core::Node& n) {
+  assert(std::string_view(n.machine().Name()) == "kv" &&
+         "KvStoreOf on a non-KV machine");
+  return static_cast<const kv::KvMachine&>(n.machine()).store();
+}
+
 World::World(WorldOptions opts)
     : opts_(opts),
       rng_(opts.seed),
       net_(events_, opts.net, Rng(Mix64(opts.seed, 0x4e70))) {
+  // The KV machine is the default workload; worlds for other machines
+  // (e.g. sm::QueueMachineFactory) inject theirs via WorldOptions::node.
+  if (!opts_.node.machine_factory) {
+    opts_.node.machine_factory = kv::KvMachineFactory();
+  }
   if (opts_.with_naming_service) {
     net_.Register(kNamingServiceId,
                   [this](NodeId from, std::shared_ptr<const void> payload,
@@ -179,6 +191,9 @@ Status World::WipeNode(NodeId id, Duration timeout) {
   net_.Send(kAdminId, id, msg, msg.wire_bytes());
   bool ok = RunUntil(
       [&]() {
+        // The node can be hard-crashed by chaos while we wait: that is a
+        // wipe failure, not a license to deref a destroyed object.
+        if (!HasNode(id)) return false;
         return node(id).config().members.empty() &&
                node(id).cluster_uid() == 0;
       },
@@ -313,7 +328,13 @@ raft::ConfigState World::ConfigOf(const std::vector<NodeId>& members) const {
       best = &n;
     }
   }
-  assert(best != nullptr);
+  // Every member down (crash chaos): an empty state, never a dead deref —
+  // callers treat memberless configs as "nothing to do" and fail softly.
+  if (best == nullptr) {
+    raft::ConfigState none;
+    none.range = KeyRange::Empty();
+    return none;
+  }
   return best->config();
 }
 
@@ -371,7 +392,7 @@ Status World::Put(const std::vector<NodeId>& members, const std::string& key,
   cmd.op = kv::OpType::kPut;
   cmd.key = key;
   cmd.value = value;
-  auto reply = CallLeader(members, cmd, timeout);
+  auto reply = CallLeader(members, kv::EncodeCommand(cmd), timeout);
   if (!reply.ok()) return reply.status();
   return reply->status;
 }
@@ -381,10 +402,53 @@ Result<std::string> World::Get(const std::vector<NodeId>& members,
   kv::Command cmd;
   cmd.op = kv::OpType::kGet;
   cmd.key = key;
-  auto reply = CallLeader(members, cmd, timeout);
+  auto reply = CallLeader(members, kv::EncodeCommand(cmd), timeout);
   if (!reply.ok()) return reply.status();
   if (!reply->status.ok()) return reply->status;
   return reply->value;
+}
+
+Result<std::string> World::ReadGet(const std::vector<NodeId>& members,
+                                   const std::string& key, Duration timeout) {
+  kv::Command cmd;
+  cmd.op = kv::OpType::kGet;
+  cmd.key = key;
+  auto reply =
+      CallLeader(members, raft::ReadRequest{kv::EncodeCommand(cmd)}, timeout);
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return reply->value;
+}
+
+Result<kv::Response> World::Scan(const std::vector<NodeId>& members,
+                                 const std::string& lo, const std::string& hi,
+                                 uint32_t limit, Duration timeout) {
+  kv::Command cmd;
+  cmd.op = kv::OpType::kScan;
+  cmd.key = lo;
+  cmd.scan_hi = hi;
+  cmd.scan_limit = limit;
+  auto reply =
+      CallLeader(members, raft::ReadRequest{kv::EncodeCommand(cmd)}, timeout);
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return kv::DecodeResponse(kv::OpType::kScan, reply->status, reply->value);
+}
+
+Result<kv::Response> World::Cas(const std::vector<NodeId>& members,
+                                const std::string& key,
+                                const std::string& expected,
+                                const std::string& desired, Duration timeout) {
+  kv::Command cmd;
+  cmd.op = kv::OpType::kCas;
+  cmd.key = key;
+  cmd.expected = expected;
+  cmd.value = desired;
+  auto reply = CallLeader(members, kv::EncodeCommand(cmd), timeout);
+  if (!reply.ok()) return reply.status();
+  // kConflict is a *valid* CAS outcome, not a transport failure: surface it
+  // as a Response so callers can read the actual current value.
+  return kv::DecodeResponse(kv::OpType::kCas, reply->status, reply->value);
 }
 
 Status World::Preload(const std::vector<NodeId>& members, size_t n,
@@ -422,6 +486,9 @@ Result<raft::MergePlan> World::MakeMergeDraft(
   for (const auto& members : clusters) {
     if (members.empty()) return Rejected("empty cluster in merge draft");
     raft::ConfigState cfg = ConfigOf(members);
+    if (cfg.members.empty()) {
+      return Unavailable("no live member to describe a merge source");
+    }
     raft::SubCluster src;
     src.members = cfg.members;
     std::sort(src.members.begin(), src.members.end());

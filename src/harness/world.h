@@ -10,6 +10,8 @@
 
 #include "common/rng.h"
 #include "core/node.h"
+#include "kv/kv_machine.h"
+#include "kv/service.h"
 #include "shard/shard_map.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
@@ -33,12 +35,18 @@ enum class StorageMode {
 struct WorldOptions {
   uint64_t seed = 1;
   sim::NetworkOptions net;
-  core::Options node;  // template for every node created
+  core::Options node;  // template for every node created; if
+                       // node.machine_factory is unset the World installs
+                       // kv::KvMachineFactory (the default workload)
   bool with_naming_service = true;
   StorageMode storage = StorageMode::kNone;
   storage::WalStorage::Options wal;      // kWal only
   storage::SimDisk::Options disk;        // kWal only
 };
+
+/// Checked access to the concrete KV store behind a node's machine — for
+/// tests, checkers and benches only (the consensus core never downcasts).
+const kv::Store& KvStoreOf(const core::Node& n);
 
 /// The DNS-like registry of §V: loosely consistent, assumed always
 /// available. Clusters register after reconfigurations; stranded nodes look
@@ -159,12 +167,26 @@ class World {
                                  Duration timeout = 5 * kSecond);
 
   /// Convenience synchronous KV operations routed to the cluster leader
-  /// (retrying NotLeader); used by tests and examples.
+  /// (retrying NotLeader); used by tests and examples. Get travels through
+  /// the log (the legacy read path, schedule-stable for existing tests);
+  /// ReadGet / Scan use the leader's ReadIndex path and append nothing.
   Status Put(const std::vector<NodeId>& members, const std::string& key,
              const std::string& value, Duration timeout = 5 * kSecond);
   Result<std::string> Get(const std::vector<NodeId>& members,
                           const std::string& key,
                           Duration timeout = 5 * kSecond);
+  Result<std::string> ReadGet(const std::vector<NodeId>& members,
+                              const std::string& key,
+                              Duration timeout = 5 * kSecond);
+  Result<kv::Response> Scan(const std::vector<NodeId>& members,
+                            const std::string& lo, const std::string& hi,
+                            uint32_t limit, Duration timeout = 5 * kSecond);
+  /// Compare-and-swap: expected "" requires the key to be absent. A
+  /// mismatch surfaces as kConflict with the current value in the result.
+  Result<kv::Response> Cas(const std::vector<NodeId>& members,
+                           const std::string& key, const std::string& expected,
+                           const std::string& desired,
+                           Duration timeout = 5 * kSecond);
 
   /// Preload a cluster with `n` sequential keys (for the split/merge
   /// latency benches) sized `value_bytes` each.

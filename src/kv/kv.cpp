@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <iterator>
 
+#include "kv/service.h"
+
 namespace recraft::kv {
 
 namespace {
 size_t EntryBytes(const std::string& k, const std::string& v) {
   return k.size() + v.size() + 16;  // keys+values plus per-entry overhead
 }
+const std::string kEmpty;
 }  // namespace
 
 size_t Snapshot::SerializedBytes() const {
@@ -128,6 +131,35 @@ OpResult Store::Apply(const Command& cmd) {
         }
         break;
       }
+      case OpType::kCas: {
+        // expected "" means "key must be absent" (insert-if-absent); a
+        // mismatch returns kConflict with the current value as the result.
+        auto it = data_.find(cmd.key);
+        const std::string& current = it == data_.end() ? kEmpty : it->second;
+        if (current != cmd.expected) {
+          res.status = Conflict("cas mismatch on " + cmd.key);
+          res.value = current;
+          break;
+        }
+        if (it != data_.end()) {
+          approx_bytes_ -= EntryBytes(it->first, it->second);
+          it->second = cmd.value;
+        } else {
+          data_.emplace(cmd.key, cmd.value);
+        }
+        approx_bytes_ += EntryBytes(cmd.key, cmd.value);
+        res.status = OkStatus();
+        break;
+      }
+      case OpType::kScan: {
+        // Scans can travel through the log too (the legacy read path); the
+        // batch is encoded into the result payload by the service codec.
+        res.status = OkStatus();
+        res.value = EncodeScanBatch(
+            Scan(cmd.key, cmd.scan_hi,
+                 cmd.scan_limit == 0 ? kDefaultScanLimit : cmd.scan_limit));
+        break;
+      }
     }
   }
 
@@ -158,6 +190,18 @@ Result<std::string> Store::Get(const std::string& key) const {
   auto it = data_.find(key);
   if (it == data_.end()) return NotFound(key);
   return it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> Store::Scan(
+    const std::string& lo, const std::string& hi, size_t limit) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = data_.lower_bound(std::max(lo, range_.lo()));
+  for (; it != data_.end() && out.size() < limit; ++it) {
+    if (!hi.empty() && it->first >= hi) break;
+    if (!range_.Contains(it->first)) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
 }
 
 SnapshotPtr Store::TakeSnapshot() const {
@@ -196,16 +240,20 @@ Status Store::RestrictRange(const KeyRange& sub) {
     return Rejected("restrict range " + sub.ToString() + " not within " +
                     range_.ToString());
   }
-  range_ = sub;
+  Rebase(sub);
+  return OkStatus();
+}
+
+void Store::Rebase(const KeyRange& range) {
+  range_ = range;
   for (auto it = data_.begin(); it != data_.end();) {
-    if (!sub.Contains(it->first)) {
+    if (!range.Contains(it->first)) {
       approx_bytes_ -= EntryBytes(it->first, it->second);
       it = data_.erase(it);
     } else {
       ++it;
     }
   }
-  return OkStatus();
 }
 
 Status Store::MergeIn(const Snapshot& snap) {

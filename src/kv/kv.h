@@ -17,22 +17,43 @@
 
 namespace recraft::kv {
 
-enum class OpType : uint8_t { kPut = 0, kGet = 1, kDelete = 2 };
+enum class OpType : uint8_t {
+  kPut = 0,
+  kGet = 1,
+  kDelete = 2,
+  kCas = 3,   // compare-and-swap: expected -> value (expected "" = absent)
+  kScan = 4,  // bounded range read [key, scan_hi) capped at scan_limit
+};
 
-/// A client command carried as a consensus log entry payload.
+/// The typed KV request — the service layer's Request type. Writes (Put /
+/// Delete / CAS) travel through the log as opaque sm::Command bytes; reads
+/// (Get / Scan) are normally served via the leader's ReadIndex path (see
+/// kv/service.h for the encoding and core::Node for the protocol).
 struct Command {
   OpType op = OpType::kPut;
   std::string key;
-  std::string value;      // puts only
-  uint64_t client_id = 0; // 0 = no session (no dedup)
-  uint64_t seq = 0;       // per-client sequence number
+  std::string value;       // puts and CAS (the desired value)
+  std::string expected;    // CAS only: required current value ("" = absent)
+  std::string scan_hi;     // scans only: exclusive upper bound ("" = range end)
+  uint32_t scan_limit = 0; // scans only: max entries (0 = service default)
+  uint64_t client_id = 0;  // 0 = no session (no dedup)
+  uint64_t seq = 0;        // per-client sequence number
 
-  size_t WireBytes() const { return 24 + key.size() + value.size(); }
+  size_t WireBytes() const {
+    switch (op) {
+      case OpType::kCas:
+        return 32 + key.size() + value.size() + expected.size();
+      case OpType::kScan:
+        return 32 + key.size() + scan_hi.size();
+      default:
+        return 24 + key.size() + value.size();
+    }
+  }
 };
 
 struct OpResult {
   Status status;
-  std::string value;  // gets only
+  std::string value;  // gets: the value; scans: the encoded entry batch
 };
 
 /// Per-client dedup record: the last applied sequence number and its result,
@@ -68,9 +89,14 @@ class Store {
   /// command with seq <= the session's last_seq returns the recorded result.
   OpResult Apply(const Command& cmd);
 
-  /// Linearizable read path used by tests (reads normally go through the
-  /// log; see core::Node).
+  /// Point read against the applied state (the ReadIndex serve path and
+  /// tests; reads can also travel through the log as kGet commands).
   Result<std::string> Get(const std::string& key) const;
+
+  /// Bounded range read: up to `limit` entries with lo <= key < hi (hi ""
+  /// means "to the end of the store's range"), clamped to range().
+  std::vector<std::pair<std::string, std::string>> Scan(
+      const std::string& lo, const std::string& hi, size_t limit) const;
 
   const KeyRange& range() const { return range_; }
   size_t size() const { return data_.size(); }
@@ -94,6 +120,11 @@ class Store {
   /// Shrink to `sub` (a subrange of the current range), discarding keys
   /// outside it. Used when a subcluster completes a split.
   Status RestrictRange(const KeyRange& sub);
+
+  /// Force the range to `range` (need not nest with the current range),
+  /// discarding keys outside it — the TC install-and-rebase step. Unlike a
+  /// snapshot round trip this touches no surviving entry.
+  void Rebase(const KeyRange& range);
 
   /// Absorb a snapshot of an adjacent, disjoint range (merge data exchange).
   /// Sessions are unioned keeping the larger last_seq per client.

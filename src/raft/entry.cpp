@@ -5,7 +5,7 @@ namespace recraft::raft {
 namespace {
 struct BytesVisitor {
   size_t operator()(const NoOp&) const { return 1; }
-  size_t operator()(const kv::Command& c) const { return c.WireBytes(); }
+  size_t operator()(const sm::Command& c) const { return c.WireBytes(); }
   size_t operator()(const ConfInit& c) const {
     return 32 + c.members.size() * 8;
   }
@@ -35,13 +35,8 @@ struct DescribeVisitor {
   std::string operator()(const ConfInit& c) const {
     return "Cinit:" + NodesToString(c.members) + c.range.ToString();
   }
-  std::string operator()(const kv::Command& c) const {
-    switch (c.op) {
-      case kv::OpType::kPut: return "put(" + c.key + ")";
-      case kv::OpType::kGet: return "get(" + c.key + ")";
-      case kv::OpType::kDelete: return "del(" + c.key + ")";
-    }
-    return "kv?";
+  std::string operator()(const sm::Command& c) const {
+    return "cmd(" + c.key + "," + std::to_string(c.body.size()) + "B)";
   }
   std::string operator()(const ConfSplitJoint& c) const {
     return "Cjoint:" + c.plan.ToString();

@@ -8,9 +8,9 @@
 #include <variant>
 #include <vector>
 
-#include "kv/kv.h"
 #include "raft/config.h"
 #include "raft/epoch_term.h"
+#include "sm/state_machine.h"
 
 namespace recraft::raft {
 
@@ -59,7 +59,7 @@ struct ConfMergeOutcome {
 /// the surviving cluster (with the coalesced data) during a merge.
 struct ConfSetRange {
   KeyRange range;
-  kv::SnapshotPtr absorb;  // may be null (pure range change)
+  sm::SnapshotPtr absorb;  // may be null (pure range change)
 };
 
 /// Coordinator-cluster marker: every participant acknowledged the abort of
@@ -72,7 +72,7 @@ struct ConfAbortSettled {
   TxId tx = 0;
 };
 
-using Payload = std::variant<NoOp, kv::Command, ConfInit, ConfSplitJoint,
+using Payload = std::variant<NoOp, sm::Command, ConfInit, ConfSplitJoint,
                              ConfSplitNew, ConfMember, ConfMergeTx,
                              ConfMergeOutcome, ConfSetRange, ConfAbortSettled>;
 
@@ -84,7 +84,7 @@ struct LogEntry {
   EpochTerm et() const { return EpochTerm(term); }
   bool IsConfig() const {
     return !std::holds_alternative<NoOp>(payload) &&
-           !std::holds_alternative<kv::Command>(payload);
+           !std::holds_alternative<sm::Command>(payload);
   }
   size_t WireBytes() const;
   std::string Describe() const;

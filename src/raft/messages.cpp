@@ -38,9 +38,14 @@ struct BytesVisitor {
   size_t operator()(const SnapPullReply& m) const {
     return 32 + (m.snap ? m.snap->SerializedBytes() : 0);
   }
+  size_t operator()(const ReadIndexProbe&) const { return 32; }
+  size_t operator()(const ReadIndexAck&) const { return 32; }
   size_t operator()(const ClientRequest& m) const {
-    if (const auto* kv = std::get_if<kv::Command>(&m.body)) {
-      return 24 + kv->WireBytes();
+    if (const auto* cmd = std::get_if<sm::Command>(&m.body)) {
+      return 24 + cmd->WireBytes();
+    }
+    if (const auto* read = std::get_if<ReadRequest>(&m.body)) {
+      return 24 + read->query.WireBytes();
     }
     if (const auto* sr = std::get_if<AdminSetRange>(&m.body)) {
       return 128 + (sr->absorb ? sr->absorb->SerializedBytes() : 0);
@@ -98,6 +103,10 @@ struct NameVisitor {
   const char* operator()(const ExchangeDone&) const { return "ExchangeDone"; }
   const char* operator()(const SnapPullReq&) const { return "SnapPullReq"; }
   const char* operator()(const SnapPullReply&) const { return "SnapPullReply"; }
+  const char* operator()(const ReadIndexProbe&) const {
+    return "ReadIndexProbe";
+  }
+  const char* operator()(const ReadIndexAck&) const { return "ReadIndexAck"; }
   const char* operator()(const ClientRequest&) const { return "ClientRequest"; }
   const char* operator()(const ClientReply&) const { return "ClientReply"; }
   const char* operator()(const RangeSnapReq&) const { return "RangeSnapReq"; }

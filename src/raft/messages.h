@@ -10,9 +10,9 @@
 #include <vector>
 
 #include "common/status.h"
-#include "kv/kv.h"
 #include "raft/config.h"
 #include "raft/entry.h"
+#include "sm/state_machine.h"
 
 namespace recraft::raft {
 
@@ -30,12 +30,12 @@ struct ReconfigRecord {
   Index boundary_index = 0;
 };
 
-/// A consensus-level snapshot: the applied KV state plus the log position
-/// and configuration it covers.
+/// A consensus-level snapshot: the applied state-machine image plus the log
+/// position and configuration it covers.
 struct RaftSnapshot {
   Index last_index = 0;
   uint64_t last_term = 0;  // EpochTerm raw
-  kv::SnapshotPtr kv;
+  sm::SnapshotPtr state;
   ConfigState config;
   std::vector<ReconfigRecord> history;
   /// Aborted merge transactions this (coordinator-source) node must keep
@@ -45,7 +45,7 @@ struct RaftSnapshot {
   std::map<TxId, MergePlan> unsettled_aborts;
 
   size_t WireBytes() const {
-    return 128 + (kv ? kv->SerializedBytes() : 0) + history.size() * 64 +
+    return 128 + (state ? state->SerializedBytes() : 0) + history.size() * 64 +
            unsettled_aborts.size() * 96;
   }
 };
@@ -197,7 +197,33 @@ struct SnapPullReply {
   TxId tx = 0;
   int source_index = -1;
   bool ready = false;
-  kv::SnapshotPtr snap;
+  sm::SnapshotPtr snap;
+};
+
+// ---------------------------------------------------------------------------
+// ReadIndex (linearizable leases-free reads, Raft §6.4): the leader records
+// its commit index for a batch of pending reads, confirms it is still the
+// leader with one probe round (a quorum of same-term acks), then serves the
+// reads from applied state — no log entry, no WAL flush, no replication
+// fan-out per read.
+
+/// Leader -> followers: "confirm round `seq` of my term". Retransmitted
+/// until the round's quorum is reached; acts as a heartbeat on receipt.
+struct ReadIndexProbe {
+  uint64_t et = 0;
+  NodeId from = kNoNode;
+  uint64_t seq = 0;
+};
+
+/// Follower -> leader. `ok` is false when the responder's term is higher —
+/// the deposed leader steps down and fails its pending reads (the client
+/// retries at the new leader), which is exactly what makes stale-leader
+/// reads impossible.
+struct ReadIndexAck {
+  uint64_t et = 0;
+  NodeId from = kNoNode;
+  uint64_t seq = 0;
+  bool ok = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -225,11 +251,18 @@ struct AdminMember {
 /// script would.
 struct AdminSetRange {
   KeyRange range;
-  kv::SnapshotPtr absorb;
+  sm::SnapshotPtr absorb;
 };
 
-using ClientBody = std::variant<kv::Command, AdminSplit, AdminMerge,
-                                AdminMember, AdminSetRange>;
+/// A linearizable read served via the ReadIndex path instead of the log.
+/// The query body is opaque to the node (the machine's Query decodes it);
+/// query.key routes and range-checks it like any command.
+struct ReadRequest {
+  sm::Command query;
+};
+
+using ClientBody = std::variant<sm::Command, ReadRequest, AdminSplit,
+                                AdminMerge, AdminMember, AdminSetRange>;
 
 struct ClientRequest {
   uint64_t req_id = 0;
@@ -241,6 +274,9 @@ struct ClientReply {
   uint64_t req_id = 0;
   NodeId from = kNoNode;
   Status status;
+  /// Opaque result payload (the machine's CmdResult::payload): a value for
+  /// gets, an encoded entry batch for scans — the typed service layer
+  /// (kv::DecodeResponse) interprets it.
   std::string value;
   NodeId leader_hint = kNoNode;
   /// The key range the replying node currently serves and its consensus
@@ -267,7 +303,7 @@ struct RangeSnapReply {
   bool retry = false;
   NodeId leader_hint = kNoNode;
   KeyRange range;  // echoed from the request (matches replies to steps)
-  kv::SnapshotPtr snap;
+  sm::SnapshotPtr snap;
 };
 
 /// Wipe a node and restart it as a member of a freshly bootstrapped cluster
@@ -277,7 +313,7 @@ struct BootstrapReq {
   NodeId from = kNoNode;
   uint64_t op_id = 0;  // idempotency token
   ConfigState genesis;
-  kv::SnapshotPtr data;  // may be null
+  sm::SnapshotPtr data;  // may be null
 };
 
 struct BootstrapAck {
@@ -311,9 +347,10 @@ using Message =
                  InstallSnapshot, InstallSnapshotReply, CommitNotify,
                  PullRequest, PullReply, MergePrepareReq, MergePrepareReply,
                  MergeCommitReq, MergeCommitReply, MergeFinalize, ExchangeDone,
-                 SnapPullReq, SnapPullReply, ClientRequest, ClientReply,
-                 RangeSnapReq, RangeSnapReply, BootstrapReq, BootstrapAck,
-                 NamingRegister, NamingLookupReq, NamingLookupReply>;
+                 SnapPullReq, SnapPullReply, ReadIndexProbe, ReadIndexAck,
+                 ClientRequest, ClientReply, RangeSnapReq, RangeSnapReply,
+                 BootstrapReq, BootstrapAck, NamingRegister, NamingLookupReq,
+                 NamingLookupReply>;
 
 /// On-wire size estimate for bandwidth accounting.
 size_t MessageBytes(const Message& m);

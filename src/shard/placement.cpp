@@ -25,7 +25,13 @@ PlacementDriver::ShardMetrics PlacementDriver::MetricsOf(
       }
     }
   }
-  if (probe != kNoNode) m.keys = world_.node(probe).store().size();
+  // Re-validate before dereferencing: CrashNode destroys the node *object*
+  // (not just its network presence), so a probe picked from a stale member
+  // list — or raced by crash chaos while a rebalance step ran the event
+  // loop — must be skipped, not dereferenced.
+  if (probe != kNoNode && world_.HasNode(probe) && !world_.IsCrashed(probe)) {
+    m.keys = world_.node(probe).machine().Size();
+  }
   auto it = ops_since_step_.find(s.id);
   if (it != ops_since_step_.end()) m.ops = it->second;
   return m;
@@ -33,8 +39,11 @@ PlacementDriver::ShardMetrics PlacementDriver::MetricsOf(
 
 Result<std::string> PlacementDriver::PickSplitKey(const ShardInfo& s) const {
   NodeId leader = world_.LeaderOf(s.members);
-  if (leader == kNoNode) return Unavailable("shard has no live leader");
-  return world_.node(leader).store().KeyAtFraction(0.5);
+  if (leader == kNoNode || !world_.HasNode(leader) ||
+      world_.IsCrashed(leader)) {
+    return Unavailable("shard has no live leader");
+  }
+  return world_.node(leader).machine().SplitHint(0.5);
 }
 
 std::vector<NodeId> PlacementDriver::TakeSpares(size_t n) {

@@ -257,14 +257,26 @@ Result<raft::ReconfigRecord> DecodeReconfigRecord(Decoder& dec) {
   return out;
 }
 
-void EncodeKvSnapshot(Encoder& enc, const kv::Snapshot& s) {
-  // Reuse kv's own durable format, embedded as one length-prefixed blob.
-  enc.PutBytes(s.Serialize());
+void EncodeSmSnapshot(Encoder& enc, const sm::Snapshot& s) {
+  // The machine's own serialized image, embedded as one length-prefixed
+  // blob, plus the range/metrics wrapper the consensus layer needs.
+  EncodeKeyRange(enc, s.range);
+  enc.PutBytes(s.data);
+  enc.PutU64(s.items);
+  enc.PutU64(s.wire_bytes);
 }
 
-Result<kv::Snapshot> DecodeKvSnapshot(Decoder& dec) {
-  RECRAFT_DEC(bytes, dec.GetBytes());
-  return kv::Snapshot::Deserialize(bytes);
+Result<sm::Snapshot> DecodeSmSnapshot(Decoder& dec) {
+  sm::Snapshot out;
+  RECRAFT_DEC(range, DecodeKeyRange(dec));
+  out.range = std::move(range);
+  RECRAFT_DEC(data, dec.GetBytes());
+  out.data = std::move(data);
+  RECRAFT_DEC(items, dec.GetU64());
+  out.items = items;
+  RECRAFT_DEC(wire, dec.GetU64());
+  out.wire_bytes = static_cast<size_t>(wire);
+  return out;
 }
 
 void EncodeLogEntry(Encoder& enc, const raft::LogEntry& e) {
@@ -275,13 +287,11 @@ void EncodeLogEntry(Encoder& enc, const raft::LogEntry& e) {
         using T = std::decay_t<decltype(body)>;
         if constexpr (std::is_same_v<T, raft::NoOp>) {
           enc.PutU8(kTagNoOp);
-        } else if constexpr (std::is_same_v<T, kv::Command>) {
+        } else if constexpr (std::is_same_v<T, sm::Command>) {
           enc.PutU8(kTagCommand);
-          enc.PutU8(static_cast<uint8_t>(body.op));
           enc.PutString(body.key);
-          enc.PutString(body.value);
-          enc.PutU64(body.client_id);
-          enc.PutU64(body.seq);
+          enc.PutBytes(body.body);
+          enc.PutU32(body.wire_hint);
         } else if constexpr (std::is_same_v<T, raft::ConfInit>) {
           enc.PutU8(kTagConfInit);
           EncodeNodeVec(enc, body.members);
@@ -308,7 +318,7 @@ void EncodeLogEntry(Encoder& enc, const raft::LogEntry& e) {
           enc.PutU8(kTagSetRange);
           EncodeKeyRange(enc, body.range);
           enc.PutBool(body.absorb != nullptr);
-          if (body.absorb) EncodeKvSnapshot(enc, *body.absorb);
+          if (body.absorb) EncodeSmSnapshot(enc, *body.absorb);
         } else if constexpr (std::is_same_v<T, raft::ConfAbortSettled>) {
           enc.PutU8(kTagAbortSettled);
           enc.PutU64(body.tx);
@@ -329,20 +339,13 @@ Result<raft::LogEntry> DecodeLogEntry(Decoder& dec) {
       out.payload = raft::NoOp{};
       break;
     case kTagCommand: {
-      kv::Command cmd;
-      RECRAFT_DEC(op, dec.GetU8());
-      if (op > static_cast<uint8_t>(kv::OpType::kDelete)) {
-        return Internal("codec: bad OpType");
-      }
-      cmd.op = static_cast<kv::OpType>(op);
+      sm::Command cmd;
       RECRAFT_DEC(key, dec.GetString());
       cmd.key = std::move(key);
-      RECRAFT_DEC(value, dec.GetString());
-      cmd.value = std::move(value);
-      RECRAFT_DEC(client, dec.GetU64());
-      cmd.client_id = client;
-      RECRAFT_DEC(seq, dec.GetU64());
-      cmd.seq = seq;
+      RECRAFT_DEC(body, dec.GetBytes());
+      cmd.body = std::move(body);
+      RECRAFT_DEC(hint, dec.GetU32());
+      cmd.wire_hint = hint;
       out.payload = std::move(cmd);
       break;
     }
@@ -390,8 +393,8 @@ Result<raft::LogEntry> DecodeLogEntry(Decoder& dec) {
       sr.range = std::move(range);
       RECRAFT_DEC(has_absorb, dec.GetBool());
       if (has_absorb) {
-        RECRAFT_DEC(snap, DecodeKvSnapshot(dec));
-        sr.absorb = std::make_shared<const kv::Snapshot>(std::move(snap));
+        RECRAFT_DEC(snap, DecodeSmSnapshot(dec));
+        sr.absorb = std::make_shared<const sm::Snapshot>(std::move(snap));
       }
       out.payload = std::move(sr);
       break;
@@ -410,8 +413,8 @@ Result<raft::LogEntry> DecodeLogEntry(Decoder& dec) {
 void EncodeRaftSnapshot(Encoder& enc, const raft::RaftSnapshot& s) {
   enc.PutU64(s.last_index);
   enc.PutU64(s.last_term);
-  enc.PutBool(s.kv != nullptr);
-  if (s.kv) EncodeKvSnapshot(enc, *s.kv);
+  enc.PutBool(s.state != nullptr);
+  if (s.state) EncodeSmSnapshot(enc, *s.state);
   EncodeConfigState(enc, s.config);
   enc.PutU32(static_cast<uint32_t>(s.history.size()));
   for (const auto& rec : s.history) EncodeReconfigRecord(enc, rec);
@@ -428,10 +431,10 @@ Result<raft::RaftSnapshot> DecodeRaftSnapshot(Decoder& dec) {
   out.last_index = last_index;
   RECRAFT_DEC(last_term, dec.GetU64());
   out.last_term = last_term;
-  RECRAFT_DEC(has_kv, dec.GetBool());
-  if (has_kv) {
-    RECRAFT_DEC(snap, DecodeKvSnapshot(dec));
-    out.kv = std::make_shared<const kv::Snapshot>(std::move(snap));
+  RECRAFT_DEC(has_state, dec.GetBool());
+  if (has_state) {
+    RECRAFT_DEC(snap, DecodeSmSnapshot(dec));
+    out.state = std::make_shared<const sm::Snapshot>(std::move(snap));
   }
   RECRAFT_DEC(config, DecodeConfigState(dec));
   out.config = std::move(config);

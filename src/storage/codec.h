@@ -52,8 +52,8 @@ Result<raft::ConfigState> DecodeConfigState(Decoder& dec);
 void EncodeReconfigRecord(Encoder& enc, const raft::ReconfigRecord& r);
 Result<raft::ReconfigRecord> DecodeReconfigRecord(Decoder& dec);
 
-void EncodeKvSnapshot(Encoder& enc, const kv::Snapshot& s);
-Result<kv::Snapshot> DecodeKvSnapshot(Decoder& dec);
+void EncodeSmSnapshot(Encoder& enc, const sm::Snapshot& s);
+Result<sm::Snapshot> DecodeSmSnapshot(Decoder& dec);
 
 // --- top-level durable objects ---------------------------------------------
 

@@ -45,7 +45,7 @@ void InMemoryStorage::InstallSnapshot(const raft::RaftSnapshotPtr& snap) {
 }
 
 void InMemoryStorage::PersistSealed(TxId tx, int source,
-                                    const kv::SnapshotPtr& snap) {
+                                    const sm::SnapshotPtr& snap) {
   present_ = true;
   sealed_[{tx, source}] = snap;
 }

@@ -72,7 +72,7 @@ struct BootImage {
   Index base_index = 0;        // log base (snapshot position)
   uint64_t base_term = 0;
   std::vector<raft::LogEntry> entries;  // contiguous above base
-  std::map<std::pair<TxId, int>, kv::SnapshotPtr> sealed;
+  std::map<std::pair<TxId, int>, sm::SnapshotPtr> sealed;
   ExchangeMeta exchange;
 };
 
@@ -107,7 +107,7 @@ class Storage : public raft::LogSink {
   /// the caller compacts/resets through the RaftLog, which forwards here.
   virtual void InstallSnapshot(const raft::RaftSnapshotPtr& snap) = 0;
   virtual void PersistSealed(TxId tx, int source,
-                             const kv::SnapshotPtr& snap) = 0;
+                             const sm::SnapshotPtr& snap) = 0;
   virtual void PruneSealed(TxId tx) = 0;
   virtual void PersistExchangeMeta(const ExchangeMeta& meta) = 0;
   /// Drop every durable trace of this node (the TC baseline's wipe).
@@ -161,7 +161,7 @@ class InMemoryStorage final : public Storage {
   void PersistHardState(const HardState& hs) override;
   void InstallSnapshot(const raft::RaftSnapshotPtr& snap) override;
   void PersistSealed(TxId tx, int source,
-                     const kv::SnapshotPtr& snap) override;
+                     const sm::SnapshotPtr& snap) override;
   void PruneSealed(TxId tx) override;
   void PersistExchangeMeta(const ExchangeMeta& meta) override;
   void WipeAll() override;
@@ -177,7 +177,7 @@ class InMemoryStorage final : public Storage {
   Index base_index_ = 0;
   uint64_t base_term_ = 0;
   std::deque<raft::LogEntry> entries_;
-  std::map<std::pair<TxId, int>, kv::SnapshotPtr> sealed_;
+  std::map<std::pair<TxId, int>, sm::SnapshotPtr> sealed_;
   ExchangeMeta meta_;
 };
 

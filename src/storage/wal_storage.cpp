@@ -198,10 +198,10 @@ void WalStorage::InstallSnapshot(const raft::RaftSnapshotPtr& snap) {
 }
 
 void WalStorage::PersistSealed(TxId tx, int source,
-                               const kv::SnapshotPtr& snap) {
+                               const sm::SnapshotPtr& snap) {
   assert(snap != nullptr);
   Encoder enc;
-  EncodeKvSnapshot(enc, *snap);
+  EncodeSmSnapshot(enc, *snap);
   disk_->WriteAtomic(SealFile(tx, source), enc.Take());
 }
 
@@ -557,10 +557,10 @@ Result<BootImage> WalStorage::Load() {
     if (std::sscanf(name.c_str(), "seal-%llu-%d", &tx, &src) != 2) continue;
     const auto& blob = disk_->ReadDurable(name);
     Decoder dec(blob);
-    auto decoded = DecodeKvSnapshot(dec);
+    auto decoded = DecodeSmSnapshot(dec);
     if (!decoded.ok()) continue;  // corrupt seal: peers still hold copies
     img.sealed[{static_cast<TxId>(tx), src}] =
-        std::make_shared<const kv::Snapshot>(std::move(*decoded));
+        std::make_shared<const sm::Snapshot>(std::move(*decoded));
   }
 
   // Exchange runtime metadata.

@@ -3,7 +3,7 @@
 // Layout on the disk:
 //   "wal"             append-only record stream (framing below)
 //   "snap-<gen>"      consensus snapshot blobs, atomic, monotone generation
-//   "seal-<tx>-<src>" sealed merge-exchange kv snapshots, atomic
+//   "seal-<tx>-<src>" sealed merge-exchange state-machine snapshots, atomic
 //   "exmeta"          exchange runtime metadata, atomic
 //
 // WAL record framing: [u32 len][u32 crc32(payload)][payload], where the
@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "common/codec.h"
 #include "sim/event_queue.h"
 #include "storage/sim_disk.h"
 #include "storage/storage.h"
@@ -82,7 +83,7 @@ class WalStorage final : public Storage {
   void PersistHardState(const HardState& hs) override;
   void InstallSnapshot(const raft::RaftSnapshotPtr& snap) override;
   void PersistSealed(TxId tx, int source,
-                     const kv::SnapshotPtr& snap) override;
+                     const sm::SnapshotPtr& snap) override;
   void PruneSealed(TxId tx) override;
   void PersistExchangeMeta(const ExchangeMeta& meta) override;
   void WipeAll() override;

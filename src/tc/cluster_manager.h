@@ -125,7 +125,7 @@ class ClusterManager {
   // Progress within the current phase.
   size_t group_cursor_ = 1;   // split: group being carved out; merge: cluster
   size_t node_cursor_ = 0;    // node within the group
-  std::map<size_t, kv::SnapshotPtr> snaps_;  // per group/cluster
+  std::map<size_t, sm::SnapshotPtr> snaps_;  // per group/cluster
   std::set<NodeId> pending_acks_;
   std::set<uint64_t> step_reqs_;  // outstanding request ids for this step
   uint64_t op_seq_ = 1;

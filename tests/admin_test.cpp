@@ -20,7 +20,7 @@ TEST(AdminSetRange, ShrinkDropsOutsideKeys) {
   ExpectConverged(w, c);
   for (NodeId id : c) {
     EXPECT_EQ(w.node(id).config().range, KeyRange("", "m"));
-    EXPECT_EQ(w.node(id).store().size(), 1u);
+    EXPECT_EQ(harness::KvStoreOf(w.node(id)).size(), 1u);
   }
   EXPECT_EQ(w.Get(c, "z").status().code(), Code::kWrongShard);
 }
@@ -36,7 +36,7 @@ TEST(AdminSetRange, AbsorbBulkLoadsAdjacentData) {
   snap->data["q"] = "injected";
   raft::AdminSetRange body;
   body.range = KeyRange::Full();
-  body.absorb = snap;
+  body.absorb = kv::KvMachine::Wrap(snap);
   auto reply = w.Call(w.LeaderOf(c), body);
   ASSERT_TRUE(reply.ok());
   EXPECT_TRUE(reply->status.ok());
@@ -44,7 +44,7 @@ TEST(AdminSetRange, AbsorbBulkLoadsAdjacentData) {
   EXPECT_EQ(*w.Get(c, "q"), "injected");
   EXPECT_EQ(*w.Get(c, "a"), "mine");
   for (NodeId id : c) {
-    EXPECT_EQ(w.node(id).store().size(), 2u) << "node " << id;
+    EXPECT_EQ(harness::KvStoreOf(w.node(id)).size(), 2u) << "node " << id;
   }
 }
 

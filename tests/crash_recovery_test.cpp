@@ -36,7 +36,8 @@ void FireAndForgetPuts(World& w, const std::vector<NodeId>& members, int n,
     req.from = harness::kAdminId;
     w.net().Send(harness::kAdminId, l,
                  raft::MakeMessage(raft::Message(
-                     raft::ClientRequest{req.req_id, req.from, cmd})),
+                     raft::ClientRequest{req.req_id, req.from,
+                                         kv::EncodeCommand(cmd)})),
                  64);
   }
 }
@@ -55,7 +56,7 @@ TEST(WalRecovery, FollowerRebootsFromDiskAlone) {
   ASSERT_TRUE(w.RestartNode(victim).ok());
   // The store is rebuilt from the WAL alone, before any peer contact: the
   // boot replay already holds every committed-and-flushed write.
-  EXPECT_EQ(w.node(victim).store().size(), 10u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(victim)).size(), 10u);
   EXPECT_GT(w.node(victim).counters().Get("node.boot"), 0u);
   ExpectConverged(w, c);
   EXPECT_EQ(*w.Get(c, "k3"), "v");
@@ -103,7 +104,7 @@ TEST(WalRecovery, RebootsFromSnapshotPlusWalTail) {
   ASSERT_GT(w.node(victim).log().base_index(), 0u) << "no compaction yet";
   ASSERT_TRUE(w.CrashNode(victim).ok());
   ASSERT_TRUE(w.RestartNode(victim).ok());
-  EXPECT_EQ(w.node(victim).store().size(), 35u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(victim)).size(), 35u);
   EXPECT_GT(w.node(victim).log().base_index(), 0u);
   ExpectConverged(w, c);
 }
@@ -125,7 +126,7 @@ TEST(WalRecovery, SnapshotLogDivergenceCrashIsRecoverable) {
   w.RunFor(100 * kMillisecond);
   ASSERT_TRUE(w.RestartNode(victim).ok());
   ExpectConverged(w, c, 15 * kSecond);
-  EXPECT_EQ(w.node(victim).store().size(), 25u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(victim)).size(), 25u);
 }
 
 TEST(WalRecovery, DoubleCrashDuringRecovery) {
@@ -143,7 +144,7 @@ TEST(WalRecovery, DoubleCrashDuringRecovery) {
   // events. Recovery is read-only, so the second boot sees the same disk.
   ASSERT_TRUE(w.CrashNode(victim, CrashSpec{CrashPoint::kLosePending}).ok());
   ASSERT_TRUE(w.RestartNode(victim).ok());
-  EXPECT_EQ(w.node(victim).store().size(), 8u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(victim)).size(), 8u);
   ExpectConverged(w, c);
 }
 
@@ -174,7 +175,7 @@ TEST(WalRecovery, WipedNodeRestartsBlank) {
   ASSERT_TRUE(w.RestartNode(victim).ok());
   EXPECT_TRUE(w.node(victim).config().members.empty());
   EXPECT_EQ(w.node(victim).cluster_uid(), 0u);
-  EXPECT_EQ(w.node(victim).store().size(), 0u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(victim)).size(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -381,10 +382,10 @@ TEST(CrashChaos, EveryNodeCrashesMidReconfigAndRecovers) {
   harness::KvHistoryChecker kv_checker;
   auto it = checker.applied_kv().find(w.node(l).cluster_uid());
   ASSERT_NE(it, checker.applied_kv().end());
-  auto expected = kv_checker.Replay(it->second, w.node(l).store().range());
+  auto expected = kv_checker.Replay(it->second, harness::KvStoreOf(w.node(l)).range());
   EXPECT_FALSE(expected.empty());
   for (const auto& [k, v] : expected) {
-    auto got = w.node(l).store().Get(k);
+    auto got = harness::KvStoreOf(w.node(l)).Get(k);
     ASSERT_TRUE(got.ok()) << "committed key lost after crashes: " << k;
     EXPECT_EQ(*got, v) << "divergent value for " << k;
   }
@@ -405,7 +406,7 @@ TEST(CrashChaos, InMemoryStorageModeBootsNodesToo) {
   NodeId victim = c[0] == w.LeaderOf(c) ? c[1] : c[0];
   ASSERT_TRUE(w.CrashNode(victim).ok());
   ASSERT_TRUE(w.RestartNode(victim).ok());
-  EXPECT_EQ(w.node(victim).store().size(), 6u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(victim)).size(), 6u);
   ExpectConverged(w, c);
 }
 

@@ -43,7 +43,7 @@ RunTrace RunChaosScenario(uint64_t seed) {
         raft::ClientRequest req;
         req.req_id = w.NextReqId();
         req.from = harness::kAdminId;
-        req.body = std::move(cmd);
+        req.body = kv::EncodeCommand(cmd);
         auto msg = raft::MakeMessage(raft::Message(std::move(req)));
         w.net().Send(harness::kAdminId, l, msg, msg.wire_bytes());
       }

@@ -216,7 +216,7 @@ TEST(Integration, MergeAfterIndependentEvolution) {
   EXPECT_EQ(*w.Get(all, "z4"), "R4");
   // Merged store has exactly the union.
   ASSERT_TRUE(w.RunUntil(
-      [&]() { return w.node(w.LeaderOf(all)).store().size() == 45; },
+      [&]() { return harness::KvStoreOf(w.node(w.LeaderOf(all))).size() == 45; },
       10 * kSecond));
 }
 

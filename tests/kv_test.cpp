@@ -171,5 +171,41 @@ TEST(KvSnapshot, SerializedBytesScalesWithContent) {
   EXPECT_GT(s.TakeSnapshot()->SerializedBytes(), empty_bytes + 100 * 100);
 }
 
+TEST(KvStore, ScanClampsToRangeAndRestriction) {
+  Store s;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        s.Apply(Put("k" + std::to_string(i), std::to_string(i))).status.ok());
+  }
+  // A range restriction (split completion) must bound later scans too.
+  ASSERT_TRUE(s.RestrictRange(KeyRange("", "k4")).ok());
+  auto got = s.Scan("k0", "", 100);
+  ASSERT_EQ(got.size(), 4u);  // k0..k3 survive, the scan stops at the range
+  EXPECT_EQ(got.back().first, "k3");
+  // lo below the range clamps up to range.lo().
+  EXPECT_EQ(s.Scan("", "", 100).size(), 4u);
+}
+
+TEST(KvStore, CasDedupsThroughSessions) {
+  Store s;
+  Command cas;
+  cas.op = OpType::kCas;
+  cas.key = "k";
+  cas.expected = "";
+  cas.value = "v1";
+  cas.client_id = 7;
+  cas.seq = 1;
+  ASSERT_TRUE(s.Apply(cas).status.ok());
+  // The retried CAS must return the recorded success, not re-evaluate the
+  // (now failing) expectation.
+  auto retry = s.Apply(cas);
+  EXPECT_TRUE(retry.status.ok());
+  // A fresh CAS at the next seq sees the real state and conflicts.
+  cas.seq = 2;
+  auto miss = s.Apply(cas);
+  EXPECT_EQ(miss.status.code(), Code::kConflict);
+  EXPECT_EQ(miss.value, "v1");
+}
+
 }  // namespace
 }  // namespace recraft::kv

@@ -91,7 +91,7 @@ TEST(Membership, AddAndResizeSingleNode) {
   ASSERT_TRUE(f.Settled(target));
   // The new node learned the data.
   ASSERT_TRUE(f.w->RunUntil(
-      [&]() { return f.w->node(fresh).store().size() == 1; }, 5 * kSecond));
+      [&]() { return harness::KvStoreOf(f.w->node(fresh)).size() == 1; }, 5 * kSecond));
 }
 
 TEST(Membership, AddTwoNodesAtOnce) {

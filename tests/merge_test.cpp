@@ -485,7 +485,7 @@ TEST(Merge, ParticipantFollowerMissesEverything) {
       [&]() {
         return w.node(sleeper).config().members == all &&
                !w.node(sleeper).merge_exchange_pending() &&
-               w.node(sleeper).store().size() >= 4;
+               harness::KvStoreOf(w.node(sleeper)).size() >= 4;
       },
       30 * kSecond))
       << "sleeper cfg: " << w.node(sleeper).config().ToString();
@@ -562,7 +562,8 @@ TEST(Merge, SessionsSurviveMerge) {
   cmd.seq = 9;
   ASSERT_TRUE(w.RunUntil(
       [&]() { return w.LeaderOf(f.groups[0]) != kNoNode; }, 5 * kSecond));
-  ASSERT_TRUE(w.Call(w.LeaderOf(f.groups[0]), cmd)->status.ok());
+  ASSERT_TRUE(
+      w.Call(w.LeaderOf(f.groups[0]), kv::EncodeCommand(cmd))->status.ok());
   ASSERT_TRUE(w.AdminMerge({f.groups[0], f.groups[1]}).ok());
   std::vector<NodeId> all;
   for (auto& g : f.groups) all.insert(all.end(), g.begin(), g.end());
@@ -571,7 +572,7 @@ TEST(Merge, SessionsSurviveMerge) {
   cmd.value = "dup-should-not-apply";
   ASSERT_TRUE(w.RunUntil([&]() { return w.LeaderOf(all) != kNoNode; },
                          5 * kSecond));
-  auto reply = w.Call(w.LeaderOf(all), cmd);
+  auto reply = w.Call(w.LeaderOf(all), kv::EncodeCommand(cmd));
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(*w.Get(all, "a7"), "orig");
 }

@@ -5,11 +5,17 @@
 #include <gtest/gtest.h>
 
 #include "core/node.h"
+#include "kv/kv_machine.h"
+#include "kv/service.h"
 
 namespace recraft::core {
 namespace {
 
 using raft::EpochTerm;
+
+const kv::Store& StoreOf(const Node& n) {
+  return static_cast<const kv::KvMachine&>(n.machine()).store();
+}
 
 struct Captured {
   NodeId to;
@@ -20,6 +26,7 @@ struct Captured {
 struct NodeHarness {
   explicit NodeHarness(NodeId id, std::vector<NodeId> members,
                        Options opts = {}) {
+    if (!opts.machine_factory) opts.machine_factory = kv::KvMachineFactory();
     raft::ConfigState genesis;
     genesis.members = std::move(members);
     genesis.range = KeyRange::Full();
@@ -191,13 +198,13 @@ TEST(NodeUnit, FollowerAppendsAndCommits) {
   raft::LogEntry e;
   e.index = 2;
   e.term = ae.et;
-  e.payload = cmd;
+  e.payload = kv::EncodeCommand(cmd);
   ae.entries = {e};
   ae.commit = 2;
   h.node->Receive(2, ae);
   EXPECT_EQ(h.node->commit_index(), 2u);
   EXPECT_EQ(h.node->last_applied(), 2u);
-  EXPECT_EQ(*h.node->store().Get("x"), "1");
+  EXPECT_EQ(*StoreOf(*h.node).Get("x"), "1");
   EXPECT_EQ(h.node->leader_hint(), 2u);
 }
 
@@ -224,7 +231,7 @@ TEST(NodeUnit, LowerEpochCandidateToldToPull) {
   snap->last_term = EpochTerm::Make(1, 1).raw();
   auto kvsnap = std::make_shared<kv::Snapshot>();
   kvsnap->range = KeyRange::Full();
-  snap->kv = kvsnap;
+  snap->state = kv::KvMachine::Wrap(kvsnap);
   snap->config.members = {1, 2, 3};
   snap->config.range = KeyRange::Full();
   snap->config.uid = 99;
@@ -263,7 +270,7 @@ TEST(NodeUnit, ClientRequestToFollowerGetsLeaderHint) {
   kv::Command cmd;
   cmd.op = kv::OpType::kPut;
   cmd.key = "k";
-  req.body = cmd;
+  req.body = kv::EncodeCommand(cmd);
   h.node->Receive(1000, req);
   auto replies = h.Sent<raft::ClientReply>();
   ASSERT_EQ(replies.size(), 1u);
@@ -287,7 +294,7 @@ TEST(NodeUnit, AdmissionBudgetDefersExcessRequests) {
     cmd.op = kv::OpType::kPut;
     cmd.key = "k" + std::to_string(i);
     cmd.value = "v";
-    req.body = cmd;
+    req.body = kv::EncodeCommand(cmd);
     h.node->Receive(1000, req);
   }
   // Only 2 served this tick (single-node: replies are immediate).
@@ -321,7 +328,9 @@ TEST(NodeUnit, RetiredNodeNeverCampaigns) {
   genesis.members = {};
   genesis.range = KeyRange::Empty();
   std::vector<Captured> outbox;
-  Node node(7, Options{}, genesis, Rng(3),
+  Options opts;
+  opts.machine_factory = kv::KvMachineFactory();
+  Node node(7, opts, genesis, Rng(3),
             [&outbox](NodeId to, raft::MessagePtr m) {
               outbox.push_back({to, m});
             });
@@ -329,6 +338,79 @@ TEST(NodeUnit, RetiredNodeNeverCampaigns) {
   EXPECT_EQ(node.role(), Role::kFollower);
   EXPECT_TRUE(node.IsRetired());
   EXPECT_TRUE(outbox.empty());
+}
+
+TEST(NodeUnit, ReadBarrierBlocksFreshLeaderReads) {
+  // Raft §6.4 step 1: a freshly elected leader's commit_ can lag writes
+  // the previous leader committed and acked; until it commits an entry of
+  // its own term, ReadIndex reads must be refused (kBusy), never served
+  // from the stale applied state.
+  NodeHarness h(1, {1, 2, 3});
+  raft::AppendEntries ae;
+  ae.et = EpochTerm::Make(0, 1).raw();
+  ae.leader = 2;
+  ae.prev_idx = 1;
+  ae.prev_term = 0;
+  kv::Command put;
+  put.op = kv::OpType::kPut;
+  put.key = "hot";
+  put.value = "new";
+  raft::LogEntry e;
+  e.index = 2;
+  e.term = ae.et;
+  e.payload = kv::EncodeCommand(put);
+  ae.entries = {e};
+  ae.commit = 1;  // the write is replicated to us but its commit is not
+  h.node->Receive(2, ae);
+  ASSERT_EQ(h.node->commit_index(), 1u);
+
+  h.TickUntilCandidate();
+  uint64_t et = h.node->current_et().raw();
+  raft::VoteReply grant;
+  grant.et = et;
+  grant.granted = true;
+  grant.from = 2;
+  h.node->Receive(2, grant);
+  ASSERT_TRUE(h.node->IsLeader());
+  ASSERT_EQ(h.node->commit_index(), 1u);  // own no-op not committed yet
+  h.Clear();
+
+  kv::Command get;
+  get.op = kv::OpType::kGet;
+  get.key = "hot";
+  raft::ClientRequest req;
+  req.req_id = 7;
+  req.from = 1000;
+  req.body = raft::ReadRequest{kv::EncodeCommand(get)};
+  h.node->Receive(1000, req);
+  auto replies = h.Sent<raft::ClientReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  // Without the barrier this served the pre-write state (kNotFound).
+  EXPECT_EQ(replies[0].status.code(), Code::kBusy);
+
+  // A follower ack commits the no-op (and, transitively, the write);
+  // the barrier lifts and the retried read serves the committed value.
+  raft::AppendReply ack;
+  ack.et = et;
+  ack.from = 2;
+  ack.ok = true;
+  ack.match = h.node->last_log_index();
+  h.node->Receive(2, ack);
+  ASSERT_EQ(h.node->commit_index(), h.node->last_log_index());
+  h.Clear();
+  h.node->Receive(1000, req);
+  auto probes = h.Sent<raft::ReadIndexProbe>();
+  ASSERT_FALSE(probes.empty());
+  raft::ReadIndexAck ra;
+  ra.et = et;
+  ra.from = 2;
+  ra.seq = probes.back().seq;
+  ra.ok = true;
+  h.node->Receive(2, ra);
+  replies = h.Sent<raft::ClientReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].status.ok());
+  EXPECT_EQ(replies[0].value, "new");
 }
 
 TEST(NodeUnit, CrashRestartPreservesPersistentState) {
@@ -342,7 +424,7 @@ TEST(NodeUnit, CrashRestartPreservesPersistentState) {
   cmd.op = kv::OpType::kPut;
   cmd.key = "durable";
   cmd.value = "yes";
-  req.body = cmd;
+  req.body = kv::EncodeCommand(cmd);
   h.node->Receive(1000, req);
   Index commit = h.node->commit_index();
   uint64_t term = h.node->current_et().raw();
@@ -351,7 +433,7 @@ TEST(NodeUnit, CrashRestartPreservesPersistentState) {
   EXPECT_EQ(h.node->role(), Role::kFollower);  // volatile state reset
   EXPECT_EQ(h.node->commit_index(), commit);   // persistent state kept
   EXPECT_EQ(h.node->current_et().raw(), term);
-  EXPECT_EQ(*h.node->store().Get("durable"), "yes");
+  EXPECT_EQ(*StoreOf(*h.node).Get("durable"), "yes");
 }
 
 }  // namespace

@@ -92,7 +92,7 @@ void DriveTraffic(World& w, const std::vector<NodeId>& members, int n,
     raft::ClientRequest req;
     req.req_id = w.NextReqId();
     req.from = harness::kAdminId;
-    req.body = cmd;
+    req.body = kv::EncodeCommand(cmd);
     w.net().Send(harness::kAdminId, l, raft::MakeMessage(raft::Message(req)),
                  64);
   }
@@ -120,7 +120,7 @@ TEST_P(SeedSweep, NormalOperationSafeUnderChaos) {
   harness::KvHistoryChecker kv_checker;
   auto it = checker.applied_kv().find(w.node(c[0]).cluster_uid());
   if (it != checker.applied_kv().end()) {
-    auto diffs = kv_checker.CompareStore(it->second, w.node(c[0]).store());
+    auto diffs = kv_checker.CompareStore(it->second, harness::KvStoreOf(w.node(c[0])));
     EXPECT_TRUE(diffs.empty()) << diffs.front();
   }
 }

@@ -20,7 +20,7 @@ TEST(Recovery, OfflineNodeCatchesUpFromPeers) {
   }
   w.Restart(victim);
   ExpectConverged(w, c);
-  EXPECT_EQ(w.node(victim).store().size(), 10u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(victim)).size(), 10u);
 }
 
 TEST(Recovery, PullServesOnlyCommittedEntries) {
@@ -78,7 +78,7 @@ TEST(Recovery, EpochBoundaryCapsPulledEntries) {
       [&]() { return w.node(sleeper).config().members == g2; }, 5 * kSecond));
   for (int i = 0; i < 5; ++i) {
     EXPECT_FALSE(
-        w.node(sleeper).store().Get("g1-" + std::to_string(i)).ok());
+        harness::KvStoreOf(w.node(sleeper)).Get("g1-" + std::to_string(i)).ok());
   }
   EXPECT_TRUE(checker.ok()) << checker.Report();
 }
@@ -233,7 +233,7 @@ TEST(Recovery, HardRebootAcrossSplitEpochBoundary) {
       [&]() { return w.node(sleeper).config().members == g2; }, 5 * kSecond));
   for (int i = 0; i < 5; ++i) {
     EXPECT_FALSE(
-        w.node(sleeper).store().Get("g1-" + std::to_string(i)).ok());
+        harness::KvStoreOf(w.node(sleeper)).Get("g1-" + std::to_string(i)).ok());
   }
   EXPECT_TRUE(checker.ok()) << checker.Report();
 }
@@ -250,7 +250,7 @@ TEST(Recovery, CrashedLeaderRejoinsAsFollower) {
   }
   w.Restart(old_leader);
   ExpectConverged(w, c);
-  EXPECT_EQ(w.node(old_leader).store().size(), 5u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(old_leader)).size(), 5u);
   // Exactly one leader afterwards.
   w.RunFor(kSecond);
   int leaders = 0;

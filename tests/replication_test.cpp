@@ -41,7 +41,7 @@ TEST(Replication, AllReplicasApplyCommittedEntries) {
   }
   ExpectConverged(w, c);
   for (NodeId id : c) {
-    EXPECT_EQ(w.node(id).store().size(), 20u) << "node " << id;
+    EXPECT_EQ(harness::KvStoreOf(w.node(id)).size(), 20u) << "node " << id;
   }
 }
 
@@ -57,7 +57,7 @@ TEST(Replication, FollowerCatchesUpAfterCrash) {
   }
   w.Restart(follower);
   ExpectConverged(w, c);
-  EXPECT_EQ(w.node(follower).store().size(), 10u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(follower)).size(), 10u);
 }
 
 TEST(Replication, SurvivesLeaderCrashWithoutLosingCommits) {
@@ -88,13 +88,13 @@ TEST(Replication, MinorityPartitionCannotCommit) {
   }
   w.net().SetPartitions({minority, majority});
   // A put sent to the isolated ex-leader cannot commit.
-  auto reply = w.Call(leader, [] {
+  auto reply = w.Call(leader, kv::EncodeCommand([] {
     kv::Command cmd;
     cmd.op = kv::OpType::kPut;
     cmd.key = "iso";
     cmd.value = "x";
     return cmd;
-  }());
+  }()));
   // Either the node already stepped down (NotLeader) or the call timed out.
   if (reply.ok()) {
     EXPECT_NE(reply->status.code(), Code::kOk);
@@ -117,13 +117,13 @@ TEST(Replication, DivergentUncommittedEntriesAreOverwritten) {
     if (id != leader && id != buddy) majority.push_back(id);
   }
   w.net().SetPartitions({{leader, buddy}, majority});
-  (void)w.Call(leader, [] {
+  (void)w.Call(leader, kv::EncodeCommand([] {
     kv::Command cmd;
     cmd.op = kv::OpType::kPut;
     cmd.key = "ghost";
     cmd.value = "x";
     return cmd;
-  }(), 300 * kMillisecond);
+  }()), 300 * kMillisecond);
   ASSERT_TRUE(w.WaitForLeader(majority));
   ASSERT_TRUE(w.Put(majority, "real", "y").ok());
   w.net().ClearPartitions();
@@ -151,7 +151,7 @@ TEST(Replication, SnapshotInstallForFarBehindFollower) {
   ASSERT_GT(w.node(w.LeaderOf(c)).log().base_index(), 0u);
   w.Restart(follower);
   ExpectConverged(w, c);
-  EXPECT_EQ(w.node(follower).store().size(), 60u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(follower)).size(), 60u);
   EXPECT_GT(w.node(follower).counters().Get("recovery.install_snapshot"), 0u);
 }
 
@@ -167,9 +167,9 @@ TEST(Replication, SessionDedupAcrossRetries) {
   cmd.value = "first";
   cmd.client_id = 777;
   cmd.seq = 1;
-  ASSERT_TRUE(w.Call(leader, cmd)->status.ok());
+  ASSERT_TRUE(w.Call(leader, kv::EncodeCommand(cmd))->status.ok());
   cmd.value = "retry-should-not-apply";
-  auto second = w.Call(w.LeaderOf(c), cmd);
+  auto second = w.Call(w.LeaderOf(c), kv::EncodeCommand(cmd));
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->status.ok());  // replies with the recorded result
   EXPECT_EQ(*w.Get(c, "ctr"), "first");
@@ -189,12 +189,12 @@ TEST(Replication, ManyEntriesBatchAndCommit) {
     raft::ClientRequest req;
     req.req_id = w.NextReqId();
     req.from = harness::kAdminId;
-    req.body = cmd;
+    req.body = kv::EncodeCommand(cmd);
     w.net().Send(harness::kAdminId, leader,
                  raft::MakeMessage(raft::Message(req)), 64);
   }
   ExpectConverged(w, c, 10 * kSecond);
-  EXPECT_EQ(w.node(leader).store().size(), 200u);
+  EXPECT_EQ(harness::KvStoreOf(w.node(leader)).size(), 200u);
 }
 
 TEST(Replication, StateMachineSafetyUnderRandomFaults) {

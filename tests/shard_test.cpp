@@ -181,7 +181,7 @@ TEST(ShardPlane, NodeRejectsWrongShardWithServingRange) {
   cmd.value = "v";
   NodeId low_leader = w.LeaderOf(shards[0].members);
   ASSERT_NE(low_leader, kNoNode);
-  auto reply = w.Call(low_leader, cmd);
+  auto reply = w.Call(low_leader, kv::EncodeCommand(cmd));
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->status.code(), Code::kWrongShard);
   EXPECT_EQ(reply->serving_range, shards[0].range);
@@ -308,6 +308,54 @@ TEST(ShardPlane, RebalanceChaosUnderClientLoad) {
                          << "; live cfg "
                          << w.ConfigOf(s.members).ToString();
   }
+}
+
+TEST(ShardPlane, DriverSurvivesHardCrashedShardDuringRebalance) {
+  // Regression: since hard crashes destroy the node *object* (PR 4), the
+  // placement driver's metrics probes (MetricsOf / PickSplitKey) and the
+  // world's ConfigOf/WipeNode waits must skip dead nodes instead of
+  // dereferencing them. Crash an entire shard, then run rebalance steps
+  // whose split pass (dead shard is the biggest) and merge pass (dead
+  // shards are the coldest pair) both try to touch it.
+  auto opts = TestWorldOptions(26);
+  opts.storage = harness::StorageMode::kInMemory;  // enables CrashNode
+  World w(opts);
+  auto ids = w.BootstrapShards(3, 3, shard::UniformKeyBoundaries("k", 900, 3));
+  ASSERT_TRUE(ids.ok());
+  for (int i = 0; i < 30; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%08d", i * 30);
+    const ShardInfo* s = w.shard_map().Lookup(key);
+    ASSERT_NE(s, nullptr);
+    ASSERT_TRUE(w.Put(s->members, key, "v").ok());
+  }
+
+  // Take the middle shard fully down — object destroyed, disk retained.
+  auto shards = w.shard_map().Shards();
+  for (NodeId id : shards[1].members) {
+    ASSERT_TRUE(w.CrashNode(id).ok());
+  }
+
+  shard::NativeRebalancer rb(w, 5 * kSecond);
+  shard::PlacementOptions popts;
+  popts.split_threshold_keys = 1;      // everything looks splittable...
+  popts.merge_threshold_keys = 10000;  // ...and the dead pair the coldest
+  popts.min_shards = 1;
+  popts.max_shards = 6;
+  shard::PlacementDriver driver(w, w.shard_map(), rb, popts);
+  for (int round = 0; round < 2; ++round) {
+    driver.Step();  // must not crash; dead-shard actions fail softly
+    w.RunFor(500 * kMillisecond);
+  }
+  EXPECT_TRUE(w.shard_map().CheckInvariants().ok())
+      << w.shard_map().ToString();
+
+  // Reboot the shard from its durable media; the plane recovers fully.
+  for (NodeId id : shards[1].members) {
+    ASSERT_TRUE(w.RestartNode(id).ok());
+  }
+  ASSERT_TRUE(w.WaitForLeader(shards[1].members, 10 * kSecond));
+  EXPECT_TRUE(w.Put(shards[1].members, shards[1].range.lo(), "back").ok());
 }
 
 }  // namespace

@@ -59,8 +59,8 @@ TEST(Split, DataIsPartitionedByRange) {
   // Stores physically dropped the other half.
   ExpectConverged(w, g1);
   ExpectConverged(w, g2);
-  for (NodeId id : g1) EXPECT_EQ(w.node(id).store().size(), 2u);
-  for (NodeId id : g2) EXPECT_EQ(w.node(id).store().size(), 2u);
+  for (NodeId id : g1) EXPECT_EQ(harness::KvStoreOf(w.node(id)).size(), 2u);
+  for (NodeId id : g2) EXPECT_EQ(harness::KvStoreOf(w.node(id)).size(), 2u);
 }
 
 TEST(Split, SubclustersEvolveIndependently) {

@@ -4,6 +4,8 @@
 // batch, snapshot/log divergence, double crash during replay).
 #include <gtest/gtest.h>
 
+#include "kv/kv_machine.h"
+#include "kv/service.h"
 #include "storage/codec.h"
 #include "storage/sim_disk.h"
 #include "storage/storage.h"
@@ -23,7 +25,7 @@ raft::LogEntry KvEntry(Index index, uint64_t term, const std::string& key,
   raft::LogEntry e;
   e.index = index;
   e.term = term;
-  e.payload = std::move(cmd);
+  e.payload = kv::EncodeCommand(cmd);
   return e;
 }
 
@@ -108,7 +110,8 @@ TEST(StorageCodec, LogEntryPayloadsRoundTrip) {
     e.index = 9;
     e.term = 7;
     e.payload = raft::ConfSetRange{
-        KeyRange::Full(), std::make_shared<const kv::Snapshot>(snap)};
+        KeyRange::Full(),
+        kv::KvMachine::Wrap(std::make_shared<const kv::Snapshot>(snap))};
     entries.push_back(e);
   }
   {
@@ -142,7 +145,7 @@ TEST(StorageCodec, RaftSnapshotRoundTrip) {
   data.range = KeyRange("a", "z");
   data.data = {{"b", "1"}, {"c", "2"}};
   data.sessions[5] = kv::Session{9, {NotFound("x"), ""}};
-  snap.kv = std::make_shared<const kv::Snapshot>(data);
+  snap.state = kv::KvMachine::Wrap(std::make_shared<const kv::Snapshot>(data));
   snap.config.mode = raft::ConfigMode::kSplitLeaving;
   snap.config.members = {1, 2, 3};
   snap.config.fixed_quorum = 2;
@@ -174,8 +177,10 @@ TEST(StorageCodec, RaftSnapshotRoundTrip) {
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->last_index, snap.last_index);
   EXPECT_EQ(back->last_term, snap.last_term);
-  ASSERT_NE(back->kv, nullptr);
-  EXPECT_EQ(back->kv->data, data.data);
+  ASSERT_NE(back->state, nullptr);
+  auto unwrapped = kv::KvMachine::Unwrap(*back->state);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped->data, data.data);
   EXPECT_EQ(back->config.ToString(), snap.config.ToString());
   EXPECT_EQ(back->config.merge_tx->tx, 42u);
   ASSERT_EQ(back->history.size(), 1u);
@@ -240,7 +245,8 @@ TEST(WalStorage, StateRoundTripsThroughRecovery) {
     kv::Snapshot sealed;
     sealed.range = KeyRange("", "m");
     sealed.data = {{"a", "1"}};
-    wal.PersistSealed(42, 1, std::make_shared<const kv::Snapshot>(sealed));
+    wal.PersistSealed(
+        42, 1, kv::KvMachine::Wrap(std::make_shared<const kv::Snapshot>(sealed)));
     ExchangeMeta meta;
     meta.pending_plan = SamplePlan();
     ExchangeGcImage gc;
@@ -285,7 +291,8 @@ TEST(WalStorage, SnapshotInstallAndCompactionSurviveRecovery) {
     snap->last_term = 1;
     kv::Snapshot data;
     data.data = {{"k1", "v"}};
-    snap->kv = std::make_shared<const kv::Snapshot>(data);
+    snap->state =
+        kv::KvMachine::Wrap(std::make_shared<const kv::Snapshot>(data));
     snap->config.members = {1, 2, 3};
     snap->config.uid = 9;
     wal.InstallSnapshot(snap);
@@ -353,7 +360,8 @@ TEST(WalStorage, CheckpointRewriteBoundsTheWalFile) {
     auto snap = std::make_shared<raft::RaftSnapshot>();
     snap->last_index = next - 1;
     snap->last_term = 1;
-    snap->kv = std::make_shared<const kv::Snapshot>();
+    snap->state =
+        kv::KvMachine::Wrap(std::make_shared<const kv::Snapshot>());
     wal.InstallSnapshot(snap);
     wal.OnLogCompactTo(next - 1, 1);
   }
@@ -409,7 +417,8 @@ TEST_P(CrashMatrix, RecoversTheRightPrefix) {
   auto snap = std::make_shared<raft::RaftSnapshot>();
   snap->last_index = 2;
   snap->last_term = 1;
-  snap->kv = std::make_shared<const kv::Snapshot>();
+  snap->state =
+        kv::KvMachine::Wrap(std::make_shared<const kv::Snapshot>());
   snap->config.members = {1, 2, 3};
   wal->InstallSnapshot(snap);
   wal->OnLogCompactTo(2, 1);
