@@ -37,8 +37,8 @@ MissedSubResult MissedSubcluster(bool commit_notify, bool pull,
   req.req_id = w.NextReqId();
   req.from = harness::kAdminId;
   req.body = body;
-  w.net().Send(harness::kAdminId, leader,
-               raft::MakeMessage(raft::Message(req)), 128);
+  auto msg = raft::MakeMessage(raft::Message(req));
+  w.net().Send(harness::kAdminId, leader, msg, msg.wire_bytes());
   w.RunUntil(
       [&]() {
         return w.node(leader).config().mode == raft::ConfigMode::kSplitLeaving;
@@ -114,8 +114,8 @@ double SiblingCompletionLagMs(bool commit_notify, uint64_t seed) {
   req.req_id = w.NextReqId();
   req.from = harness::kAdminId;
   req.body = body;
-  w.net().Send(harness::kAdminId, leader,
-               raft::MakeMessage(raft::Message(req)), 128);
+  auto msg = raft::MakeMessage(raft::Message(req));
+  w.net().Send(harness::kAdminId, leader, msg, msg.wire_bytes());
   if (!w.RunUntil([&]() { return w.node(leader).epoch() == 1; },
                   20 * kSecond)) {
     return -1;

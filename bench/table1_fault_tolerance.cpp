@@ -57,8 +57,8 @@ bool RunSplitWithCrashes(uint64_t seed, const char* phase,
   req.req_id = w.NextReqId();
   req.from = harness::kAdminId;
   req.body = body;
-  w.net().Send(harness::kAdminId, leader,
-               raft::MakeMessage(raft::Message(req)), 128);
+  auto msg = raft::MakeMessage(raft::Message(req));
+  w.net().Send(harness::kAdminId, leader, msg, msg.wire_bytes());
   if (std::string(phase) == "joint") {
     // Crash before C_joint can commit: immediately after the proposal.
     w.RunUntil(
@@ -126,8 +126,8 @@ bool RunMergeWithCrashes(uint64_t seed, int crash_in_sub,
   req.req_id = w->NextReqId();
   req.from = harness::kAdminId;
   req.body = raft::AdminMerge{*plan};
-  w->net().Send(harness::kAdminId, w->LeaderOf(c1),
-                raft::MakeMessage(raft::Message(req)), 128);
+  auto msg = raft::MakeMessage(raft::Message(req));
+  w->net().Send(harness::kAdminId, w->LeaderOf(c1), msg, msg.wire_bytes());
   // Crash during the 2PC (prepare underway).
   w->RunUntil(
       [&]() {

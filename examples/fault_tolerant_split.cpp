@@ -40,8 +40,8 @@ int main() {
   req.req_id = world.NextReqId();
   req.from = harness::kAdminId;
   req.body = body;
-  world.net().Send(harness::kAdminId, leader,
-                   raft::MakeMessage(raft::Message(req)), 128);
+  auto msg = raft::MakeMessage(raft::Message(req));
+  world.net().Send(harness::kAdminId, leader, msg, msg.wire_bytes());
 
   // Wait for C_joint to commit and C_new to be appended, then cut s3 off so
   // its copy of SplitLeaveJoint is lost in flight.

@@ -15,7 +15,7 @@ std::vector<NodeId> QuorumUnion(const raft::QuorumSpec& q) {
 }  // namespace
 
 void Node::StartElection() {
-  counters_.Add("election.started");
+  counters_.Add(cid_.election_started);
   role_ = Role::kCandidate;
   leader_ = kNoNode;
   term_ = EpochTerm(term_).NextTerm().raw();
@@ -98,7 +98,7 @@ void Node::HandleRequestVote(NodeId from, const raft::RequestVote& m) {
   if (granted) {
     voted_for_ = m.candidate;
     ResetElectionTimer();
-    counters_.Add("election.votes_granted");
+    counters_.Add(cid_.election_votes_granted);
   }
   raft::VoteReply reply;
   reply.et = term_;
@@ -134,7 +134,7 @@ void Node::HandleVoteReply(NodeId from, const raft::VoteReply& m) {
 }
 
 void Node::BecomeLeader() {
-  counters_.Add("election.won");
+  counters_.Add(cid_.election_won);
   RLOG_INFO("elect", "n%u becomes leader at %s (%s)", id_,
             current_et().ToString().c_str(),
             config_.Current().ToString().c_str());

@@ -97,7 +97,7 @@ Status Node::StartMemberChange(const raft::MemberChange& mc) {
   }
   auto idx = Propose(raft::ConfMember{mc});
   if (!idx.ok()) return idx.status();
-  counters_.Add("member.proposed");
+  counters_.Add(cid_.member_proposed);
   RLOG_INFO("member", "n%u proposed %s at %llu", id_,
             mc.ToString().c_str(), static_cast<unsigned long long>(*idx));
   return OkStatus();
@@ -112,7 +112,7 @@ void Node::OnMemberChangeCommitted(const raft::ConfMember& cm, Index index) {
   // second use-after-free of the reconfig-reentrancy family). The decisions
   // below are specified against the state as of *this* commit anyway.
   const raft::ConfigState cfg = config_.Current();
-  counters_.Add("member.committed");
+  counters_.Add(cid_.member_committed);
 
   bool membership_changed = cm.change.kind != raft::MemberChangeKind::kResizeQuorum &&
                             cm.change.kind != raft::MemberChangeKind::kJointLeave;

@@ -115,7 +115,7 @@ Status Node::StartMerge(const raft::AdminMerge& req, uint64_t req_id,
     return idx.status();
   }
   SendPrepares();
-  counters_.Add("merge.started");
+  counters_.Add(cid_.merge_started);
   return OkStatus();
 }
 
@@ -244,7 +244,7 @@ void Node::HandleMergePrepareReq(NodeId from, const raft::MergePrepareReq& m) {
     reply.retry = true;
     Send(from, std::move(reply));
   }
-  counters_.Add("merge.prepared");
+  counters_.Add(cid_.merge_prepared);
 }
 
 void Node::OnMergeTxApplied(const raft::ConfMergeTx& tx, Index index) {
@@ -327,7 +327,7 @@ void Node::HandleMergeCommitReq(NodeId from, const raft::MergeCommitReq& m) {
   }
   auto idx = Propose(raft::ConfMergeOutcome{m.plan, m.commit});
   (void)idx;
-  counters_.Add("merge.commit_received");
+  counters_.Add(cid_.merge_commit_received);
 }
 
 // --------------------------------------------------------------------------
@@ -450,7 +450,7 @@ void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
     cleared.merge_outcome_commit = false;
     cleared.merge_outcome_plan.reset();
     config_.ForceState(std::move(cleared), index);
-    counters_.Add("merge.aborted");
+    counters_.Add(cid_.merge_aborted);
     int my_source = plan.SourceOf(id_);
     if (my_source == plan.coordinator) {
       // Every coordinator-source member (not just the current leader)
@@ -601,7 +601,7 @@ void Node::FinishMergeAsCoordinator() {
     }
     const TxId tx = plan.tx;
     merge_ = MergeRuntime{};
-    counters_.Add("merge.abort_finalized");
+    counters_.Add(cid_.merge_abort_finalized);
     if (unsettled_aborts_.count(tx) > 0) {
       auto idx = Propose(raft::ConfAbortSettled{tx});
       if (!idx.ok()) {
@@ -622,7 +622,7 @@ void Node::FinishMergeAsCoordinator() {
     if (n != id_) Send(n, fin);
   }
   merge_ = MergeRuntime{};
-  counters_.Add("merge.finalized");
+  counters_.Add(cid_.merge_finalized);
   TransitionToMerged(plan);
 }
 
@@ -660,7 +660,7 @@ void Node::ResumeUnsettledAbort() {
     merge_.outcome_applied_self = true;  // the abort applied before clearing
     merge_.retry_countdown = opts_.merge_retry_ticks;
     merge_.contact = DefaultContacts(plan);
-    counters_.Add("merge.abort_resumed");
+    counters_.Add(cid_.merge_abort_resumed);
     SendCommits();
     return;  // one transaction at a time; settling chains to the next
   }
@@ -693,7 +693,7 @@ void Node::ResumeMergeAsLeader() {
     merge_.contact = DefaultContacts(merge_.plan);
     SendPrepares();
   }
-  counters_.Add("merge.resumed");
+  counters_.Add(cid_.merge_resumed);
 }
 
 // --------------------------------------------------------------------------
@@ -702,7 +702,7 @@ void Node::ResumeMergeAsLeader() {
 void Node::TransitionToMerged(const raft::MergePlan& plan) {
   RLOG_INFO("merge", "n%u transitions to merged cluster (tx=%llu, E=%u)", id_,
             static_cast<unsigned long long>(plan.tx), plan.new_epoch);
-  counters_.Add("merge.transitioned");
+  counters_.Add(cid_.merge_transitioned);
   FailPendingClients(Code::kUnavailable);
 
   raft::ReconfigRecord rec;
@@ -867,7 +867,7 @@ void Node::MaybeFinishExchange() {
   }
   raft::MergePlan plan = exchange_->plan;
   exchange_.reset();
-  counters_.Add("merge.exchange_done");
+  counters_.Add(cid_.merge_exchange_done);
   RLOG_INFO("merge", "n%u finished snapshot exchange (%zu items)", id_,
             machine_->Size());
   // Announce completion so holders can GC their sealed snapshots once every
@@ -896,7 +896,7 @@ void Node::MaybeFinishExchange() {
   snapshot_ = BuildSnapshot();
   if (storage_ != nullptr) storage_->InstallSnapshot(snapshot_);
   log_.CompactTo(snapshot_->last_index, snapshot_->last_term);
-  counters_.Add("log.compactions");
+  counters_.Add(cid_.log_compactions);
   // Only now — with the assembled store durable in the snapshot — may the
   // pending-exchange marker clear: a crash a moment earlier boots back
   // into the exchange and re-pulls, a crash after boots from the snapshot.
@@ -981,7 +981,7 @@ void Node::MaybePruneExchange(TxId tx) {
     storage_->PruneSealed(tx);
     PersistExchangeMetaNow();
   }
-  counters_.Add("merge.exchange_pruned");
+  counters_.Add(cid_.merge_exchange_pruned);
 }
 
 }  // namespace recraft::core

@@ -24,6 +24,53 @@ void Node::InternCounters() {
   cid_.commits = counters_.Intern("repl.commits");
   cid_.client_proposed = counters_.Intern("client.proposed");
   cid_.proposed = counters_.Intern("repl.proposed");
+  cid_.election_started = counters_.Intern("election.started");
+  cid_.election_votes_granted = counters_.Intern("election.votes_granted");
+  cid_.election_won = counters_.Intern("election.won");
+  cid_.member_proposed = counters_.Intern("member.proposed");
+  cid_.member_committed = counters_.Intern("member.committed");
+  cid_.merge_started = counters_.Intern("merge.started");
+  cid_.merge_prepared = counters_.Intern("merge.prepared");
+  cid_.merge_commit_received = counters_.Intern("merge.commit_received");
+  cid_.merge_aborted = counters_.Intern("merge.aborted");
+  cid_.merge_abort_finalized = counters_.Intern("merge.abort_finalized");
+  cid_.merge_finalized = counters_.Intern("merge.finalized");
+  cid_.merge_abort_resumed = counters_.Intern("merge.abort_resumed");
+  cid_.merge_resumed = counters_.Intern("merge.resumed");
+  cid_.merge_transitioned = counters_.Intern("merge.transitioned");
+  cid_.merge_exchange_done = counters_.Intern("merge.exchange_done");
+  cid_.merge_exchange_pruned = counters_.Intern("merge.exchange_pruned");
+  cid_.split_enter_joint = counters_.Intern("split.enter_joint");
+  cid_.split_leave_joint = counters_.Intern("split.leave_joint");
+  cid_.split_completed = counters_.Intern("split.completed");
+  cid_.log_compactions = counters_.Intern("log.compactions");
+  cid_.storage_ack_released = counters_.Intern("storage.ack_released");
+  cid_.storage_ack_deferred = counters_.Intern("storage.ack_deferred");
+  cid_.leader_stepdown = counters_.Intern("leader.stepdown");
+  cid_.leader_lost_quorum = counters_.Intern("leader.lost_quorum");
+  cid_.recovery_epoch_gap = counters_.Intern("recovery.epoch_gap");
+  cid_.recovery_naming_lookup = counters_.Intern("recovery.naming_lookup");
+  cid_.recovery_pull_started = counters_.Intern("recovery.pull_started");
+  cid_.recovery_pull_applied = counters_.Intern("recovery.pull_applied");
+  cid_.recovery_install_snapshot = counters_.Intern("recovery.install_snapshot");
+  cid_.recovery_exchange_resumed = counters_.Intern("recovery.exchange_resumed");
+  cid_.node_crash = counters_.Intern("node.crash");
+  cid_.node_restart = counters_.Intern("node.restart");
+  cid_.node_reinit = counters_.Intern("node.reinit");
+  cid_.node_boot = counters_.Intern("node.boot");
+  cid_.node_boot_amnesia = counters_.Intern("node.boot_amnesia");
+  cid_.client_deferred = counters_.Intern("client.deferred");
+  cid_.read_barrier_wait = counters_.Intern("read.barrier_wait");
+  cid_.read_accepted = counters_.Intern("read.accepted");
+  cid_.read_probe_sent = counters_.Intern("read.probe_sent");
+  cid_.read_probe_retry = counters_.Intern("read.probe_retry");
+  cid_.read_quorum_confirmed = counters_.Intern("read.quorum_confirmed");
+  cid_.read_served = counters_.Intern("read.served");
+  cid_.invariant_committed_conflict =
+      counters_.Intern("invariant.committed_conflict");
+  cid_.repl_stale_peer_dropped = counters_.Intern("repl.stale_peer_dropped");
+  cid_.repl_snapshot_sent = counters_.Intern("repl.snapshot_sent");
+  cid_.repl_truncations = counters_.Intern("repl.truncations");
 }
 
 Node::Node(NodeId id, Options opts, raft::ConfigState genesis, Rng rng,
@@ -107,7 +154,7 @@ void Node::OnStorageDurable() {
     // same entry term at the claimed match position).
     if (pa.reply.et == term_ &&
         log_.TermAt(pa.reply.match) == pa.match_term) {
-      counters_.Add("storage.ack_released");
+      counters_.Add(cid_.storage_ack_released);
       Send(pa.to, pa.reply);
     }
     pending_acks_.pop_front();
@@ -143,7 +190,7 @@ void Node::BecomeFollower(EpochTerm et, NodeId leader) {
     voted_for_ = kNoNode;
   }
   if (role_ == Role::kLeader) {
-    counters_.Add("leader.stepdown");
+    counters_.Add(cid_.leader_stepdown);
     FailPendingClients(Code::kNotLeader);
   }
   role_ = Role::kFollower;
@@ -192,7 +239,7 @@ bool Node::ObserveEt(EpochTerm et, NodeId from) {
 
   // We miss the reconfiguration entirely: recover by pulling from the
   // sender (§III-B "Pulling through EnterElection and HandleVote").
-  counters_.Add("recovery.epoch_gap");
+  counters_.Add(cid_.recovery_epoch_gap);
   StartPull(from);
   return false;
 }
@@ -244,7 +291,7 @@ void Node::TickBody() {
         if (p.ticks_since_ack < lease) live.insert(peer);
       }
       if (!raft::ElectionQuorum(config_.Current()).Satisfied(live)) {
-        counters_.Add("leader.lost_quorum");
+        counters_.Add(cid_.leader_lost_quorum);
         BecomeFollower(current_et(), kNoNode);
         ResetElectionTimer();
         return;
@@ -262,7 +309,7 @@ void Node::TickBody() {
         silent_ticks_ >= opts_.naming_fallback_ticks &&
         opts_.naming_service != kNoNode && !naming_query_inflight_) {
       naming_query_inflight_ = true;
-      counters_.Add("recovery.naming_lookup");
+      counters_.Add(cid_.recovery_naming_lookup);
       Send(opts_.naming_service, raft::NamingLookupReq{id_});
     }
     if (CanCampaign()) {
@@ -335,13 +382,13 @@ void Node::Receive(NodeId from, const raft::Message& m) {
 }
 
 void Node::OnCrash() {
-  counters_.Add("node.crash");
+  counters_.Add(cid_.node_crash);
   // The network already drops traffic; nothing to do here. State is kept as
   // the "persisted" image.
 }
 
 void Node::OnRestart() {
-  counters_.Add("node.restart");
+  counters_.Add(cid_.node_restart);
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();
@@ -571,7 +618,7 @@ void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
     if (opts_.max_client_requests_per_tick > 0) {
       if (tick_budget_used_ >= opts_.max_client_requests_per_tick) {
         deferred_requests_.emplace_back(from, m);
-        counters_.Add("client.deferred");
+        counters_.Add(cid_.client_deferred);
         return;
       }
       ++tick_budget_used_;
@@ -679,7 +726,7 @@ void Node::HandleBootstrapReq(NodeId from, const raft::BootstrapReq& m) {
 }
 
 void Node::Reinit(const raft::ConfigState& genesis, sm::SnapshotPtr data) {
-  counters_.Add("node.reinit");
+  counters_.Add(cid_.node_reinit);
   // Wipe the durable medium first: the node sheds its previous identity
   // entirely (the TC terminate step), then re-persists the new genesis
   // through the normal log/hard-state paths below.

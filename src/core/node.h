@@ -499,11 +499,34 @@ class Node {
 
   std::vector<AppliedRecord> applied_trace_;
   CounterSet counters_;
-  // Pre-interned handles for the per-message counters (see CounterSet):
-  // everything else uses the string API, these fire on every send/receive.
+  // Pre-interned handles for every counter the node bumps from message /
+  // apply / tick paths (see CounterSet). The string Add() API re-hashes the
+  // name per increment, so node code always goes through these ids; the
+  // `recraft-hot-path-hygiene` lint check enforces that.
   struct HotCounters {
     CounterSet::Id msg_sent, msg_recv, entries_applied, append_sent, commits;
     CounterSet::Id client_proposed, proposed;
+    CounterSet::Id election_started, election_votes_granted, election_won;
+    CounterSet::Id member_proposed, member_committed;
+    CounterSet::Id merge_started, merge_prepared, merge_commit_received;
+    CounterSet::Id merge_aborted, merge_abort_finalized, merge_finalized;
+    CounterSet::Id merge_abort_resumed, merge_resumed, merge_transitioned;
+    CounterSet::Id merge_exchange_done, merge_exchange_pruned;
+    CounterSet::Id split_enter_joint, split_leave_joint, split_completed;
+    CounterSet::Id log_compactions;
+    CounterSet::Id storage_ack_released, storage_ack_deferred;
+    CounterSet::Id leader_stepdown, leader_lost_quorum;
+    CounterSet::Id recovery_epoch_gap, recovery_naming_lookup;
+    CounterSet::Id recovery_pull_started, recovery_pull_applied;
+    CounterSet::Id recovery_install_snapshot, recovery_exchange_resumed;
+    CounterSet::Id node_crash, node_restart, node_reinit, node_boot;
+    CounterSet::Id node_boot_amnesia;
+    CounterSet::Id client_deferred;
+    CounterSet::Id read_barrier_wait, read_accepted, read_probe_sent;
+    CounterSet::Id read_probe_retry, read_quorum_confirmed, read_served;
+    CounterSet::Id invariant_committed_conflict;
+    CounterSet::Id repl_stale_peer_dropped, repl_snapshot_sent;
+    CounterSet::Id repl_truncations;
   };
   HotCounters cid_{};
 };

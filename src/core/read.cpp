@@ -52,12 +52,12 @@ void Node::HandleReadRequest(NodeId from, uint64_t req_id,
   // commit-index freshness. The client retries on kBusy and the no-op
   // commits within a round trip.
   if (log_.TermAt(commit_) != term_) {
-    counters_.Add("read.barrier_wait");
+    counters_.Add(cid_.read_barrier_wait);
     ReplyToClient(from, req_id, Busy("read barrier: current-term commit "
                                      "pending"));
     return;
   }
-  counters_.Add("read.accepted");
+  counters_.Add(cid_.read_accepted);
   PendingRead pr;
   pr.req_id = req_id;
   pr.client = from;
@@ -82,7 +82,7 @@ void Node::BroadcastReadProbe() {
   probe.et = term_;
   probe.from = id_;
   probe.seq = read_seq_;
-  counters_.Add("read.probe_sent");
+  counters_.Add(cid_.read_probe_sent);
   for (NodeId peer : ReplicationTargets()) {
     Send(peer, probe);
   }
@@ -119,7 +119,7 @@ void Node::ReadTick() {
   if (!read_probe_inflight_) return;
   if (--read_retry_countdown_ > 0) return;
   read_retry_countdown_ = opts_.read_probe_retry_ticks;
-  counters_.Add("read.probe_retry");
+  counters_.Add(cid_.read_probe_retry);
   BroadcastReadProbe();
 }
 
@@ -171,7 +171,7 @@ void Node::HandleReadIndexAck(NodeId from, const raft::ReadIndexAck& m) {
   if (!raft::ElectionQuorum(config_.Current()).Satisfied(acks)) return;
   read_confirmed_ = read_seq_;
   read_probe_inflight_ = false;
-  counters_.Add("read.quorum_confirmed");
+  counters_.Add(cid_.read_quorum_confirmed);
   ServeConfirmedReads();
 }
 
@@ -183,7 +183,7 @@ void Node::ServeConfirmedReads() {
     if (pr.seq > read_confirmed_) break;     // round not confirmed yet
     if (pr.read_index > applied_) break;     // apply catch-up (rare)
     sm::CmdResult res = machine_->Query(pr.query);
-    counters_.Add("read.served");
+    counters_.Add(cid_.read_served);
     ReplyToClient(pr.client, pr.req_id, std::move(res.status),
                   std::move(res.payload));
     pending_reads_.pop_front();

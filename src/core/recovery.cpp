@@ -29,7 +29,7 @@ void Node::StartPull(NodeId target) {
     role_ = Role::kFollower;
     votes_.clear();
   }
-  counters_.Add("recovery.pull_started");
+  counters_.Add(cid_.recovery_pull_started);
   raft::PullRequest req;
   req.from = id_;
   req.epoch = current_et().epoch();
@@ -158,7 +158,7 @@ void Node::HandlePullReply(NodeId from, const raft::PullReply& m) {
     if (e.index <= log_.base_index()) continue;
     if (log_.Matches(e.index, e.term)) continue;
     if (e.index <= commit_) {
-      counters_.Add("invariant.committed_conflict");
+      counters_.Add(cid_.invariant_committed_conflict);
       return;
     }
     if (e.index <= log_.last_index()) {
@@ -178,7 +178,7 @@ void Node::HandlePullReply(NodeId from, const raft::PullReply& m) {
   }
   pull_target_ = kNoNode;
   pull_attempts_ = 0;
-  counters_.Add("recovery.pull_applied");
+  counters_.Add(cid_.recovery_pull_applied);
 }
 
 void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
@@ -223,7 +223,7 @@ void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
     PersistExchangeMetaNow();
   }
   ResetElectionTimer();
-  counters_.Add("recovery.install_snapshot");
+  counters_.Add(cid_.recovery_install_snapshot);
 }
 
 // ---------------------------------------------------------------------------
@@ -233,7 +233,7 @@ void Node::InstallSnapshotState(const raft::RaftSnapshot& snap, EpochTerm et) {
 // chaos suites.
 
 void Node::BootFromStorage() {
-  counters_.Add("node.boot");
+  counters_.Add(cid_.node_boot);
   raft::ConfigState blank;
   blank.range = KeyRange::Empty();
 
@@ -244,7 +244,7 @@ void Node::BootFromStorage() {
     // the node through the §V paths (pull, InstallSnapshot).
     RLOG_ERROR("boot", "n%u: storage load failed: %s", id_,
                loaded.status().ToString().c_str());
-    counters_.Add("node.boot_amnesia");
+    counters_.Add(cid_.node_boot_amnesia);
     config_.Init(std::move(blank));
     log_.Attach(storage_);
     return;
@@ -347,7 +347,7 @@ void Node::BootFromStorage() {
   // re-runs the transition and starts the exchange itself.
   if (img.exchange.pending_plan.has_value() && !exchange_.has_value() &&
       config_.Current().uid == img.exchange.pending_plan->new_uid) {
-    counters_.Add("recovery.exchange_resumed");
+    counters_.Add(cid_.recovery_exchange_resumed);
     StartExchange(*img.exchange.pending_plan);
   }
 

@@ -42,7 +42,7 @@ Node::Progress* Node::LeaderProgress(NodeId peer) {
   // and leak replication traffic across the membership boundary.
   const auto targets = ReplicationTargets();
   if (std::find(targets.begin(), targets.end(), peer) == targets.end()) {
-    counters_.Add("repl.stale_peer_dropped");
+    counters_.Add(cid_.repl_stale_peer_dropped);
     return nullptr;
   }
   return &progress_[peer];
@@ -100,7 +100,7 @@ void Node::MaybeSendAppend(NodeId peer, bool force_empty) {
     is.leader = id_;
     is.snap = snapshot_ ? snapshot_ : BuildSnapshot();
     p.snapshotting = true;
-    counters_.Add("repl.snapshot_sent");
+    counters_.Add(cid_.repl_snapshot_sent);
     Send(peer, std::move(is));
     return;
   }
@@ -184,7 +184,7 @@ void Node::HandleAppendEntries(NodeId from, const raft::AppendEntries& m) {
     if (e.index <= commit_) {
       // A conflicting committed entry would violate Log Matching; this
       // indicates a protocol bug — surface it loudly in tests.
-      counters_.Add("invariant.committed_conflict");
+      counters_.Add(cid_.invariant_committed_conflict);
       RLOG_ERROR("repl", "n%u: conflicting entry at committed index %llu",
                  id_, static_cast<unsigned long long>(e.index));
       reply.ok = false;
@@ -195,7 +195,7 @@ void Node::HandleAppendEntries(NodeId from, const raft::AppendEntries& m) {
       log_.TruncateFrom(e.index);
       config_.OnTruncate(e.index);
       DropPendingAcks();  // queued claims about the old suffix are void
-      counters_.Add("repl.truncations");
+      counters_.Add(cid_.repl_truncations);
     }
     log_.Append(e);
     config_.OnAppend(e);
@@ -217,7 +217,7 @@ void Node::HandleAppendEntries(NodeId from, const raft::AppendEntries& m) {
   if (last_new <= durable) {
     Send(from, std::move(reply));
   } else {
-    counters_.Add("storage.ack_deferred");
+    counters_.Add(cid_.storage_ack_deferred);
     pending_acks_.push_back(
         PendingAck{from, reply, log_.TermAt(last_new)});
   }
@@ -386,7 +386,7 @@ void Node::MaybeCompact() {
   // order could lose the compacted prefix.
   if (storage_ != nullptr) storage_->InstallSnapshot(snapshot_);
   log_.CompactTo(snapshot_->last_index, snapshot_->last_term);
-  counters_.Add("log.compactions");
+  counters_.Add(cid_.log_compactions);
 }
 
 }  // namespace recraft::core

@@ -55,7 +55,7 @@ Status Node::StartSplit(const raft::AdminSplit& req) {
   // commits keep using C_old.
   auto idx = Propose(raft::ConfSplitJoint{std::move(plan)});
   if (!idx.ok()) return idx.status();
-  counters_.Add("split.enter_joint");
+  counters_.Add(cid_.split_enter_joint);
   RLOG_INFO("split", "n%u proposed C_joint at %llu", id_,
             static_cast<unsigned long long>(*idx));
   return OkStatus();
@@ -84,7 +84,7 @@ Status Node::ProposeSplitLeaveJoint() {
   if (cfg.joint_index > commit_) return Rejected("C_joint not committed");
   auto idx = Propose(raft::ConfSplitNew{cfg.split});
   if (!idx.ok()) return idx.status();
-  counters_.Add("split.leave_joint");
+  counters_.Add(cid_.split_leave_joint);
   RLOG_INFO("split", "n%u proposed split C_new at %llu", id_,
             static_cast<unsigned long long>(*idx));
   return OkStatus();
@@ -168,7 +168,7 @@ void Node::CompleteSplit() {
     term_ = EpochTerm::Make(new_epoch, current_et().term()).raw();
     voted_for_ = kNoNode;
   }
-  counters_.Add("split.completed");
+  counters_.Add(cid_.split_completed);
 
   Role prior = role_;
   role_ = Role::kFollower;

@@ -1,0 +1,277 @@
+#include "analysis.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace recraft::lint {
+namespace {
+
+// Keywords that introduce a parenthesized condition, not a function call.
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "assert" ||
+         s == "new" || s == "delete";
+}
+
+}  // namespace
+
+bool Suppression::MatchesCheck(const std::string& check) const {
+  for (const std::string& c : checks) {
+    if (c == "*" || c == check) return true;
+    // "recraft-*" style prefix glob.
+    if (!c.empty() && c.back() == '*' &&
+        check.compare(0, c.size() - 1, c, 0, c.size() - 1) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<SourceFile> SourceFile::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto f = std::make_unique<SourceFile>();
+  f->path_ = path;
+  f->virtual_path_ = path;
+  f->source_ = buf.str();
+
+  std::string cur;
+  for (char c : f->source_) {
+    if (c == '\n') {
+      f->lines_.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) f->lines_.push_back(cur);
+
+  // Fixture scoping override: `// RECRAFT-TIDY-PATH: src/core/foo.cc`.
+  if (!f->lines_.empty()) {
+    const std::string marker = "RECRAFT-TIDY-PATH:";
+    size_t at = f->lines_[0].find(marker);
+    if (at != std::string::npos) {
+      std::string rest = f->lines_[0].substr(at + marker.size());
+      size_t b = rest.find_first_not_of(" \t");
+      size_t e = rest.find_last_not_of(" \t\r");
+      if (b != std::string::npos) {
+        f->virtual_path_ = rest.substr(b, e - b + 1);
+      }
+    }
+  }
+
+  f->tokens_ = Lex(f->source_);
+  f->ScanNolints();
+  f->ComputeScopes();
+  f->CollectUnorderedDecls();
+  return f;
+}
+
+bool SourceFile::UnderAny(const std::vector<std::string>& prefixes) const {
+  for (const std::string& p : prefixes) {
+    size_t at = virtual_path_.find(p);
+    if (at == std::string::npos) continue;
+    // Must match at a path-component boundary and extend to one.
+    bool starts_ok = at == 0 || virtual_path_[at - 1] == '/';
+    size_t end = at + p.size();
+    bool ends_ok = end == virtual_path_.size() || virtual_path_[end] == '/';
+    if (starts_ok && ends_ok) return true;
+  }
+  return false;
+}
+
+void SourceFile::ScanNolints() {
+  for (size_t ln = 0; ln < lines_.size(); ++ln) {
+    const std::string& s = lines_[ln];
+    for (const char* kw : {"NOLINTNEXTLINE", "NOLINT"}) {
+      size_t at = s.find(kw);
+      if (at == std::string::npos) continue;
+      // "NOLINT" also matches inside "NOLINTNEXTLINE"; take the right one.
+      bool nextline = s.compare(at, 14, "NOLINTNEXTLINE") == 0;
+      if (!nextline && std::string(kw) == "NOLINTNEXTLINE") continue;
+
+      Suppression sup;
+      sup.line = static_cast<int>(ln + 1);
+      sup.applies_to = sup.line + (nextline ? 1 : 0);
+      size_t p = at + (nextline ? 14 : 6);
+      if (p < s.size() && s[p] == '(') {
+        size_t close = s.find(')', p);
+        if (close != std::string::npos) {
+          std::string list = s.substr(p + 1, close - p - 1);
+          std::string item;
+          std::istringstream is(list);
+          while (std::getline(is, item, ',')) {
+            size_t b = item.find_first_not_of(" \t");
+            size_t e = item.find_last_not_of(" \t");
+            if (b != std::string::npos) {
+              sup.checks.push_back(item.substr(b, e - b + 1));
+            }
+          }
+          p = close + 1;
+        }
+      } else {
+        sup.checks.push_back("*");
+      }
+      // Justification: a `: non-empty text` after the check list.
+      size_t colon = s.find(':', p);
+      if (colon != std::string::npos &&
+          s.find_first_not_of(" \t", colon + 1) != std::string::npos) {
+        sup.has_justification = true;
+      }
+      nolints_.push_back(std::move(sup));
+      break;  // one suppression comment per line is enough
+    }
+  }
+}
+
+// Computes, per token, the brace depth and the name of the enclosing
+// function. Heuristic: at each '{' we look backwards for the
+// `name ( params ) [qualifiers]` introducer, skipping over constructor
+// initializer lists; scopes that don't look like functions (class bodies,
+// namespaces, plain blocks) inherit the surrounding function name (empty at
+// file scope).
+void SourceFile::ComputeScopes() {
+  const size_t n = tokens_.size();
+  func_of_.assign(n, "");
+  depth_of_.assign(n, 0);
+
+  struct Scope {
+    std::string func;
+  };
+  std::vector<Scope> stack;
+
+  auto match_paren_back = [&](size_t close) -> size_t {
+    // tokens_[close] == ")"; returns index of matching "(" or SIZE_MAX.
+    int depth = 0;
+    for (size_t j = close;; --j) {
+      if (tokens_[j].kind == Tok::kPunct) {
+        if (tokens_[j].text == ")") ++depth;
+        else if (tokens_[j].text == "(") {
+          if (--depth == 0) return j;
+        }
+      }
+      if (j == 0) break;
+    }
+    return static_cast<size_t>(-1);
+  };
+
+  auto function_name_before = [&](size_t brace) -> std::string {
+    // Walk backwards from the '{' over trailing qualifiers to a ')'.
+    size_t j = brace;
+    while (j > 0) {
+      --j;
+      const Token& t = tokens_[j];
+      if (t.kind == Tok::kIdent &&
+          (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+           t.text == "final" || t.text == "mutable" || t.text == "try")) {
+        continue;
+      }
+      // Trailing return type / init-list element boundary handling below.
+      break;
+    }
+    // Skip over `-> Type` trailing returns: back up through idents, ::, <>,
+    // &, * until we find ')' or give up.
+    size_t guard = 0;
+    while (j > 0 && tokens_[j].text != ")" && guard++ < 24) {
+      const Token& t = tokens_[j];
+      if (t.kind == Tok::kIdent || t.text == "::" || t.text == "<" ||
+          t.text == ">" || t.text == "&" || t.text == "*" || t.text == "->") {
+        --j;
+        continue;
+      }
+      return "";
+    }
+    if (tokens_[j].text != ")") return "";
+
+    // Possibly multiple paren groups backwards across a ctor init list:
+    // `Ctor(args) : a_(x), b_{y} {`.
+    for (int hops = 0; hops < 64; ++hops) {
+      size_t open = match_paren_back(j);
+      if (open == static_cast<size_t>(-1) || open == 0) return "";
+      const Token& before = tokens_[open - 1];
+      if (before.kind != Tok::kIdent || IsControlKeyword(before.text)) {
+        return "";
+      }
+      // Init-list member? `: name (...)` or `, name (...)`.
+      if (open >= 2) {
+        const Token& pre = tokens_[open - 2];
+        if (pre.text == "," || pre.text == ":") {
+          // Continue backwards to the previous ')' before `pre name (`.
+          size_t k = open - 2;
+          while (k > 0 && tokens_[k].text != ")") {
+            // Init lists contain only idents, commas, braces-free exprs; if
+            // we hit ; or { we mis-guessed.
+            if (tokens_[k].text == ";" || tokens_[k].text == "{") return "";
+            --k;
+          }
+          if (tokens_[k].text != ")") return "";
+          j = k;
+          continue;
+        }
+      }
+      return before.text;
+    }
+    return "";
+  };
+
+  std::string current;
+  for (size_t i = 0; i < n; ++i) {
+    depth_of_[i] = static_cast<int>(stack.size());
+    func_of_[i] = current;
+    const Token& t = tokens_[i];
+    if (t.kind != Tok::kPunct) continue;
+    if (t.text == "{") {
+      std::string fn = function_name_before(i);
+      stack.push_back({fn.empty() ? current : fn});
+      current = stack.back().func;
+    } else if (t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      current = stack.empty() ? "" : stack.back().func;
+    }
+  }
+}
+
+void SourceFile::CollectUnorderedDecls() {
+  const size_t n = tokens_.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Token& t = tokens_[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text != "unordered_map" && t.text != "unordered_set" &&
+        t.text != "unordered_multimap" && t.text != "unordered_multiset") {
+      continue;
+    }
+    // Skip the template argument list, then expect the declared name.
+    size_t j = i + 1;
+    if (j >= n || !tokens_[j].Is("<")) continue;
+    int depth = 0;
+    for (; j < n; ++j) {
+      if (tokens_[j].text == "<") ++depth;
+      else if (tokens_[j].text == ">") {
+        if (--depth == 0) {
+          ++j;
+          break;
+        }
+      } else if (tokens_[j].text == ">>") {
+        depth -= 2;
+        if (depth <= 0) {
+          ++j;
+          break;
+        }
+      } else if (tokens_[j].text == ";") {
+        break;  // e.g. `using X = unordered_map<...>;` mid-scan safety
+      }
+    }
+    if (j >= n || tokens_[j].kind != Tok::kIdent) continue;
+    const Token& name = tokens_[j];
+    if (j + 1 < n && (tokens_[j + 1].text == ";" || tokens_[j + 1].text == "=" ||
+                      tokens_[j + 1].text == "{")) {
+      unordered_names_.insert(name.text);
+    }
+  }
+}
+
+}  // namespace recraft::lint

@@ -1,0 +1,88 @@
+// Shared analysis substrate for recraft-tidy checks: a lexed source file with
+// its suppression comments, per-token enclosing-function names, and the
+// diagnostic/check plumbing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace recraft::lint {
+
+struct Diagnostic {
+  std::string file;  // the *display* path (real path on disk)
+  int line = 0;
+  int col = 0;
+  std::string check;    // e.g. "recraft-determinism"
+  std::string message;  // human-readable explanation
+};
+
+// One `// NOLINT(check,...)[: justification]` or NOLINTNEXTLINE comment.
+struct Suppression {
+  int line = 0;            // line the comment sits on
+  int applies_to = 0;      // line whose findings it suppresses
+  std::vector<std::string> checks;  // empty or {"*"} = all recraft checks
+  bool has_justification = false;
+  bool MatchesCheck(const std::string& check) const;
+};
+
+class SourceFile {
+ public:
+  /// Loads and lexes `path`. `virtual_path` is the path checks use for
+  /// directory scoping (fixtures override it via a
+  /// `// RECRAFT-TIDY-PATH: src/...` first-line marker); the display path in
+  /// diagnostics is always the real one. Returns nullptr on read failure.
+  static std::unique_ptr<SourceFile> Load(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const std::string& virtual_path() const { return virtual_path_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::vector<std::string>& lines() const { return lines_; }
+  const std::vector<Suppression>& suppressions() const { return nolints_; }
+
+  /// True if the virtual path lives under any of `prefixes` (e.g. "src/core").
+  bool UnderAny(const std::vector<std::string>& prefixes) const;
+
+  /// Name of the function enclosing token `i` ("" at namespace/class scope).
+  const std::string& FunctionAt(size_t i) const { return func_of_[i]; }
+  /// Brace depth at token `i` (before the token is applied).
+  int DepthAt(size_t i) const { return depth_of_[i]; }
+
+  /// Names of members/locals in this file declared with an unordered
+  /// associative container type.
+  const std::set<std::string>& unordered_names() const {
+    return unordered_names_;
+  }
+
+ private:
+  void ScanNolints();
+  void ComputeScopes();
+  void CollectUnorderedDecls();
+
+  std::string path_;
+  std::string virtual_path_;
+  std::string source_;
+  std::vector<std::string> lines_;
+  std::vector<Token> tokens_;
+  std::vector<Suppression> nolints_;
+  std::vector<std::string> func_of_;
+  std::vector<int> depth_of_;
+  std::set<std::string> unordered_names_;
+};
+
+class Check {
+ public:
+  virtual ~Check() = default;
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  virtual void Run(const SourceFile& file, std::vector<Diagnostic>* out) = 0;
+};
+
+std::vector<std::unique_ptr<Check>> MakeAllChecks();
+
+}  // namespace recraft::lint

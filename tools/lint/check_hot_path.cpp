@@ -1,0 +1,126 @@
+// recraft-hot-path-hygiene — the PR 3 accounting-drift family:
+//
+//   * `CounterSet::Add("literal")` — the string overload re-hashes the name
+//     on every increment. Tick/receive paths run this millions of times per
+//     simulated second; the idiom is to Intern() once (constructor /
+//     InternCounters) and Add(id) — a plain array increment. The check flags
+//     every string-literal Add in the scoped dirs; genuinely cold sites can
+//     say so with a justified NOLINT, but in practice interning is always
+//     cheap and uniform.
+//   * hard-coded message byte sizes in Network::Send — `Send(from, to, msg,
+//     128)` silently drifts from the real encoded size when a message grows
+//     a field; bandwidth/latency accounting (and every Fig. 6-8 number
+//     derived from it) then lies. The size argument must be
+//     `msg.wire_bytes()` (memoized at MakeMessage since PR 3).
+//
+// Scope: all of src/ plus bench/ and examples/ — benches must account the
+// same way the system does, or their curves are not comparable.
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace recraft::lint {
+namespace {
+
+const std::vector<std::string> kScopedDirs = {
+    "src", "bench", "examples",
+};
+
+class HotPathHygieneCheck : public Check {
+ public:
+  std::string name() const override { return "recraft-hot-path-hygiene"; }
+  std::string description() const override {
+    return "string-literal counter Add or hard-coded wire size on a hot "
+           "path (accounting drift)";
+  }
+
+  void Run(const SourceFile& f, std::vector<Diagnostic>* out) override {
+    if (!f.UnderAny(kScopedDirs)) return;
+    const std::vector<Token>& toks = f.tokens();
+    const size_t n = toks.size();
+
+    for (size_t i = 0; i + 2 < n; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::kIdent) continue;
+
+      // --- counters_.Add("name") ---------------------------------------
+      if (t.text == "Add" && i > 0 &&
+          (toks[i - 1].Is(".") || toks[i - 1].Is("->")) &&
+          toks[i + 1].Is("(") && toks[i + 2].kind == Tok::kString) {
+        Diagnostic d;
+        d.file = f.path();
+        d.line = toks[i + 2].line;
+        d.col = toks[i + 2].col;
+        d.check = name();
+        d.message =
+            "string-literal counter Add re-hashes the name on every "
+            "increment; Intern() the id once (see Node::InternCounters) and "
+            "Add(id) here";
+        out->push_back(std::move(d));
+        continue;
+      }
+
+      // --- net.Send(from, to, payload, <integer literal>) --------------
+      if (t.text == "Send" && i > 0 &&
+          (toks[i - 1].Is(".") || toks[i - 1].Is("->")) &&
+          toks[i + 1].Is("(")) {
+        size_t close = MatchParen(toks, i + 1);
+        // Find the last top-level argument.
+        size_t last_start = i + 2;
+        int depth = 0;
+        for (size_t j = i + 2; j < close; ++j) {
+          if (toks[j].Is("(") || toks[j].Is("[") || toks[j].Is("{")) ++depth;
+          else if (toks[j].Is(")") || toks[j].Is("]") || toks[j].Is("}")) {
+            --depth;
+          } else if (toks[j].Is(",") && depth == 0) {
+            last_start = j + 1;
+          }
+        }
+        // Hard-coded size: the final argument is a single numeric literal
+        // (possibly a parenthesized / arithmetic expression of literals —
+        // flag when it contains a number and no identifier).
+        bool has_number = false;
+        bool has_ident = false;
+        for (size_t j = last_start; j < close; ++j) {
+          if (toks[j].kind == Tok::kNumber) has_number = true;
+          if (toks[j].kind == Tok::kIdent) has_ident = true;
+        }
+        if (has_number && !has_ident && close > last_start) {
+          Diagnostic d;
+          d.file = f.path();
+          d.line = toks[last_start].line;
+          d.col = toks[last_start].col;
+          d.check = name();
+          d.message =
+              "hard-coded message byte size drifts from the encoded size "
+              "when the message grows; pass msg.wire_bytes() so bandwidth "
+              "accounting stays truthful";
+          out->push_back(std::move(d));
+        }
+        i = close;
+      }
+    }
+  }
+
+ private:
+  static size_t MatchParen(const std::vector<Token>& toks, size_t open) {
+    int depth = 0;
+    for (size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].Is("(")) ++depth;
+      else if (toks[j].Is(")")) {
+        if (--depth == 0) return j;
+      }
+    }
+    return toks.size() - 1;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeHotPathHygieneCheck() {
+  return std::make_unique<HotPathHygieneCheck>();
+}
+
+}  // namespace recraft::lint

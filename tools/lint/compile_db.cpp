@@ -1,0 +1,98 @@
+#include "compile_db.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace recraft::lint {
+namespace {
+
+// Decodes the JSON string whose opening quote is at src[*pos]; advances *pos
+// past the closing quote. compile_commands.json only ever escapes \" \\ \/
+// \n \t in practice; unknown escapes pass through literally.
+std::string ParseJsonString(const std::string& src, size_t* pos) {
+  std::string out;
+  size_t i = *pos + 1;
+  while (i < src.size() && src[i] != '"') {
+    if (src[i] == '\\' && i + 1 < src.size()) {
+      char e = src[i + 1];
+      switch (e) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        default: out.push_back(e); break;
+      }
+      i += 2;
+    } else {
+      out.push_back(src[i++]);
+    }
+  }
+  *pos = i < src.size() ? i + 1 : i;
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ReadCompileDb(const std::string& build_dir,
+                                       std::string* error) {
+  std::string path = build_dir + "/compile_commands.json";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path +
+               " (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)";
+    }
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string src = buf.str();
+
+  // Scan for `"file"` keys and their string values; entry "directory" values
+  // are remembered so relative "file" paths can be absolutized.
+  std::vector<std::string> files;
+  std::string directory;
+  size_t i = 0;
+  while (i < src.size()) {
+    if (src[i] != '"') {
+      ++i;
+      continue;
+    }
+    size_t key_at = i;
+    std::string key = ParseJsonString(src, &i);
+    // Only treat it as a key if the next non-space char is ':'.
+    size_t j = i;
+    while (j < src.size() && (src[j] == ' ' || src[j] == '\n' ||
+                              src[j] == '\t' || src[j] == '\r')) {
+      ++j;
+    }
+    if (j >= src.size() || src[j] != ':') continue;
+    ++j;
+    while (j < src.size() && (src[j] == ' ' || src[j] == '\n' ||
+                              src[j] == '\t' || src[j] == '\r')) {
+      ++j;
+    }
+    if (j >= src.size() || src[j] != '"') {
+      (void)key_at;
+      continue;  // value is an array/number; irrelevant keys
+    }
+    i = j;
+    std::string value = ParseJsonString(src, &i);
+    if (key == "directory") {
+      directory = value;
+    } else if (key == "file") {
+      if (!value.empty() && value[0] != '/' && !directory.empty()) {
+        value = directory + "/" + value;
+      }
+      files.push_back(std::move(value));
+    }
+  }
+  if (files.empty() && error != nullptr) {
+    *error = path + " contains no file entries";
+  }
+  return files;
+}
+
+}  // namespace recraft::lint

@@ -1,0 +1,17 @@
+// Minimal compile_commands.json reader. recraft-tidy only needs the set of
+// translation units the build actually compiles (the "file" fields); it does
+// not preprocess, so flags and include paths are ignored. Headers are picked
+// up separately by scanning the directories of the listed sources.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace recraft::lint {
+
+/// Parses `<build_dir>/compile_commands.json` and returns the absolute
+/// "file" entries. Returns an empty vector (and sets *error) on failure.
+std::vector<std::string> ReadCompileDb(const std::string& build_dir,
+                                       std::string* error);
+
+}  // namespace recraft::lint

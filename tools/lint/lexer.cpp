@@ -1,0 +1,174 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace recraft::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the checks care about; longest match first.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=", ".*",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = src.size();
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') advance(1);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      advance(2);
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        advance(1);
+      }
+      advance(2);
+      continue;
+    }
+    // Preprocessor directive: skip the (continued) line. Only when '#' is the
+    // first non-blank character of the line (col tracking makes this cheap to
+    // approximate: we just ate whitespace, so check backwards for newline).
+    if (c == '#') {
+      size_t b = i;
+      while (b > 0 && (src[b - 1] == ' ' || src[b - 1] == '\t')) --b;
+      if (b == 0 || src[b - 1] == '\n') {
+        while (i < n) {
+          if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+            advance(2);
+            continue;
+          }
+          if (src[i] == '\n') break;
+          advance(1);
+        }
+        continue;
+      }
+    }
+
+    Token t;
+    t.line = line;
+    t.col = col;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(' && src[p] != '\n' && delim.size() < 16) {
+        delim.push_back(src[p++]);
+      }
+      if (p < n && src[p] == '(') {
+        std::string close = ")" + delim + "\"";
+        size_t end = src.find(close, p + 1);
+        size_t stop = (end == std::string::npos) ? n : end + close.size();
+        t.kind = Tok::kString;
+        t.text = src.substr(i, stop - i);
+        advance(stop - i);
+        out.push_back(std::move(t));
+        continue;
+      }
+    }
+
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = i;
+      advance(1);
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) advance(2);
+        else if (src[i] == '\n') break;  // unterminated; bail at EOL
+        else advance(1);
+      }
+      if (i < n && src[i] == quote) advance(1);
+      t.kind = quote == '"' ? Tok::kString : Tok::kChar;
+      t.text = src.substr(start, i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        advance(1);
+      }
+      t.kind = Tok::kNumber;
+      t.text = src.substr(start, i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) advance(1);
+      t.kind = Tok::kIdent;
+      t.text = src.substr(start, i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    t.kind = Tok::kPunct;
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      size_t len = std::char_traits<char>::length(p);
+      if (src.compare(i, len, p) == 0) {
+        t.text = p;
+        advance(len);
+        out.push_back(std::move(t));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    t.text = std::string(1, c);
+    advance(1);
+    out.push_back(std::move(t));
+  }
+
+  Token end;
+  end.kind = Tok::kEnd;
+  end.line = line;
+  end.col = col;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace recraft::lint

@@ -1,0 +1,39 @@
+// A minimal C++ lexer for recraft-tidy. It is not a compiler front end: the
+// checks it feeds are token-pattern analyses with light structural awareness
+// (brace depth, enclosing function), so the lexer only needs to be exact about
+// the things that would otherwise corrupt a token stream — comments, string
+// and character literals (including raw strings), preprocessor lines with
+// continuations, and multi-character punctuators that the checks match on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recraft::lint {
+
+enum class Tok : uint8_t {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (including 0x..., digit separators, suffixes)
+  kString,  // "..." / R"(...)" — text is the raw literal including quotes
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, longest-match (e.g. "->", "::")
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+
+  bool Is(const char* s) const { return text == s; }
+  bool IsIdent(const char* s) const { return kind == Tok::kIdent && text == s; }
+};
+
+/// Tokenize `source`. Comments and preprocessor directives are skipped (the
+/// NOLINT scanner in analysis.cc reads comments straight from the raw lines).
+/// Never fails: unknown bytes become single-character punct tokens.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace recraft::lint

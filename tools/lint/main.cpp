@@ -1,0 +1,322 @@
+// recraft-tidy — project-specific static checks for the recraft codebase,
+// clang-tidy style: named checks, `// NOLINT(check): justification`
+// suppressions, file:line:col diagnostics, nonzero exit on any finding so CI
+// can gate on zero.
+//
+//   recraft-tidy [-p <build-dir>] [--checks=[-]a,b] [paths...]
+//       Analyze the translation units from <build-dir>/compile_commands.json
+//       (plus headers found under `paths`), restricted to files under
+//       `paths`. Without -p, `paths` are scanned directly (recursively, for
+//       .h/.hpp/.cc/.cpp).
+//   recraft-tidy --self-test <fixture...>
+//       Fixture mode: each fixture encodes its expected diagnostics as
+//       `// EXPECT: <check-name>` trailing comments; the run fails if any
+//       expected diagnostic is missing (including those of a check disabled
+//       via --checks — that is how the CTest guard tests prove each check
+//       is load-bearing) or any unexpected one appears.
+//
+// Suppression policy: a finding is suppressed only by a NOLINT/NOLINTNEXTLINE
+// naming its check *with a justification* (`// NOLINT(recraft-x): why this
+// is safe`). A bare NOLINT leaves the finding live and annotates it, so "shut
+// the tool up" commits still fail the gate with a reason to write down.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+#include "compile_db.h"
+
+namespace recraft::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::string build_dir;
+  std::vector<std::string> paths;
+  std::vector<std::string> enabled;   // empty = all
+  std::vector<std::string> disabled;
+  bool self_test = false;
+  bool list_checks = false;
+  bool quiet = false;
+};
+
+bool HasSourceExt(const fs::path& p) {
+  std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".cc" || e == ".cpp";
+}
+
+void CollectFrom(const fs::path& root, std::set<std::string>* out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    out->insert(fs::weakly_canonical(root, ec).string());
+    return;
+  }
+  if (!fs::is_directory(root, ec)) return;
+  for (auto it = fs::recursive_directory_iterator(root, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file(ec) && HasSourceExt(it->path())) {
+      out->insert(fs::weakly_canonical(it->path(), ec).string());
+    }
+  }
+}
+
+bool UnderAnyPath(const std::string& file,
+                  const std::vector<std::string>& roots) {
+  if (roots.empty()) return true;
+  std::error_code ec;
+  std::string f = fs::weakly_canonical(fs::path(file), ec).string();
+  for (const std::string& r : roots) {
+    std::string root = fs::weakly_canonical(fs::path(r), ec).string();
+    if (f == root) return true;
+    if (f.size() > root.size() && f.compare(0, root.size(), root) == 0 &&
+        f[root.size()] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+// `// EXPECT: check-a, check-b` — expected diagnostics for self-test mode.
+std::multimap<int, std::string> ParseExpectations(const SourceFile& f) {
+  std::multimap<int, std::string> out;
+  const std::string marker = "EXPECT:";
+  for (size_t ln = 0; ln < f.lines().size(); ++ln) {
+    const std::string& s = f.lines()[ln];
+    size_t at = s.find(marker);
+    if (at == std::string::npos) continue;
+    std::string rest = s.substr(at + marker.size());
+    size_t b = 0;
+    while (b != std::string::npos) {
+      size_t e = rest.find(',', b);
+      std::string item = rest.substr(
+          b, e == std::string::npos ? std::string::npos : e - b);
+      size_t i0 = item.find_first_not_of(" \t");
+      size_t i1 = item.find_last_not_of(" \t\r");
+      if (i0 != std::string::npos) {
+        out.emplace(static_cast<int>(ln + 1), item.substr(i0, i1 - i0 + 1));
+      }
+      b = e == std::string::npos ? e : e + 1;
+    }
+  }
+  return out;
+}
+
+class Driver {
+ public:
+  explicit Driver(const Options& opts) : opts_(opts) {
+    for (auto& c : MakeAllChecks()) {
+      bool on = true;
+      if (!opts_.enabled.empty()) {
+        on = std::find(opts_.enabled.begin(), opts_.enabled.end(),
+                       c->name()) != opts_.enabled.end();
+      }
+      if (std::find(opts_.disabled.begin(), opts_.disabled.end(),
+                    c->name()) != opts_.disabled.end()) {
+        on = false;
+      }
+      if (on) checks_.push_back(std::move(c));
+      else all_check_names_.push_back(c->name());
+    }
+  }
+
+  int ListChecks() {
+    for (auto& c : MakeAllChecks()) {
+      std::cout << c->name() << " — " << c->description() << "\n";
+    }
+    return 0;
+  }
+
+  // Returns diagnostics that survive suppression; `suppressed` counts the
+  // justified NOLINTs honored.
+  std::vector<Diagnostic> Analyze(const SourceFile& f, int* suppressed) {
+    std::vector<Diagnostic> raw;
+    for (auto& c : checks_) c->Run(f, &raw);
+    std::vector<Diagnostic> live;
+    for (Diagnostic& d : raw) {
+      const Suppression* match = nullptr;
+      for (const Suppression& s : f.suppressions()) {
+        if (s.applies_to == d.line && s.MatchesCheck(d.check)) {
+          match = &s;
+          break;
+        }
+      }
+      if (match != nullptr && match->has_justification) {
+        if (suppressed != nullptr) ++*suppressed;
+        continue;
+      }
+      if (match != nullptr) {
+        d.message +=
+            " [NOLINT without justification — write `// NOLINT(" + d.check +
+            "): <why this is safe>`]";
+      }
+      live.push_back(std::move(d));
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return std::tie(a.line, a.col, a.check) <
+                       std::tie(b.line, b.col, b.check);
+              });
+    return live;
+  }
+
+  int RunLint() {
+    std::set<std::string> files;
+    if (!opts_.build_dir.empty()) {
+      std::string err;
+      std::vector<std::string> db = ReadCompileDb(opts_.build_dir, &err);
+      if (db.empty()) {
+        std::cerr << "recraft-tidy: " << err << "\n";
+        return 2;
+      }
+      for (const std::string& fpath : db) {
+        if (UnderAnyPath(fpath, opts_.paths)) files.insert(fpath);
+      }
+      // Headers are not translation units; pick them up from the path roots.
+      for (const std::string& p : opts_.paths) {
+        std::set<std::string> here;
+        CollectFrom(p, &here);
+        for (const std::string& h : here) {
+          if (fs::path(h).extension() == ".h" ||
+              fs::path(h).extension() == ".hpp") {
+            files.insert(h);
+          }
+        }
+      }
+    } else {
+      for (const std::string& p : opts_.paths) CollectFrom(p, &files);
+    }
+    if (files.empty()) {
+      std::cerr << "recraft-tidy: no input files\n";
+      return 2;
+    }
+
+    int findings = 0;
+    int suppressed = 0;
+    int nfiles = 0;
+    for (const std::string& path : files) {
+      auto f = SourceFile::Load(path);
+      if (f == nullptr) {
+        std::cerr << "recraft-tidy: cannot read " << path << "\n";
+        return 2;
+      }
+      ++nfiles;
+      for (const Diagnostic& d : Analyze(*f, &suppressed)) {
+        ++findings;
+        std::cout << d.file << ":" << d.line << ":" << d.col
+                  << ": warning: " << d.message << " [" << d.check << "]\n";
+      }
+    }
+    if (!opts_.quiet) {
+      std::cerr << "recraft-tidy: " << findings << " finding(s), "
+                << suppressed << " suppressed (justified NOLINT), " << nfiles
+                << " file(s), " << checks_.size() << " check(s)\n";
+    }
+    return findings == 0 ? 0 : 1;
+  }
+
+  int RunSelfTest() {
+    std::set<std::string> files;
+    for (const std::string& p : opts_.paths) CollectFrom(p, &files);
+    if (files.empty()) {
+      std::cerr << "recraft-tidy: no fixtures found\n";
+      return 2;
+    }
+    int failures = 0;
+    int checked = 0;
+    for (const std::string& path : files) {
+      auto f = SourceFile::Load(path);
+      if (f == nullptr) {
+        std::cerr << "recraft-tidy: cannot read " << path << "\n";
+        return 2;
+      }
+      std::multimap<int, std::string> expect = ParseExpectations(*f);
+      std::vector<Diagnostic> got = Analyze(*f, nullptr);
+      checked += static_cast<int>(expect.size());
+
+      // Every expectation must be matched by a diagnostic, every diagnostic
+      // by an expectation. Expectations for disabled checks are *not*
+      // exempt: running the self-test with a check disabled must fail, which
+      // is how the CTest guards prove each check pulls its weight.
+      std::multiset<std::pair<int, std::string>> want_set;
+      for (auto& [line, check] : expect) want_set.emplace(line, check);
+      for (const Diagnostic& d : got) {
+        auto it = want_set.find({d.line, d.check});
+        if (it != want_set.end()) {
+          want_set.erase(it);
+        } else {
+          ++failures;
+          std::cerr << "UNEXPECTED " << path << ":" << d.line << ": ["
+                    << d.check << "] " << d.message << "\n";
+        }
+      }
+      for (auto& [line, check] : want_set) {
+        ++failures;
+        std::cerr << "MISSED    " << path << ":" << line << ": expected ["
+                  << check << "] but no diagnostic was produced\n";
+      }
+    }
+    std::cerr << "recraft-tidy self-test: " << checked << " expectation(s), "
+              << failures << " failure(s)\n";
+    return failures == 0 ? 0 : 1;
+  }
+
+  const Options& opts_;
+  std::vector<std::unique_ptr<Check>> checks_;
+  std::vector<std::string> all_check_names_;
+};
+
+int Main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "-p" && i + 1 < argc) {
+      opts.build_dir = argv[++i];
+    } else if (a.rfind("--checks=", 0) == 0) {
+      std::string list = a.substr(9);
+      size_t b = 0;
+      while (b <= list.size()) {
+        size_t e = list.find(',', b);
+        std::string item =
+            list.substr(b, e == std::string::npos ? std::string::npos : e - b);
+        if (!item.empty()) {
+          if (item[0] == '-') opts.disabled.push_back(item.substr(1));
+          else opts.enabled.push_back(item);
+        }
+        if (e == std::string::npos) break;
+        b = e + 1;
+      }
+    } else if (a == "--self-test") {
+      opts.self_test = true;
+    } else if (a == "--list-checks") {
+      opts.list_checks = true;
+    } else if (a == "--quiet") {
+      opts.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: recraft-tidy [-p build-dir] [--checks=[-]a,b] "
+                   "[--list-checks] [--self-test] [--quiet] paths...\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "recraft-tidy: unknown option " << a << "\n";
+      return 2;
+    } else {
+      opts.paths.push_back(a);
+    }
+  }
+
+  Driver driver(opts);
+  if (opts.list_checks) return driver.ListChecks();
+  if (opts.self_test) return driver.RunSelfTest();
+  return driver.RunLint();
+}
+
+}  // namespace
+}  // namespace recraft::lint
+
+int main(int argc, char** argv) { return recraft::lint::Main(argc, argv); }

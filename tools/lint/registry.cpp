@@ -1,0 +1,17 @@
+#include "analysis.h"
+
+namespace recraft::lint {
+
+std::unique_ptr<Check> MakeReentrantRefCheck();
+std::unique_ptr<Check> MakeDeterminismCheck();
+std::unique_ptr<Check> MakeHotPathHygieneCheck();
+
+std::vector<std::unique_ptr<Check>> MakeAllChecks() {
+  std::vector<std::unique_ptr<Check>> out;
+  out.push_back(MakeReentrantRefCheck());
+  out.push_back(MakeDeterminismCheck());
+  out.push_back(MakeHotPathHygieneCheck());
+  return out;
+}
+
+}  // namespace recraft::lint

@@ -1,0 +1,73 @@
+// RECRAFT-TIDY-PATH: src/sim/fixture_determinism_negative.cc
+// Negative fixtures for recraft-determinism: sanctioned constructs inside
+// the deterministic core. Must stay silent.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long seed) : state_(seed) {}
+  unsigned long Next() { return state_ = state_ * 6364136223846793005UL + 1; }
+
+ private:
+  unsigned long state_;
+};
+
+// Seeded, world-owned randomness is the sanctioned source.
+unsigned long SeededDraw(Rng& rng) { return rng.Next(); }
+
+// The simulated clock is a plain value threaded through the world.
+long SimNow(long now_us) { return now_us + 500; }
+
+// A member *method* named like a banned function is fine: the ban is on the
+// ambient free functions only.
+class Ticker {
+ public:
+  long time() const { return now_; }
+  long clock() const { return now_; }
+  void Set(long t) { now_ = t; }
+
+ private:
+  long now_ = 0;
+};
+
+long UseMemberTime(const Ticker& t) { return t.time() + t.clock(); }
+
+// Ordered containers iterate deterministically.
+int SumOrdered(const std::map<int, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+// Point lookups into unordered containers are order-free and fine.
+class Index {
+ public:
+  bool Contains(int k) const { return lookup_.find(k) != lookup_.end(); }
+  int Get(int k) const {
+    auto it = lookup_.find(k);
+    return it == lookup_.end() ? -1 : it->second;
+  }
+
+ private:
+  std::unordered_map<int, int> lookup_;
+};
+
+// std::hash over value types is stable for a given libstdc++; only pointer
+// hashing is address-dependent.
+unsigned long HashKey(const std::string& key) {
+  return std::hash<std::string>{}(key);
+}
+
+// reinterpret_cast between pointer types (codec framing) is not an
+// address-to-value leak.
+const unsigned char* Frame(const char* buf) {
+  return reinterpret_cast<const unsigned char*>(buf);
+}
+
+}  // namespace fixture

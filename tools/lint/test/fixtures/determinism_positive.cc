@@ -1,0 +1,70 @@
+// RECRAFT-TIDY-PATH: src/sim/fixture_determinism_positive.cc
+// Positive fixtures for recraft-determinism: each EXPECT line leaks ambient
+// state into the deterministic core and must diagnose.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+unsigned long WallClock() {
+  unsigned long a = time(nullptr);  // EXPECT: recraft-determinism
+  return a;
+}
+
+long MonotonicNow() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT: recraft-determinism
+  (void)t;
+  auto u = std::chrono::system_clock::now();  // EXPECT: recraft-determinism
+  (void)u;
+  return 0;
+}
+
+int UnseededRandomness() {
+  int r = rand();  // EXPECT: recraft-determinism
+  std::random_device rd;  // EXPECT: recraft-determinism
+  return r + static_cast<int>(rd());
+}
+
+const char* AmbientConfig() {
+  return getenv("RECRAFT_MODE");  // EXPECT: recraft-determinism
+}
+
+struct Node {
+  int id;
+};
+
+bool OrderByAddress(const Node* a, const Node* b) {
+  auto x = reinterpret_cast<uintptr_t>(a);  // EXPECT: recraft-determinism
+  auto y = reinterpret_cast<uintptr_t>(b);  // EXPECT: recraft-determinism
+  return x < y;
+}
+
+unsigned long HashPointer(const Node* n) {
+  return std::hash<const Node*>{}(n);  // EXPECT: recraft-determinism
+}
+
+class Quorum {
+ public:
+  int Total() const {
+    int total = 0;
+    for (const auto& [node, weight] : acks_) {  // EXPECT: recraft-determinism
+      total += weight;
+    }
+    return total;
+  }
+
+  int First() const {
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // EXPECT: recraft-determinism
+      return *it;
+    }
+    return -1;
+  }
+
+ private:
+  std::unordered_map<int, int> acks_;
+  std::unordered_set<int> seen_;
+};
+
+}  // namespace fixture

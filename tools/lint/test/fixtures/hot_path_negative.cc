@@ -1,0 +1,52 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_hot_path_negative.cc
+// Negative fixtures for recraft-hot-path-hygiene: the sanctioned idioms.
+// Must stay silent.
+
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct CounterSet {
+  void Add(const char* name, unsigned long n = 1);
+  void Add(unsigned int id, unsigned long n = 1);
+  unsigned int Intern(const char* name);
+  unsigned long Get(const char* name) const;
+};
+
+struct Message {
+  unsigned long wire_bytes() const;
+};
+
+struct Network {
+  void Send(int from, int to, std::shared_ptr<const void> payload,
+            unsigned long bytes);
+};
+
+class Node {
+ public:
+  Node() {
+    // Interning by literal is the idiom — it happens once.
+    cid_tick_ = counters_.Intern("node.tick");
+  }
+
+  void Tick() { counters_.Add(cid_tick_); }
+
+  void Receive(int from, const Message& msg,
+               std::shared_ptr<const void> payload) {
+    counters_.Add(cid_tick_, 2);
+    // The size argument comes from the message — no drift possible.
+    net_->Send(id_, from, payload, msg.wire_bytes());
+  }
+
+  // Reading a counter by name is cold reporting, not a hot-path increment.
+  unsigned long Report() const { return counters_.Get("node.tick"); }
+
+ private:
+  CounterSet counters_;
+  Network* net_;
+  unsigned int cid_tick_ = 0;
+  int id_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_hot_path_positive.cc
+// Positive fixtures for recraft-hot-path-hygiene — the PR 3
+// accounting-drift family. Each EXPECT line must diagnose.
+
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct CounterSet {
+  void Add(const char* name, unsigned long n = 1);
+  void Add(unsigned int id, unsigned long n = 1);
+  unsigned int Intern(const char* name);
+};
+
+struct Network {
+  void Send(int from, int to, std::shared_ptr<const void> payload,
+            unsigned long bytes);
+};
+
+class Node {
+ public:
+  void Tick() {
+    counters_.Add("node.tick");  // EXPECT: recraft-hot-path-hygiene
+  }
+
+  void Receive(int from, std::shared_ptr<const void> payload) {
+    counters_.Add("msg.recv", 2);  // EXPECT: recraft-hot-path-hygiene
+    net_->Send(id_, from, payload,
+               128);  // EXPECT: recraft-hot-path-hygiene
+  }
+
+  void Broadcast(std::shared_ptr<const void> payload) {
+    // Arithmetic of literals is still a hard-coded size.
+    net_->Send(id_, 0, payload, 64 + 24);  // EXPECT: recraft-hot-path-hygiene
+  }
+
+ private:
+  CounterSet counters_;
+  Network* net_;
+  int id_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// RECRAFT-TIDY-PATH: src/sim/fixture_nolint_policy.cc
+// The suppression policy: a NOLINT naming the check *with a justification*
+// is honored; a bare NOLINT is not (the finding survives, annotated, so the
+// zero-finding gate still fails); a NOLINT naming a different check is
+// ignored for this finding.
+
+namespace fixture {
+
+// Justified same-line suppression: silent.
+unsigned long A() {
+  return time(nullptr);  // NOLINT(recraft-determinism): fixture proves the justified-suppression path
+}
+
+// Justified NOLINTNEXTLINE: silent.
+unsigned long B() {
+  // NOLINTNEXTLINE(recraft-determinism): fixture proves the nextline path
+  return time(nullptr);
+}
+
+// Wildcard check list with justification: silent.
+unsigned long C() {
+  return time(nullptr);  // NOLINT(recraft-*): fixture proves the glob path
+}
+
+// Bare NOLINT without a justification: the finding stays.
+unsigned long D() {
+  // NOLINTNEXTLINE(recraft-determinism)
+  return time(nullptr);  // EXPECT: recraft-determinism
+}
+
+// A NOLINT for some *other* check does not suppress this one.
+unsigned long E() {
+  // NOLINTNEXTLINE(recraft-hot-path-hygiene): wrong check named
+  return time(nullptr);  // EXPECT: recraft-determinism
+}
+
+}  // namespace fixture

@@ -1,0 +1,115 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_reentrant_negative.cc
+// Negative fixtures for recraft-reentrant-ref: all of these are the
+// *sanctioned* idioms and must stay silent.
+
+struct Progress {
+  int next;
+  int match;
+};
+struct ShardInfo {
+  int id;
+  int keys;
+};
+
+class Node {
+ public:
+  // Copy the value out before the reentrant call — the PR 5 fix.
+  void SplitHot(int id, int key) {
+    const ShardInfo* found = map_.Get(id);
+    ShardInfo shard = *found;
+    rb_.Split(shard, key);
+    Observe(shard.keys);
+  }
+
+  // Re-fetch after the reentrant call — the documented LeaderProgress idiom.
+  void HandleAppendReply(int from, int index) {
+    Progress* pr = LeaderProgress(from);
+    pr->match = index;
+    AdvanceCommit();
+    pr = LeaderProgress(from);
+    if (pr != nullptr) pr->next = index + 1;
+  }
+
+  // Finish every use of the reference before the reentrant call.
+  void HandleHeartbeat(int from) {
+    Progress& pr = progress_[from];
+    pr.match = pr.next - 1;
+    AdvanceCommit();
+  }
+
+  // The WithProgress idiom: the reference only lives inside the callback and
+  // the reentrant call runs after it returns.
+  void HandleReply(int from, int index) {
+    WithProgress(from, [&](Progress& pr) { pr.match = index; });
+    AdvanceCommit();
+  }
+
+  // Iterator re-fetched after Propose.
+  void ResolvePending(int idx) {
+    auto it = pending_.find(idx);
+    Propose(idx);
+    it = pending_.find(idx);
+    Observe(it->second);
+  }
+
+  // A reference that goes out of scope before the reentrant call.
+  void Scoped(int from) {
+    {
+      Progress& pr = progress_[from];
+      pr.next = 1;
+    }
+    AdvanceCommit();
+    Observe(from);
+  }
+
+  // The reentrant call sits in a block that cannot fall through: the later
+  // use only runs when the apply did NOT happen (core::Node::ObserveEt).
+  void JumpExit(int from, bool leaving) {
+    Progress& pr = progress_[from];
+    if (leaving) {
+      AdvanceCommit();
+      return;
+    }
+    Observe(pr.match);
+  }
+
+  // A field copied *into* the call's argument construction is read during
+  // argument evaluation, before the callee can invalidate anything
+  // (core::Node::ProposeSplitLeaveJoint's Propose(ConfSplitNew{cfg.split})).
+  void CopyIntoArg(int from) {
+    Progress& pr = progress_[from];
+    Propose(Wrap{pr.match}.v);
+  }
+
+ private:
+  struct Wrap {
+    int v;
+  };
+  struct Map {
+    Progress& operator[](int);
+  };
+  struct PendingMap {
+    struct Iter {
+      int first;
+      int second;
+      Iter* operator->() { return this; }
+    };
+    Iter find(int);
+  };
+  struct ShardMap {
+    const ShardInfo* Get(int);
+  };
+  struct Rebalancer {
+    void Split(const ShardInfo&, int);
+  };
+  template <typename Fn>
+  bool WithProgress(int, Fn&&);
+  void AdvanceCommit();
+  int Propose(int);
+  void Observe(int);
+  Progress* LeaderProgress(int);
+  Map progress_;
+  PendingMap pending_;
+  ShardMap map_;
+  Rebalancer rb_;
+};

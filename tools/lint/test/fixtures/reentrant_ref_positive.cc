@@ -1,0 +1,110 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_reentrant_positive.cc
+// Positive fixtures for recraft-reentrant-ref: every EXPECT line must
+// produce exactly one diagnostic. These reproduce the two real bug shapes
+// the check exists for — reintroducing either into src/ must fail the gate.
+
+struct Progress {
+  int next;
+  int match;
+  int inflight;
+};
+struct ConfigState {
+  int epoch;
+};
+struct ShardInfo {
+  int id;
+  int keys;
+};
+
+class Node {
+ public:
+  // The PR 1 family: a Progress& obtained from the leader's tracking map is
+  // held across AdvanceCommit(), which can apply a committed member change,
+  // clear progress_ and leave the reference dangling.
+  void HandleAppendReply(int from, int index) {
+    Progress& pr = progress_[from];
+    pr.match = index;
+    AdvanceCommit();
+    pr.next = pr.match + 1;  // EXPECT: recraft-reentrant-ref
+  }
+
+  // Same family via the pointer-returning accessor.
+  void HandleInstallSnapshotReply(int from, int index) {
+    Progress* pr = LeaderProgress(from);
+    pr->inflight = 0;
+    MaybeSendAppend(from, false);
+    pr->match = index;  // EXPECT: recraft-reentrant-ref
+  }
+
+  // A ConfigState& from the tracker stack held across the reentrant apply —
+  // the OnMemberChangeCommitted shape.
+  void OnMemberChangeCommitted(int epoch) {
+    const ConfigState& cfg = tracker_.Current();
+    ApplyCommitted();
+    Observe(cfg.epoch + epoch);  // EXPECT: recraft-reentrant-ref
+  }
+
+  // An iterator into a member map crossing Propose (which can reenter the
+  // apply path synchronously on a single-node group).
+  void ResolvePending(int idx) {
+    auto it = pending_.find(idx);
+    Propose(idx);
+    Observe(it->second);  // EXPECT: recraft-reentrant-ref
+  }
+
+ private:
+  struct Map {
+    Progress& operator[](int);
+    int* find(int);
+  };
+  struct PendingMap {
+    struct Iter {
+      int first;
+      int second;
+      Iter* operator->() { return this; }
+    };
+    Iter find(int);
+  };
+  struct Tracker {
+    const ConfigState& Current();
+  };
+  void AdvanceCommit();
+  void ApplyCommitted();
+  void MaybeSendAppend(int, bool);
+  int Propose(int);
+  void Observe(int);
+  Progress* LeaderProgress(int);
+  Map progress_;
+  PendingMap pending_;
+  Tracker tracker_;
+};
+
+class PlacementDriver {
+ public:
+  // The PR 5 placement-driver shape: a ShardInfo* out of the shard map is
+  // passed into the rebalancer, which runs the event loop and rewrites the
+  // very map the pointer points into.
+  void SplitHot(int id, int key) {
+    const ShardInfo* found = map_.Get(id);
+    rb_.Split(*found, key);  // EXPECT: recraft-reentrant-ref
+  }
+
+  // ...and the use-after-the-call variant.
+  void MergeCold(int left, int right) {
+    const ShardInfo* lp = map_.Get(left);
+    rb_.Merge(left, right);
+    Observe(lp->keys);  // EXPECT: recraft-reentrant-ref
+  }
+
+ private:
+  struct ShardMap {
+    const ShardInfo* Get(int);
+  };
+  struct Rebalancer {
+    void Split(const ShardInfo&, int);
+    void Merge(int, int);
+  };
+  void Observe(int);
+  ShardMap map_;
+  Rebalancer rb_;
+};
