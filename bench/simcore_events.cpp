@@ -19,6 +19,7 @@
 #include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "kv/kv.h"
 #include "shard/shard_map.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
@@ -152,6 +153,81 @@ double FanoutDeliveriesPerSec(size_t rounds, NodeId receivers) {
 }
 
 // ---------------------------------------------------------------------------
+// Store-engine micros: the B+-tree fast path in isolation, at a population
+// the shard-plane e2e never reaches (>= 1M keys in full mode). Keys are a
+// bijective scramble of the index (odd-constant multiply mod 2^32) so load
+// order is effectively random — sorted bulk insertion would flatter a
+// B+-tree — while every probe hits an existing key.
+struct StoreMicroResult {
+  size_t keys = 0;
+  double put_ops_per_sec = 0;   // overwrite puts at full population
+  double get_ops_per_sec = 0;   // point reads (the ReadIndex serve path)
+  double scan_entries_per_sec = 0;
+};
+
+uint32_t ScrambleKey(size_t i) {
+  return static_cast<uint32_t>(i) * 2654435761u;  // Knuth; bijective mod 2^32
+}
+
+StoreMicroResult RunStoreMicro(size_t n_keys) {
+  kv::Store store;
+  char buf[24];
+  const std::string value(64, 'v');
+  kv::Command cmd;
+  cmd.op = kv::OpType::kPut;
+  cmd.value = value;
+  for (size_t i = 0; i < n_keys; ++i) {
+    std::snprintf(buf, sizeof(buf), "k%010u", ScrambleKey(i));
+    cmd.key = buf;
+    store.Apply(cmd);
+  }
+
+  StoreMicroResult res;
+  res.keys = store.size();
+  Rng rng(21);
+
+  const size_t put_ops = n_keys / 2;
+  auto t0 = Clock::now();
+  for (size_t i = 0; i < put_ops; ++i) {
+    std::snprintf(buf, sizeof(buf), "k%010u",
+                  ScrambleKey(rng.Uniform(0, n_keys - 1)));
+    cmd.key = buf;
+    store.Apply(cmd);
+  }
+  double secs = SecondsSince(t0);
+  res.put_ops_per_sec = secs > 0 ? static_cast<double>(put_ops) / secs : 0;
+
+  const size_t get_ops = n_keys;
+  uint64_t hits = 0;
+  t0 = Clock::now();
+  for (size_t i = 0; i < get_ops; ++i) {
+    std::snprintf(buf, sizeof(buf), "k%010u",
+                  ScrambleKey(rng.Uniform(0, n_keys - 1)));
+    hits += store.Get(buf).ok() ? 1 : 0;
+  }
+  secs = SecondsSince(t0);
+  res.get_ops_per_sec = secs > 0 ? static_cast<double>(get_ops) / secs : 0;
+  if (hits != get_ops) {
+    std::fprintf(stderr, "store micro: %llu/%llu gets hit (want all)\n",
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(get_ops));
+  }
+
+  const size_t scans = n_keys / 200;
+  uint64_t entries = 0;
+  t0 = Clock::now();
+  for (size_t i = 0; i < scans; ++i) {
+    std::snprintf(buf, sizeof(buf), "k%010u",
+                  ScrambleKey(rng.Uniform(0, n_keys - 1)));
+    entries += store.Scan(buf, "", 100).size();
+  }
+  secs = SecondsSince(t0);
+  res.scan_entries_per_sec =
+      secs > 0 ? static_cast<double>(entries) / secs : 0;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
 // End to end: a message-heavy shard plane — every client op is a fan of
 // ClientRequest/AppendEntries/replies, so events/sec here is the simulator's
 // whole-stack capacity, the constant factor behind every paper figure.
@@ -204,6 +280,7 @@ int RunJson(const std::string& path, bool smoke) {
   const size_t churn_iters = smoke ? 200000 : 2000000;
   const size_t sf_batches = smoke ? 50 : 400;
   const size_t fan_rounds = smoke ? 4000 : 40000;
+  const size_t store_keys = smoke ? (1u << 17) : (1u << 20);  // full: >= 1M
   const Duration e2e_sim = smoke ? 1 * kSecond : 4 * kSecond;
 
   PrintHeader("simcore_events (json mode)");
@@ -214,6 +291,12 @@ int RunJson(const std::string& path, bool smoke) {
   double fan = FanoutDeliveriesPerSec(fan_rounds, 64);
   std::printf("  network fan-out:               %.3fM deliveries/s\n",
               fan / 1e6);
+  StoreMicroResult st = RunStoreMicro(store_keys);
+  std::printf(
+      "  store @ %zu keys: %.3fM puts/s, %.3fM gets/s, %.3fM scan "
+      "entries/s\n",
+      st.keys, st.put_ops_per_sec / 1e6, st.get_ops_per_sec / 1e6,
+      st.scan_entries_per_sec / 1e6);
   E2eResult e2e = RunShardPlane(e2e_sim);
   std::printf(
       "  e2e shard plane: %.2fs sim in %.2fs wall — %.3fM events/s, "
@@ -235,6 +318,12 @@ int RunJson(const std::string& path, bool smoke) {
                "    \"schedule_fire_events_per_sec\": %.0f,\n"
                "    \"fanout_deliveries_per_sec\": %.0f\n"
                "  },\n"
+               "  \"store\": {\n"
+               "    \"keys\": %zu,\n"
+               "    \"put_ops_per_sec\": %.0f,\n"
+               "    \"get_ops_per_sec\": %.0f,\n"
+               "    \"scan_entries_per_sec\": %.0f\n"
+               "  },\n"
                "  \"e2e\": {\n"
                "    \"shards\": 4,\n"
                "    \"clients\": 24,\n"
@@ -245,8 +334,9 @@ int RunJson(const std::string& path, bool smoke) {
                "    \"client_ops_per_sec\": %.0f\n"
                "  }\n"
                "}\n",
-               smoke ? "true" : "false", churn, sf, fan, e2e.sim_seconds,
-               e2e.wall_seconds,
+               smoke ? "true" : "false", churn, sf, fan, st.keys,
+               st.put_ops_per_sec, st.get_ops_per_sec,
+               st.scan_entries_per_sec, e2e.sim_seconds, e2e.wall_seconds,
                static_cast<unsigned long long>(e2e.events),
                e2e.events_per_sec, e2e.client_ops_per_sec);
   std::fclose(f);

@@ -317,9 +317,9 @@ void Node::BootFromStorage() {
   // Replay entries into the cache and the wait-free config tracker. The
   // merged-genesis entry is already reflected in the forced state — feeding
   // it to the tracker again would mark the resolved merge as pending.
-  for (auto& e : img.entries) {
+  for (const auto& e : img.entries) {
     if (!(merged_genesis && e.index == 1)) config_.OnAppend(e);
-    log_.BootAppend(std::move(e));
+    log_.BootAppend(e);  // copies into the fresh log's own slabs (cold path)
   }
   commit_ = std::min<Index>(std::max<Index>(img.hard.commit, applied_),
                             log_.last_index());

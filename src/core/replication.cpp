@@ -105,7 +105,9 @@ void Node::MaybeSendAppend(NodeId peer, bool force_empty) {
     return;
   }
 
-  std::vector<raft::LogEntry> entries;
+  // Zero-copy fan-out: the span shares the log's slabs, so sending the same
+  // batch to every peer costs segment descriptors, not entry deep-copies.
+  raft::EntrySpan entries;
   if (p.next <= cap) {
     Index hi = std::min(cap, p.next + opts_.max_entries_per_append - 1);
     entries = log_.Slice(p.next, hi);
@@ -122,11 +124,11 @@ void Node::MaybeSendAppend(NodeId peer, bool force_empty) {
   ae.prev_idx = p.next - 1;
   ae.prev_term = log_.TermAt(ae.prev_idx);
   ae.commit = commit_cap;
-  ae.entries = entries;
   if (!entries.empty()) {
     p.next = entries.back().index + 1;  // optimistic pipelining
     ++p.inflight;
   }
+  ae.entries = std::move(entries);
   counters_.Add(cid_.append_sent);
   Send(peer, std::move(ae));
 }

@@ -1,0 +1,350 @@
+#include "kv/btree.h"
+
+#include <algorithm>
+
+namespace recraft::kv {
+
+void BTreeMap::InitEmpty() {
+  Leaf* l = new Leaf();
+  l->leaf = true;
+  root_ = l;
+  first_leaf_ = l;
+  size_ = 0;
+}
+
+BTreeMap::BTreeMap() { InitEmpty(); }
+
+void BTreeMap::FreeRec(Node* n) {
+  if (!n->leaf) {
+    Inner* in = static_cast<Inner*>(n);
+    for (int i = 0; i < in->count; ++i) FreeRec(in->child[i]);
+    delete in;
+  } else {
+    delete static_cast<Leaf*>(n);
+  }
+}
+
+BTreeMap::~BTreeMap() {
+  if (root_ != nullptr) FreeRec(root_);
+}
+
+void BTreeMap::Clear() {
+  FreeRec(root_);
+  InitEmpty();
+}
+
+BTreeMap::BTreeMap(const BTreeMap& other) {
+  InitEmpty();
+  std::vector<Item> items;
+  items.reserve(other.size_);
+  for (Iterator it = other.Begin(); it.valid(); it.Next()) {
+    items.push_back(Item{it.key(), it.value()});
+  }
+  BuildFromSorted(std::move(items));
+}
+
+BTreeMap& BTreeMap::operator=(const BTreeMap& other) {
+  if (this == &other) return *this;
+  std::vector<Item> items;
+  items.reserve(other.size_);
+  for (Iterator it = other.Begin(); it.valid(); it.Next()) {
+    items.push_back(Item{it.key(), it.value()});
+  }
+  BuildFromSorted(std::move(items));
+  return *this;
+}
+
+BTreeMap::BTreeMap(BTreeMap&& other) noexcept
+    : root_(other.root_), first_leaf_(other.first_leaf_), size_(other.size_) {
+  other.root_ = nullptr;
+  other.first_leaf_ = nullptr;
+  other.size_ = 0;
+  other.InitEmpty();
+}
+
+BTreeMap& BTreeMap::operator=(BTreeMap&& other) noexcept {
+  if (this == &other) return *this;
+  FreeRec(root_);
+  root_ = other.root_;
+  first_leaf_ = other.first_leaf_;
+  size_ = other.size_;
+  other.root_ = nullptr;
+  other.first_leaf_ = nullptr;
+  other.size_ = 0;
+  other.InitEmpty();
+  return *this;
+}
+
+const std::string* BTreeMap::Find(const std::string& key) const {
+  const Node* n = root_;
+  while (!n->leaf) {
+    const Inner* in = static_cast<const Inner*>(n);
+    n = in->child[ChildIndex(in, key)];
+  }
+  const Leaf* l = static_cast<const Leaf*>(n);
+  for (uint16_t i = 0; i < l->count; ++i) {
+    // Linear search, early exit on the sorted array — the slots are hot in
+    // cache by the time the descent lands here.
+    int c = l->slots[i].key.compare(key);
+    if (c == 0) return &l->slots[i].value;
+    if (c > 0) break;
+  }
+  return nullptr;
+}
+
+BTreeMap::InsertResult BTreeMap::InsertRec(Node* n, const std::string& key) {
+  InsertResult res;
+  if (n->leaf) {
+    Leaf* l = static_cast<Leaf*>(n);
+    int pos = 0;
+    while (pos < l->count) {
+      int c = l->slots[pos].key.compare(key);
+      if (c == 0) {
+        res.value = &l->slots[pos].value;
+        return res;
+      }
+      if (c > 0) break;
+      ++pos;
+    }
+    for (int i = l->count; i > pos; --i) {
+      l->slots[i] = std::move(l->slots[i - 1]);
+    }
+    l->slots[pos].key = key;
+    l->slots[pos].value.clear();
+    ++l->count;
+    l->items = l->count;
+    res.inserted = true;
+    if (l->count == kLeafCap) {
+      // Split at capacity; the new right leaf takes the upper half.
+      Leaf* r = new Leaf();
+      r->leaf = true;
+      const int half = kLeafCap / 2;
+      for (int i = half; i < kLeafCap; ++i) {
+        r->slots[i - half] = std::move(l->slots[i]);
+      }
+      l->count = half;
+      l->items = half;
+      r->count = kLeafCap - half;
+      r->items = r->count;
+      r->next = l->next;
+      r->prev = l;
+      if (r->next != nullptr) r->next->prev = r;
+      l->next = r;
+      res.split_right = r;
+      res.split_key = r->slots[0].key;
+      res.value = pos < half ? &l->slots[pos].value
+                             : &r->slots[pos - half].value;
+    } else {
+      res.value = &l->slots[pos].value;
+    }
+    return res;
+  }
+
+  Inner* in = static_cast<Inner*>(n);
+  int idx = ChildIndex(in, key);
+  res = InsertRec(in->child[idx], key);
+  if (res.inserted) ++in->items;
+  if (res.split_right != nullptr) {
+    // Adopt the child's split: new child goes right of idx.
+    for (int i = in->count - 1; i > idx; --i) {
+      in->child[i + 1] = in->child[i];
+      in->keys[i] = std::move(in->keys[i - 1]);
+    }
+    in->child[idx + 1] = res.split_right;
+    in->keys[idx] = std::move(res.split_key);
+    ++in->count;
+    res.split_right = nullptr;
+    res.split_key.clear();
+    if (in->count == kInnerCap) {
+      Inner* r = new Inner();
+      const int half = kInnerCap / 2;
+      for (int i = half; i < kInnerCap; ++i) {
+        r->child[i - half] = in->child[i];
+        in->child[i] = nullptr;
+      }
+      for (int i = half; i < kInnerCap - 1; ++i) {
+        r->keys[i - half] = std::move(in->keys[i]);
+      }
+      r->count = kInnerCap - half;
+      in->count = half;
+      res.split_key = std::move(in->keys[half - 1]);
+      in->keys[half - 1].clear();
+      uint64_t moved = 0;
+      for (int i = 0; i < r->count; ++i) moved += r->child[i]->items;
+      r->items = moved;
+      in->items -= moved;
+      res.split_right = r;
+    }
+  }
+  return res;
+}
+
+std::pair<std::string*, bool> BTreeMap::GetOrInsert(const std::string& key) {
+  InsertResult res = InsertRec(root_, key);
+  if (res.split_right != nullptr) {
+    Inner* nr = new Inner();
+    nr->count = 2;
+    nr->child[0] = root_;
+    nr->child[1] = res.split_right;
+    nr->keys[0] = std::move(res.split_key);
+    nr->items = root_->items + res.split_right->items;
+    root_ = nr;
+  }
+  if (res.inserted) ++size_;
+  return {res.value, res.inserted};
+}
+
+void BTreeMap::UnlinkLeaf(Leaf* l) {
+  if (l->prev != nullptr) l->prev->next = l->next;
+  if (l->next != nullptr) l->next->prev = l->prev;
+  if (first_leaf_ == l) first_leaf_ = l->next;
+}
+
+bool BTreeMap::EraseRec(Node* n, const std::string& key, size_t* value_size) {
+  if (n->leaf) {
+    Leaf* l = static_cast<Leaf*>(n);
+    int pos = 0;
+    while (pos < l->count) {
+      int c = l->slots[pos].key.compare(key);
+      if (c == 0) break;
+      if (c > 0) return false;
+      ++pos;
+    }
+    if (pos == l->count) return false;
+    if (value_size != nullptr) *value_size = l->slots[pos].value.size();
+    for (int i = pos; i < l->count - 1; ++i) {
+      l->slots[i] = std::move(l->slots[i + 1]);
+    }
+    l->slots[l->count - 1] = Item{};
+    --l->count;
+    l->items = l->count;
+    return true;
+  }
+
+  Inner* in = static_cast<Inner*>(n);
+  int idx = ChildIndex(in, key);
+  Node* child = in->child[idx];
+  if (!EraseRec(child, key, value_size)) return false;
+  --in->items;
+  if (child->count == 0) {
+    // Lazy structural maintenance: only fully emptied nodes are removed.
+    if (child->leaf) {
+      UnlinkLeaf(static_cast<Leaf*>(child));
+      delete static_cast<Leaf*>(child);
+    } else {
+      delete static_cast<Inner*>(child);
+    }
+    for (int i = idx; i < in->count - 1; ++i) {
+      in->child[i] = in->child[i + 1];
+    }
+    in->child[in->count - 1] = nullptr;
+    // Drop the separator flanking the removed child (the survivors' bounds
+    // still hold; see the invariant note in the header).
+    const int drop = idx > 0 ? idx - 1 : 0;
+    for (int i = drop; i < in->count - 2; ++i) {
+      in->keys[i] = std::move(in->keys[i + 1]);
+    }
+    if (in->count >= 2) in->keys[in->count - 2].clear();
+    --in->count;
+  }
+  return true;
+}
+
+bool BTreeMap::Erase(const std::string& key, size_t* value_size) {
+  if (!EraseRec(root_, key, value_size)) return false;
+  --size_;
+  // Collapse trivial roots so lookups don't pay for dead levels.
+  while (!root_->leaf && root_->count == 1) {
+    Inner* old = static_cast<Inner*>(root_);
+    root_ = old->child[0];
+    delete old;
+  }
+  if (!root_->leaf && root_->count == 0) {
+    // The last item under an inner root vanished (possible only via chains
+    // of single-child inner nodes): restart from a fresh leaf.
+    delete static_cast<Inner*>(root_);
+    InitEmpty();
+    size_ = 0;
+  }
+  return true;
+}
+
+const BTreeMap::Item& BTreeMap::AtRank(size_t rank) const {
+  assert(rank < size_);
+  const Node* n = root_;
+  while (!n->leaf) {
+    const Inner* in = static_cast<const Inner*>(n);
+    int i = 0;
+    while (rank >= in->child[i]->items) {
+      rank -= in->child[i]->items;
+      ++i;
+    }
+    n = in->child[i];
+  }
+  return static_cast<const Leaf*>(n)->slots[rank];
+}
+
+void BTreeMap::BuildFromSorted(std::vector<Item> items) {
+  FreeRec(root_);
+  root_ = nullptr;
+  first_leaf_ = nullptr;
+  size_ = items.size();
+  if (items.empty()) {
+    InitEmpty();
+    return;
+  }
+
+  // Level 0: pack leaves at the bulk fill factor and chain them.
+  struct Built {
+    Node* node;
+    const std::string* min_key;  // smallest key under the subtree
+  };
+  std::vector<Built> level;
+  level.reserve(items.size() / kBulkFill + 1);
+  Leaf* prev = nullptr;
+  for (size_t i = 0; i < items.size();) {
+    Leaf* l = new Leaf();
+    l->leaf = true;
+    int take = static_cast<int>(
+        std::min<size_t>(kBulkFill, items.size() - i));
+    for (int j = 0; j < take; ++j) {
+      l->slots[j] = std::move(items[i + j]);
+    }
+    l->count = static_cast<uint16_t>(take);
+    l->items = static_cast<uint64_t>(take);
+    l->prev = prev;
+    if (prev != nullptr) {
+      prev->next = l;
+    } else {
+      first_leaf_ = l;
+    }
+    prev = l;
+    level.push_back(Built{l, &l->slots[0].key});
+    i += static_cast<size_t>(take);
+  }
+
+  // Upper levels: group children, separator = min key of the right child.
+  while (level.size() > 1) {
+    std::vector<Built> next;
+    next.reserve(level.size() / kBulkFill + 1);
+    for (size_t i = 0; i < level.size();) {
+      Inner* in = new Inner();
+      int take = static_cast<int>(
+          std::min<size_t>(kBulkFill, level.size() - i));
+      // Avoid a trailing single-child inner node: steal one from this group.
+      if (level.size() - i - static_cast<size_t>(take) == 1) --take;
+      for (int j = 0; j < take; ++j) {
+        in->child[j] = level[i + j].node;
+        in->items += level[i + j].node->items;
+        if (j > 0) in->keys[j - 1] = *level[i + j].min_key;
+      }
+      in->count = static_cast<uint16_t>(take);
+      next.push_back(Built{in, level[i].min_key});
+      i += static_cast<size_t>(take);
+    }
+    level = std::move(next);
+  }
+  root_ = level.front().node;
+}
+
+}  // namespace recraft::kv

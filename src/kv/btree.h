@@ -1,0 +1,163 @@
+// A B+-tree-style sorted string map — the storage engine behind kv::Store.
+//
+// PR 3's profile put ~36% of e2e wall time in std::map<string,string>::find:
+// a red-black tree chases one cache miss per comparison, ~17 levels deep at
+// 100k keys. This structure keeps the ordered semantics the store's callers
+// depend on (snapshots serialize in key order, Scan / KeyAtFraction walk
+// sorted keys) while cutting a point lookup to 3-4 node hops with linear key
+// search inside each node:
+//
+//   * Leaves hold sorted item arrays and are chained (prev/next) for ordered
+//     iteration and scans.
+//   * Inner nodes hold child pointers plus separator keys; descent is a
+//     linear scan of at most kInnerCap-1 separators. Separator invariant:
+//     every key under child[i+1] is >= keys[i], every key under child[i] is
+//     < keys[i] (erase laziness may leave separators below the actual
+//     subtree minimum, which preserves both bounds).
+//   * Every node carries its subtree item count, so rank selection
+//     (AtRank — the KeyAtFraction split-point picker) is O(log n) instead
+//     of std::advance's O(n).
+//   * Deletion is lazy: emptied nodes are unlinked, but no rebalancing or
+//     borrowing — the tree never grows in height from deletes, and the
+//     randomized differential harness in kv_test pins the semantics against
+//     a std::map reference model.
+//
+// Not thread-safe; the simulator is single-threaded by construction.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recraft::kv {
+
+class BTreeMap {
+ public:
+  struct Item {
+    std::string key;
+    std::string value;
+  };
+
+  BTreeMap();
+  ~BTreeMap();
+  BTreeMap(const BTreeMap& other);
+  BTreeMap& operator=(const BTreeMap& other);
+  BTreeMap(BTreeMap&& other) noexcept;
+  BTreeMap& operator=(BTreeMap&& other) noexcept;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear();
+
+  /// Value for `key`, or nullptr. One descent, no allocation.
+  const std::string* Find(const std::string& key) const;
+
+  /// Insert `key` with an empty value if absent; returns the value slot and
+  /// whether it was inserted. One descent for the upsert fast path (the
+  /// returned pointer is valid until the next mutation).
+  std::pair<std::string*, bool> GetOrInsert(const std::string& key);
+
+  /// Erase `key`; reports the erased value's size through `value_size`
+  /// (byte accounting) when found.
+  bool Erase(const std::string& key, size_t* value_size = nullptr);
+
+  /// The item at `rank` (0-based) in key order. O(log n) via subtree counts.
+  const Item& AtRank(size_t rank) const;
+
+  /// Replace the contents with `items`, which must be sorted by key with no
+  /// duplicates. O(n) bottom-up build (snapshot Restore, range rebuilds).
+  void BuildFromSorted(std::vector<Item> items);
+
+ private:
+  // Node fan-outs: a leaf's item array and an inner node's separator array
+  // both scan linearly, so they are sized to a couple of cache lines.
+  static constexpr int kLeafCap = 16;   // max items per leaf (splits at cap)
+  static constexpr int kInnerCap = 16;  // max children per inner node
+  static constexpr int kBulkFill = 12;  // fill factor for bulk builds
+
+  struct Node {
+    uint16_t count = 0;   // leaf: items; inner: children
+    bool leaf = false;
+    uint64_t items = 0;   // total items in this subtree (rank selection)
+  };
+  struct Leaf : Node {
+    Item slots[kLeafCap];
+    Leaf* next = nullptr;
+    Leaf* prev = nullptr;
+  };
+  struct Inner : Node {
+    std::string keys[kInnerCap - 1];  // keys[i] separates child i / i+1
+    Node* child[kInnerCap] = {};
+  };
+
+  /// Child slot the descent for `key` takes: the rightmost child whose
+  /// separator lower-bound admits the key.
+  static int ChildIndex(const Inner* n, const std::string& key) {
+    int i = 0;
+    while (i < n->count - 1 && key >= n->keys[i]) ++i;
+    return i;
+  }
+
+ public:
+  /// Forward iterator over items in key order (walks the leaf chain).
+  class Iterator {
+   public:
+    bool valid() const { return leaf_ != nullptr; }
+    const std::string& key() const { return leaf_->slots[pos_].key; }
+    const std::string& value() const { return leaf_->slots[pos_].value; }
+    void Next() {
+      if (++pos_ >= leaf_->count) {
+        leaf_ = leaf_->next;
+        pos_ = 0;
+      }
+    }
+
+   private:
+    friend class BTreeMap;
+    Iterator(const Leaf* leaf, uint16_t pos) : leaf_(leaf), pos_(pos) {}
+    const Leaf* leaf_ = nullptr;
+    uint16_t pos_ = 0;
+  };
+
+  Iterator Begin() const {
+    return {first_leaf_->count > 0 ? first_leaf_ : nullptr, 0};
+  }
+
+  /// First item with key >= `key` (invalid iterator when none).
+  Iterator LowerBound(const std::string& key) const {
+    const Node* n = root_;
+    while (!n->leaf) {
+      const Inner* in = static_cast<const Inner*>(n);
+      n = in->child[ChildIndex(in, key)];
+    }
+    const Leaf* l = static_cast<const Leaf*>(n);
+    for (uint16_t i = 0; i < l->count; ++i) {
+      if (l->slots[i].key >= key) return {l, i};
+    }
+    // Past this leaf's last key: the next leaf's first key is the bound
+    // (its subtree separator exceeds `key`, or there is none).
+    return {l->next, 0};
+  }
+
+ private:
+  struct InsertResult {
+    std::string* value = nullptr;
+    bool inserted = false;
+    Node* split_right = nullptr;  // non-null: this level split
+    std::string split_key;        // min key of split_right's subtree
+  };
+
+  void InitEmpty();
+  static void FreeRec(Node* n);
+  void UnlinkLeaf(Leaf* l);
+  InsertResult InsertRec(Node* n, const std::string& key);
+  bool EraseRec(Node* n, const std::string& key, size_t* value_size);
+
+  Node* root_ = nullptr;
+  Leaf* first_leaf_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace recraft::kv

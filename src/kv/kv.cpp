@@ -1,7 +1,7 @@
 #include "kv/kv.h"
 
 #include <algorithm>
-#include <iterator>
+#include <cassert>
 
 #include "kv/service.h"
 
@@ -11,14 +11,35 @@ namespace {
 size_t EntryBytes(const std::string& k, const std::string& v) {
   return k.size() + v.size() + 16;  // keys+values plus per-entry overhead
 }
+size_t EntryBytes(const std::string& k, size_t value_size) {
+  return k.size() + value_size + 16;
+}
 const std::string kEmpty;
 }  // namespace
 
+std::string& SnapshotData::operator[](const std::string& key) {
+  auto it = std::lower_bound(
+      begin(), end(), key,
+      [](const value_type& e, const std::string& k) { return e.first < k; });
+  if (it != end() && it->first == key) return it->second;
+  return emplace(it, key, std::string())->second;
+}
+
+const std::string& SnapshotData::at(const std::string& key) const {
+  auto it = std::lower_bound(
+      begin(), end(), key,
+      [](const value_type& e, const std::string& k) { return e.first < k; });
+  assert(it != end() && it->first == key);
+  return it->second;
+}
+
 size_t Snapshot::SerializedBytes() const {
+  if (serialized_bytes_memo_ != 0) return serialized_bytes_memo_;
   size_t n = 64;  // header: range, counts
   n += range.lo().size() + range.hi().size();
   for (const auto& [k, v] : data) n += 8 + k.size() + v.size();
   n += sessions.size() * 48;
+  serialized_bytes_memo_ = n;  // n >= 64, so 0 stays a safe "unset" sentinel
   return n;
 }
 
@@ -54,12 +75,14 @@ Result<Snapshot> Snapshot::Deserialize(const std::vector<uint8_t>& bytes) {
   out.range = *inf ? KeyRange(*lo, "") : KeyRange(*lo, *hi);
   auto n = dec.GetU64();
   if (!n.ok()) return n.status();
+  out.data.reserve(*n);
   for (uint64_t i = 0; i < *n; ++i) {
     auto k = dec.GetString();
     if (!k.ok()) return k.status();
     auto v = dec.GetString();
     if (!v.ok()) return v.status();
-    out.data.emplace(std::move(*k), std::move(*v));
+    // Honest serializers emit key order, so appending keeps `data` sorted.
+    out.data.emplace_back(std::move(*k), std::move(*v));
   }
   auto ns = dec.GetU64();
   if (!ns.ok()) return ns.status();
@@ -99,34 +122,30 @@ OpResult Store::Apply(const Command& cmd) {
   } else {
     switch (cmd.op) {
       case OpType::kPut: {
-        auto it = data_.find(cmd.key);
-        if (it != data_.end()) {
-          approx_bytes_ -= EntryBytes(it->first, it->second);
-          it->second = cmd.value;
-        } else {
-          data_.emplace(cmd.key, cmd.value);
-        }
+        // Single-descent upsert: the tree hands back the value slot.
+        auto [val, inserted] = data_.GetOrInsert(cmd.key);
+        if (!inserted) approx_bytes_ -= EntryBytes(cmd.key, val->size());
+        *val = cmd.value;
         approx_bytes_ += EntryBytes(cmd.key, cmd.value);
         res.status = OkStatus();
         break;
       }
       case OpType::kGet: {
-        auto it = data_.find(cmd.key);
-        if (it == data_.end()) {
+        const std::string* val = data_.Find(cmd.key);
+        if (val == nullptr) {
           res.status = NotFound(cmd.key);
         } else {
           res.status = OkStatus();
-          res.value = it->second;
+          res.value = *val;
         }
         break;
       }
       case OpType::kDelete: {
-        auto it = data_.find(cmd.key);
-        if (it == data_.end()) {
+        size_t value_size = 0;
+        if (!data_.Erase(cmd.key, &value_size)) {
           res.status = NotFound(cmd.key);
         } else {
-          approx_bytes_ -= EntryBytes(it->first, it->second);
-          data_.erase(it);
+          approx_bytes_ -= EntryBytes(cmd.key, value_size);
           res.status = OkStatus();
         }
         break;
@@ -134,19 +153,15 @@ OpResult Store::Apply(const Command& cmd) {
       case OpType::kCas: {
         // expected "" means "key must be absent" (insert-if-absent); a
         // mismatch returns kConflict with the current value as the result.
-        auto it = data_.find(cmd.key);
-        const std::string& current = it == data_.end() ? kEmpty : it->second;
-        if (current != cmd.expected) {
+        const std::string* current = data_.Find(cmd.key);
+        if ((current == nullptr ? kEmpty : *current) != cmd.expected) {
           res.status = Conflict("cas mismatch on " + cmd.key);
-          res.value = current;
+          res.value = current == nullptr ? kEmpty : *current;
           break;
         }
-        if (it != data_.end()) {
-          approx_bytes_ -= EntryBytes(it->first, it->second);
-          it->second = cmd.value;
-        } else {
-          data_.emplace(cmd.key, cmd.value);
-        }
+        auto [val, inserted] = data_.GetOrInsert(cmd.key);
+        if (!inserted) approx_bytes_ -= EntryBytes(cmd.key, val->size());
+        *val = cmd.value;
         approx_bytes_ += EntryBytes(cmd.key, cmd.value);
         res.status = OkStatus();
         break;
@@ -177,29 +192,28 @@ Result<std::string> Store::KeyAtFraction(double fraction) const {
   }
   size_t idx = static_cast<size_t>(static_cast<double>(data_.size()) * fraction);
   idx = std::min(std::max<size_t>(idx, 1), data_.size() - 1);
-  auto it = data_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(idx));
-  // Map keys are unique and >= range().lo(), and idx >= 1, so it->first is
-  // strictly greater than the smallest key and therefore > lo; keys are
-  // stored only when inside the range, so it is also < hi.
-  return it->first;
+  // Stored keys are unique and >= range().lo(), and idx >= 1, so the ranked
+  // key is strictly greater than the smallest key and therefore > lo; keys
+  // are stored only when inside the range, so it is also < hi. Rank select
+  // is O(log n) via the tree's subtree counts (was std::advance, O(n)).
+  return data_.AtRank(idx).key;
 }
 
 Result<std::string> Store::Get(const std::string& key) const {
   if (!range_.Contains(key)) return OutOfRange(key);
-  auto it = data_.find(key);
-  if (it == data_.end()) return NotFound(key);
-  return it->second;
+  const std::string* val = data_.Find(key);
+  if (val == nullptr) return NotFound(key);
+  return *val;
 }
 
 std::vector<std::pair<std::string, std::string>> Store::Scan(
     const std::string& lo, const std::string& hi, size_t limit) const {
   std::vector<std::pair<std::string, std::string>> out;
-  auto it = data_.lower_bound(std::max(lo, range_.lo()));
-  for (; it != data_.end() && out.size() < limit; ++it) {
-    if (!hi.empty() && it->first >= hi) break;
-    if (!range_.Contains(it->first)) break;
-    out.emplace_back(it->first, it->second);
+  auto it = data_.LowerBound(std::max(lo, range_.lo()));
+  for (; it.valid() && out.size() < limit; it.Next()) {
+    if (!hi.empty() && it.key() >= hi) break;
+    if (!range_.Contains(it.key())) break;
+    out.emplace_back(it.key(), it.value());
   }
   return out;
 }
@@ -207,7 +221,10 @@ std::vector<std::pair<std::string, std::string>> Store::Scan(
 SnapshotPtr Store::TakeSnapshot() const {
   auto snap = std::make_shared<Snapshot>();
   snap->range = range_;
-  snap->data = data_;
+  snap->data.reserve(data_.size());
+  for (auto it = data_.Begin(); it.valid(); it.Next()) {
+    snap->data.emplace_back(it.key(), it.value());  // key order by iteration
+  }
   snap->sessions = sessions_;
   return snap;
 }
@@ -219,9 +236,9 @@ Result<SnapshotPtr> Store::TakeSnapshot(const KeyRange& sub) const {
   }
   auto snap = std::make_shared<Snapshot>();
   snap->range = sub;
-  auto it = data_.lower_bound(sub.lo());
-  for (; it != data_.end() && sub.Contains(it->first); ++it) {
-    snap->data.emplace(it->first, it->second);
+  auto it = data_.LowerBound(sub.lo());
+  for (; it.valid() && sub.Contains(it.key()); it.Next()) {
+    snap->data.emplace_back(it.key(), it.value());
   }
   snap->sessions = sessions_;
   return SnapshotPtr(std::move(snap));
@@ -229,10 +246,15 @@ Result<SnapshotPtr> Store::TakeSnapshot(const KeyRange& sub) const {
 
 void Store::Restore(const Snapshot& snap) {
   range_ = snap.range;
-  data_ = snap.data;
-  sessions_ = snap.sessions;
+  std::vector<BTreeMap::Item> items;
+  items.reserve(snap.data.size());
   approx_bytes_ = 0;
-  for (const auto& [k, v] : data_) approx_bytes_ += EntryBytes(k, v);
+  for (const auto& [k, v] : snap.data) {
+    approx_bytes_ += EntryBytes(k, v);
+    items.push_back(BTreeMap::Item{k, v});
+  }
+  data_.BuildFromSorted(std::move(items));  // snapshot data is key-sorted
+  sessions_ = snap.sessions;
 }
 
 Status Store::RestrictRange(const KeyRange& sub) {
@@ -246,14 +268,17 @@ Status Store::RestrictRange(const KeyRange& sub) {
 
 void Store::Rebase(const KeyRange& range) {
   range_ = range;
-  for (auto it = data_.begin(); it != data_.end();) {
-    if (!range.Contains(it->first)) {
-      approx_bytes_ -= EntryBytes(it->first, it->second);
-      it = data_.erase(it);
-    } else {
-      ++it;
-    }
+  // Collect the surviving items in order and bulk-rebuild: cheaper and
+  // simpler than per-key deletion for what is a rare, bulk operation.
+  std::vector<BTreeMap::Item> keep;
+  keep.reserve(data_.size());
+  approx_bytes_ = 0;
+  for (auto it = data_.Begin(); it.valid(); it.Next()) {
+    if (!range.Contains(it.key())) continue;
+    approx_bytes_ += EntryBytes(it.key(), it.value());
+    keep.push_back(BTreeMap::Item{it.key(), it.value()});
   }
+  data_.BuildFromSorted(std::move(keep));
 }
 
 Status Store::MergeIn(const Snapshot& snap) {
@@ -265,7 +290,10 @@ Status Store::MergeIn(const Snapshot& snap) {
   if (!merged.ok()) return merged.status();
   range_ = *merged;
   for (const auto& [k, v] : snap.data) {
-    data_.emplace(k, v);
+    // Ranges are disjoint, so these keys are new; keep-existing semantics
+    // (emplace) are preserved by GetOrInsert's insert-if-absent.
+    auto [val, inserted] = data_.GetOrInsert(k);
+    if (inserted) *val = v;
     approx_bytes_ += EntryBytes(k, v);
   }
   for (const auto& [id, s] : snap.sessions) {

@@ -9,11 +9,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/key_range.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "kv/btree.h"
 
 namespace recraft::kv {
 
@@ -63,17 +66,44 @@ struct Session {
   OpResult last_result;
 };
 
+/// Snapshot payload: (key, value) pairs sorted by key — the invariant every
+/// producer (TakeSnapshot, Deserialize) upholds and every consumer (Restore's
+/// bulk build, MergeIn, serialization order) relies on. A flat sorted vector
+/// instead of a std::map: snapshot construction is a straight ordered copy
+/// with no per-node allocation, and iteration is cache-linear. The keyed
+/// accessors do sorted lookup/insert for convenience call sites (tests,
+/// admin tooling) — hot paths build in order and never use them.
+class SnapshotData : public std::vector<std::pair<std::string, std::string>> {
+ public:
+  using Base = std::vector<std::pair<std::string, std::string>>;
+  using Base::Base;
+  using Base::at;
+  using Base::operator[];
+
+  /// Value for `key`, inserting (sorted) when absent.
+  std::string& operator[](const std::string& key);
+  /// Value for `key`; the key must be present.
+  const std::string& at(const std::string& key) const;
+};
+
 /// An immutable point-in-time state of a store. Shared by pointer: snapshot
 /// "transfer" in the simulator moves the pointer while the network charges
-/// for the serialized byte size.
+/// for the serialized byte size. Treated as frozen once shared (SnapshotPtr
+/// is pointer-to-const): SerializedBytes memoizes on first call.
 struct Snapshot {
   KeyRange range;
-  std::map<std::string, std::string> data;
+  SnapshotData data;
   std::map<uint64_t, Session> sessions;
 
+  /// On-wire size for bandwidth accounting. Computed once and cached — the
+  /// network charges this at every hop of a snapshot transfer, and the old
+  /// implementation re-walked every entry per charge site.
   size_t SerializedBytes() const;
   std::vector<uint8_t> Serialize() const;
   static Result<Snapshot> Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  mutable size_t serialized_bytes_memo_ = 0;  // 0 = not yet computed
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
@@ -132,7 +162,7 @@ class Store {
 
  private:
   KeyRange range_;
-  std::map<std::string, std::string> data_;
+  BTreeMap data_;  // the B+-tree fast path (see kv/btree.h)
   std::map<uint64_t, Session> sessions_;
   size_t approx_bytes_ = 0;
 };

@@ -3,20 +3,25 @@
 // matching/truncation rules on, plus Reset() for the merge protocol's
 // fresh-log resumption.
 //
-// Persistence: the in-memory deque is a *cached view* over an optional
+// Persistence: the in-memory list is a *cached view* over an optional
 // LogSink (the pluggable storage backend). Every structural mutation —
 // append, truncate, compact, reset — is forwarded to the attached sink, so
 // call sites throughout the node (replication, pull recovery, merge
 // resumption, proposals) persist without knowing storage exists. Reads
 // always come from the cache; recovery rebuilds the cache from the sink's
 // durable contents before attaching it.
+//
+// Entries live in refcounted append-only slabs (raft/entry_slab.h): Slice
+// returns a zero-copy EntrySpan over them (one AppendEntries batch costs a
+// couple of segment descriptors per peer, not an entry deep-copy), and
+// OnLogAppend hands the sink a shared EntryRef so the storage mirrors point
+// at the same slab slots the log cache does.
 #pragma once
 
 #include <cassert>
-#include <deque>
-#include <vector>
 
 #include "raft/entry.h"
+#include "raft/entry_slab.h"
 
 namespace recraft::raft {
 
@@ -26,7 +31,10 @@ namespace recraft::raft {
 class LogSink {
  public:
   virtual ~LogSink() = default;
-  virtual void OnLogAppend(const LogEntry& e) = 0;
+  /// `e` shares the log's slab slot — sinks that mirror the log keep the
+  /// reference instead of copying the entry. (A bare LogEntry converts
+  /// implicitly for cold-path callers.)
+  virtual void OnLogAppend(const EntryRef& e) = 0;
   virtual void OnLogTruncateFrom(Index i) = 0;
   virtual void OnLogCompactTo(Index i, uint64_t term) = 0;
   virtual void OnLogReset(Index base, uint64_t term) = 0;
@@ -58,12 +66,12 @@ class RaftLog {
   uint64_t TermAt(Index i) const {
     if (i == base_index_) return base_term_;
     if (!HasEntry(i)) return 0;
-    return entries_[i - base_index_ - 1].term;
+    return entries_.At(i - base_index_ - 1).term;
   }
 
   const LogEntry& At(Index i) const {
     assert(HasEntry(i));
-    return entries_[i - base_index_ - 1];
+    return entries_.At(i - base_index_ - 1);
   }
 
   /// True when (i, term) matches this log — the AppendEntries consistency
@@ -79,16 +87,15 @@ class RaftLog {
   /// Append one entry; index must be last_index()+1.
   void Append(LogEntry e) {
     assert(e.index == last_index() + 1);
-    entries_.push_back(std::move(e));
-    if (sink_ != nullptr) sink_->OnLogAppend(entries_.back());
+    EntryRef ref = entries_.PushOwned(std::move(e));
+    if (sink_ != nullptr) sink_->OnLogAppend(ref);
   }
 
   /// Remove all entries with index >= i. i must be > base_index().
   void TruncateFrom(Index i) {
     assert(i > base_index_);
     if (i > last_index()) return;
-    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i - base_index_ - 1),
-                   entries_.end());
+    while (last_index() >= i) entries_.PopBack();
     if (sink_ != nullptr) sink_->OnLogTruncateFrom(i);
   }
 
@@ -97,7 +104,7 @@ class RaftLog {
     assert(i >= base_index_);
     if (i == base_index_) return;
     size_t drop = std::min(static_cast<size_t>(i - base_index_), entries_.size());
-    entries_.erase(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(drop));
+    for (size_t k = 0; k < drop; ++k) entries_.PopFront();
     base_index_ = i;
     base_term_ = term;
     if (sink_ != nullptr) sink_->OnLogCompactTo(i, term);
@@ -107,7 +114,7 @@ class RaftLog {
   /// cluster resumes (the log "begins with the C_new entry") and when a
   /// snapshot is installed.
   void Reset(Index base, uint64_t term) {
-    entries_.clear();
+    entries_.Clear();
     base_index_ = base;
     base_term_ = term;
     if (sink_ != nullptr) sink_->OnLogReset(base, term);
@@ -119,7 +126,7 @@ class RaftLog {
   void BootAppend(LogEntry e) {
     assert(sink_ == nullptr && "attach the sink after the cache is rebuilt");
     assert(e.index == last_index() + 1);
-    entries_.push_back(std::move(e));
+    entries_.PushOwned(std::move(e));
   }
   void BootSetBase(Index base, uint64_t term) {
     assert(entries_.empty());
@@ -127,24 +134,27 @@ class RaftLog {
     base_term_ = term;
   }
 
-  /// Copy entries in [lo, hi] (inclusive, clamped to available range).
-  std::vector<LogEntry> Slice(Index lo, Index hi) const {
-    std::vector<LogEntry> out;
+  /// View of entries in [lo, hi] (inclusive, clamped to available range).
+  /// Zero-copy: the span shares the log's slabs, and stays valid after
+  /// truncation (slab slots are append-only, never overwritten).
+  EntrySpan Slice(Index lo, Index hi) const {
     lo = std::max(lo, first_index());
     hi = std::min(hi, last_index());
-    for (Index i = lo; i <= hi && i >= lo; ++i) out.push_back(At(i));
-    return out;
+    if (lo > hi) return {};
+    return entries_.Span(lo - base_index_ - 1, hi - lo + 1);
   }
 
   /// Total payload bytes above the base (for GC accounting).
   size_t ApproxBytes() const {
     size_t n = 0;
-    for (const auto& e : entries_) n += e.WireBytes();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      n += entries_.At(i).WireBytes();
+    }
     return n;
   }
 
  private:
-  std::deque<LogEntry> entries_;
+  EntryList entries_;
   Index base_index_ = 0;
   uint64_t base_term_ = 0;
   LogSink* sink_ = nullptr;

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "raft/config.h"
 #include "raft/entry.h"
+#include "raft/entry_slab.h"
 #include "sm/state_machine.h"
 
 namespace recraft::raft {
@@ -75,7 +76,10 @@ struct AppendEntries {
   NodeId leader = kNoNode;
   Index prev_idx = 0;
   uint64_t prev_term = 0;
-  std::vector<LogEntry> entries;
+  /// Zero-copy view over the leader's log slabs: fanning one batch out to N
+  /// peers shares one set of immutable slab slots instead of materializing
+  /// N entry vectors (see raft/entry_slab.h).
+  EntrySpan entries;
   Index commit = 0;
 };
 
@@ -122,7 +126,7 @@ struct PullRequest {
 struct PullReply {
   NodeId from = kNoNode;
   uint32_t epoch = 0;            // responder's epoch
-  std::vector<LogEntry> entries;  // committed entries only
+  EntrySpan entries;             // committed entries only (shared slab view)
   Index commit = 0;              // responder's commit index (possibly capped)
   /// True when the reply stops at the responder's epoch boundary: the
   /// requester must apply the boundary reconfiguration before pulling more.

@@ -5,23 +5,23 @@
 
 namespace recraft::storage {
 
-void InMemoryStorage::OnLogAppend(const raft::LogEntry& e) {
+void InMemoryStorage::OnLogAppend(const raft::EntryRef& e) {
   present_ = true;
-  assert(e.index == base_index_ + entries_.size() + 1);
-  entries_.push_back(e);
+  assert(e->index == base_index_ + entries_.size() + 1);
+  entries_.PushShared(e);  // adopts the log's slab slot, no entry copy
 }
 
 void InMemoryStorage::OnLogTruncateFrom(Index i) {
   present_ = true;
   while (!entries_.empty() && entries_.back().index >= i) {
-    entries_.pop_back();
+    entries_.PopBack();
   }
 }
 
 void InMemoryStorage::OnLogCompactTo(Index i, uint64_t term) {
   present_ = true;
   while (!entries_.empty() && entries_.front().index <= i) {
-    entries_.pop_front();
+    entries_.PopFront();
   }
   base_index_ = i;
   base_term_ = term;
@@ -29,7 +29,7 @@ void InMemoryStorage::OnLogCompactTo(Index i, uint64_t term) {
 
 void InMemoryStorage::OnLogReset(Index base, uint64_t term) {
   present_ = true;
-  entries_.clear();
+  entries_.Clear();
   base_index_ = base;
   base_term_ = term;
 }
@@ -68,7 +68,7 @@ void InMemoryStorage::WipeAll() {
   snap_.reset();
   base_index_ = 0;
   base_term_ = 0;
-  entries_.clear();
+  entries_.Clear();
   sealed_.clear();
   meta_ = ExchangeMeta{};
 }
@@ -80,7 +80,7 @@ Result<BootImage> InMemoryStorage::Load() {
   img.snap = snap_;
   img.base_index = base_index_;
   img.base_term = base_term_;
-  img.entries.assign(entries_.begin(), entries_.end());
+  img.entries = entries_.Span(0, entries_.size());
   img.sealed = sealed_;
   img.exchange = meta_;
   return img;

@@ -24,7 +24,6 @@
 //     synchronous (rare, bulk writes).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -32,6 +31,7 @@
 #include <vector>
 
 #include "raft/entry.h"
+#include "raft/entry_slab.h"
 #include "raft/log.h"
 #include "raft/messages.h"
 
@@ -71,7 +71,9 @@ struct BootImage {
   raft::RaftSnapshotPtr snap;  // may be null
   Index base_index = 0;        // log base (snapshot position)
   uint64_t base_term = 0;
-  std::vector<raft::LogEntry> entries;  // contiguous above base
+  /// Contiguous above base. A zero-copy view over the backend's slabs —
+  /// valid for as long as the image is held (slab slots are immutable).
+  raft::EntrySpan entries;
   std::map<std::pair<TxId, int>, sm::SnapshotPtr> sealed;
   ExchangeMeta exchange;
 };
@@ -152,8 +154,9 @@ using StoragePtr = std::unique_ptr<Storage>;
 /// collapses to the in-memory fast path.
 class InMemoryStorage final : public Storage {
  public:
-  // LogSink.
-  void OnLogAppend(const raft::LogEntry& e) override;
+  // LogSink. Appends adopt the log's slab slot by reference — the "durable
+  // medium" mirrors the same immutable slots the log cache points at.
+  void OnLogAppend(const raft::EntryRef& e) override;
   void OnLogTruncateFrom(Index i) override;
   void OnLogCompactTo(Index i, uint64_t term) override;
   void OnLogReset(Index base, uint64_t term) override;
@@ -176,7 +179,7 @@ class InMemoryStorage final : public Storage {
   raft::RaftSnapshotPtr snap_;
   Index base_index_ = 0;
   uint64_t base_term_ = 0;
-  std::deque<raft::LogEntry> entries_;
+  raft::EntryList entries_;
   std::map<std::pair<TxId, int>, sm::SnapshotPtr> sealed_;
   ExchangeMeta meta_;
 };

@@ -106,12 +106,12 @@ Index WalStorage::DurableIndex() const {
 
 // --- LogSink ---------------------------------------------------------------
 
-void WalStorage::OnLogAppend(const raft::LogEntry& e) {
-  assert(e.index == model_.last_index() + 1);
+void WalStorage::OnLogAppend(const raft::EntryRef& e) {
+  assert(e->index == model_.last_index() + 1);
   Encoder enc;
   enc.PutU8(kRecAppend);
-  EncodeLogEntry(enc, e);
-  model_.entries.push_back(e);
+  EncodeLogEntry(enc, *e);
+  model_.entries.PushShared(e);  // mirror by slab reference, no deep copy
   ++stats_.entry_records;
   AppendRecord(enc, /*force_sync=*/false);
 }
@@ -121,7 +121,7 @@ void WalStorage::OnLogTruncateFrom(Index i) {
   enc.PutU8(kRecTruncateFrom);
   enc.PutU64(i);
   while (!model_.entries.empty() && model_.entries.back().index >= i) {
-    model_.entries.pop_back();
+    model_.entries.PopBack();
   }
   durable_index_ = std::min(durable_index_, model_.last_index());
   AppendRecord(enc, /*force_sync=*/false);
@@ -133,7 +133,7 @@ void WalStorage::OnLogCompactTo(Index i, uint64_t term) {
   enc.PutU64(i);
   enc.PutU64(term);
   while (!model_.entries.empty() && model_.entries.front().index <= i) {
-    model_.entries.pop_front();
+    model_.entries.PopFront();
   }
   model_.base_index = i;
   model_.base_term = term;
@@ -149,7 +149,7 @@ void WalStorage::OnLogReset(Index base, uint64_t term) {
   enc.PutU8(kRecReset);
   enc.PutU64(base);
   enc.PutU64(term);
-  model_.entries.clear();
+  model_.entries.Clear();
   model_.base_index = base;
   model_.base_term = term;
   durable_index_ = base;
@@ -262,10 +262,10 @@ std::vector<uint8_t> WalStorage::EncodeCheckpoint() const {
     enc.PutU64(model_.base_term);
     put(enc);
   }
-  for (const auto& e : model_.entries) {
+  for (size_t i = 0; i < model_.entries.size(); ++i) {
     Encoder enc;
     enc.PutU8(kRecAppend);
-    EncodeLogEntry(enc, e);
+    EncodeLogEntry(enc, model_.entries.At(i));
     put(enc);
   }
   {
@@ -388,13 +388,13 @@ void WalStorage::ReplayWal(const std::vector<uint8_t>& bytes, Model* model) {
         // by honoring the later write anyway.
         while (!model->entries.empty() &&
                model->entries.back().index >= e->index) {
-          model->entries.pop_back();
+          model->entries.PopBack();
         }
         if (e->index != model->last_index() + 1) {
           ok = false;  // gap: unreachable via suffix loss, treat as corrupt
           break;
         }
-        model->entries.push_back(std::move(*e));
+        model->entries.PushOwned(std::move(*e));
         ++stats_.replayed_entries;
         break;
       }
@@ -405,7 +405,7 @@ void WalStorage::ReplayWal(const std::vector<uint8_t>& bytes, Model* model) {
           break;
         }
         while (!model->entries.empty() && model->entries.back().index >= *i) {
-          model->entries.pop_back();
+          model->entries.PopBack();
         }
         break;
       }
@@ -416,7 +416,7 @@ void WalStorage::ReplayWal(const std::vector<uint8_t>& bytes, Model* model) {
           ok = false;
           break;
         }
-        model->entries.clear();
+        model->entries.Clear();
         model->base_index = *base;
         model->base_term = *term;
         break;
@@ -430,7 +430,7 @@ void WalStorage::ReplayWal(const std::vector<uint8_t>& bytes, Model* model) {
         }
         while (!model->entries.empty() &&
                model->entries.front().index <= *i) {
-          model->entries.pop_front();
+          model->entries.PopFront();
         }
         model->base_index = *i;
         model->base_term = *term;
@@ -450,7 +450,7 @@ void WalStorage::ReplayWal(const std::vector<uint8_t>& bytes, Model* model) {
         if (*idx > model->base_index) {
           while (!model->entries.empty() &&
                  model->entries.front().index <= *idx) {
-            model->entries.pop_front();
+            model->entries.PopFront();
           }
           model->base_index = *idx;
           model->base_term = *term;
@@ -548,7 +548,9 @@ Result<BootImage> WalStorage::Load() {
   img.snap = snap;
   img.base_index = m.base_index;
   img.base_term = m.base_term;
-  img.entries.assign(m.entries.begin(), m.entries.end());
+  // Zero-copy: the image's span holds refs into the replayed model's slabs,
+  // which survive the move into model_ below (shared ownership).
+  img.entries = m.entries.Span(0, m.entries.size());
 
   // Sealed merge-exchange snapshots.
   for (const auto& name : disk_->List("seal-")) {

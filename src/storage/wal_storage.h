@@ -74,8 +74,10 @@ class WalStorage final : public Storage {
   WalStorage(const WalStorage&) = delete;
   WalStorage& operator=(const WalStorage&) = delete;
 
-  // LogSink.
-  void OnLogAppend(const raft::LogEntry& e) override;
+  // LogSink. Appends encode the WAL record from the log's slab slot and
+  // mirror it into the model by reference — one durable framing, no deep
+  // copy into the mirror.
+  void OnLogAppend(const raft::EntryRef& e) override;
   void OnLogTruncateFrom(Index i) override;
   void OnLogCompactTo(Index i, uint64_t term) override;
   void OnLogReset(Index base, uint64_t term) override;
@@ -116,7 +118,7 @@ class WalStorage final : public Storage {
     uint64_t snap_term = 0;
     Index base_index = 0;
     uint64_t base_term = 0;
-    std::deque<raft::LogEntry> entries;
+    raft::EntryList entries;  // shares the log's slabs on the append path
     Index last_index() const { return base_index + entries.size(); }
   };
 

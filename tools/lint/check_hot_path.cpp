@@ -117,10 +117,68 @@ class HotPathHygieneCheck : public Check {
   }
 };
 
+// recraft-entry-copy — the PR 7 slab family: materializing a whole
+// `std::vector<LogEntry>` (or deque) on the replication send / persist
+// paths. Since the slab refactor, log slices are `EntrySpan` views over
+// refcounted `EntrySlab`s and storage mirrors hold `EntryList`s of shared
+// refs — a container-of-LogEntry type in src/core, src/raft or src/storage
+// means someone re-introduced the per-peer deep copy the refactor deleted
+// (~8% of e2e wall time in the PR 3 profile). The slab's own backing store
+// is the one sanctioned declaration (justified NOLINT in entry_slab.h).
+class EntryCopyCheck : public Check {
+ public:
+  std::string name() const override { return "recraft-entry-copy"; }
+  std::string description() const override {
+    return "whole-vector<LogEntry> materialization on a send/persist path "
+           "(use EntrySpan/EntryList slab views)";
+  }
+
+  void Run(const SourceFile& f, std::vector<Diagnostic>* out) override {
+    static const std::vector<std::string> kDirs = {
+        "src/core", "src/raft", "src/storage",
+    };
+    if (!f.UnderAny(kDirs)) return;
+    const std::vector<Token>& toks = f.tokens();
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::kIdent ||
+          (t.text != "vector" && t.text != "deque")) {
+        continue;
+      }
+      if (!toks[i + 1].Is("<")) continue;
+      // Match vector<LogEntry> and vector<raft::LogEntry>.
+      size_t j = i + 2;
+      if (j + 1 < toks.size() && toks[j].kind == Tok::kIdent &&
+          toks[j + 1].Is("::")) {
+        j += 2;
+      }
+      if (j + 1 >= toks.size() || toks[j].kind != Tok::kIdent ||
+          toks[j].text != "LogEntry" || !toks[j + 1].Is(">")) {
+        continue;
+      }
+      Diagnostic d;
+      d.file = f.path();
+      d.line = t.line;
+      d.col = t.col;
+      d.check = name();
+      d.message =
+          "a " + t.text +
+          "<LogEntry> on this path deep-copies every entry per peer per "
+          "send; slice the log into an EntrySpan (or mirror EntryRefs in an "
+          "EntryList) so all fan-out shares one slab";
+      out->push_back(std::move(d));
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Check> MakeHotPathHygieneCheck() {
   return std::make_unique<HotPathHygieneCheck>();
+}
+
+std::unique_ptr<Check> MakeEntryCopyCheck() {
+  return std::make_unique<EntryCopyCheck>();
 }
 
 }  // namespace recraft::lint

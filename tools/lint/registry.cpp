@@ -5,12 +5,14 @@ namespace recraft::lint {
 std::unique_ptr<Check> MakeReentrantRefCheck();
 std::unique_ptr<Check> MakeDeterminismCheck();
 std::unique_ptr<Check> MakeHotPathHygieneCheck();
+std::unique_ptr<Check> MakeEntryCopyCheck();
 
 std::vector<std::unique_ptr<Check>> MakeAllChecks() {
   std::vector<std::unique_ptr<Check>> out;
   out.push_back(MakeReentrantRefCheck());
   out.push_back(MakeDeterminismCheck());
   out.push_back(MakeHotPathHygieneCheck());
+  out.push_back(MakeEntryCopyCheck());
   return out;
 }
 

@@ -1,0 +1,47 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_entry_copy_negative.cc
+// Negative fixtures for recraft-entry-copy: the slab idioms and the
+// containers the check must not confuse with entry copies. Must stay silent.
+
+#include <memory>
+#include <vector>
+
+namespace raft {
+struct LogEntry {
+  unsigned long index = 0;
+};
+struct EntrySpan {};
+class EntryList {};
+struct EntryRef {};
+}  // namespace raft
+
+namespace fixture {
+
+struct AppendEntries {
+  // The slab view: a span over refcounted slabs, no per-peer copy.
+  raft::EntrySpan entries;
+};
+
+class Replicator {
+ public:
+  raft::EntrySpan Slice(unsigned long lo, unsigned long hi);
+
+  void MaybeSendAppend() {
+    raft::EntrySpan batch = Slice(1, 10);
+    (void)batch;
+  }
+
+ private:
+  raft::EntryList entries_;  // shared refs into the log's slabs
+};
+
+// Other element types are not entry copies.
+struct Metrics {
+  std::vector<unsigned long> samples;
+  std::vector<raft::EntryRef> refs;  // a ref vector shares, not copies
+};
+
+// A single owned entry (boot replay, WAL decode) is not a whole-container
+// materialization.
+raft::LogEntry DecodeOne(const std::vector<unsigned char>& bytes);
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_entry_copy_positive.cc
+// Positive fixtures for recraft-entry-copy — the PR 7 slab family:
+// materializing whole containers of LogEntry on send/persist paths.
+// Each EXPECT line must diagnose.
+
+#include <deque>
+#include <vector>
+
+namespace raft {
+struct LogEntry {
+  unsigned long index = 0;
+  unsigned long term = 0;
+};
+}  // namespace raft
+
+namespace fixture {
+
+using raft::LogEntry;
+
+struct AppendEntries {
+  // A message carrying an owning entry vector deep-copies per peer.
+  std::vector<LogEntry> entries;  // EXPECT: recraft-entry-copy
+};
+
+class Replicator {
+ public:
+  void MaybeSendAppend() {
+    // Materializing the slice re-copies every entry for every follower.
+    std::vector<LogEntry> batch = Slice(1, 10);  // EXPECT: recraft-entry-copy
+    (void)batch;
+  }
+
+ private:
+  // Qualified element types are the same copy.
+  std::vector<raft::LogEntry> Slice(unsigned long lo,  // EXPECT: recraft-entry-copy
+                                    unsigned long hi);
+};
+
+class Storage {
+  // Mirroring the log as a deque of owned entries copies on every append.
+  std::deque<LogEntry> entries_;  // EXPECT: recraft-entry-copy
+};
+
+}  // namespace fixture
