@@ -105,15 +105,29 @@ void ClosedLoopClient::Start() {
 }
 
 uint64_t ClosedLoopClient::NextKey() {
-  if (opts_.zipf_theta <= 0.0) return rng_.Uniform(0, opts_.key_space - 1);
-  const double u = rng_.NextDouble();
-  const double uz = u * zipf_zetan_;
-  if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, opts_.zipf_theta)) return 1;
-  const double n = static_cast<double>(opts_.key_space);
-  auto k = static_cast<uint64_t>(
-      n * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
-  return std::min<uint64_t>(k, opts_.key_space - 1);
+  uint64_t rank;
+  if (opts_.zipf_theta <= 0.0) {
+    rank = rng_.Uniform(0, opts_.key_space - 1);
+  } else {
+    const double u = rng_.NextDouble();
+    const double uz = u * zipf_zetan_;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, opts_.zipf_theta)) {
+      rank = 1;
+    } else {
+      const double n = static_cast<double>(opts_.key_space);
+      auto k = static_cast<uint64_t>(
+          n * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+      rank = std::min<uint64_t>(k, opts_.key_space - 1);
+    }
+  }
+  // Rotation happens after the draw, so a live offset change redirects the
+  // hot set without perturbing any RNG stream.
+  if (opts_.key_offset != nullptr) {
+    rank = (rank + *opts_.key_offset) % opts_.key_space;
+  }
+  return rank;
 }
 
 void ClosedLoopClient::IssueNext() {

@@ -82,6 +82,11 @@ struct ClientOptions {
   /// Zipfian key skew (YCSB-style): 0 = uniform; theta in (0,1), e.g. 0.99
   /// concentrates most traffic on a few hot keys.
   double zipf_theta = 0.0;
+  /// When set, the drawn key rank is rotated by *key_offset (mod key_space)
+  /// before naming the key. The hot-key-migration nemesis points every
+  /// client here and rewrites the offset live, moving the Zipfian hot set
+  /// around the key space without touching client RNG streams.
+  const uint64_t* key_offset = nullptr;
   /// Legacy read path: route gets/scans through the log as commands.
   bool reads_via_log = false;
   /// Requests issued per round, grouped per shard. 1 = classic closed loop.

@@ -1,0 +1,74 @@
+// Seeded chaos-world sweeps: build a cluster + client fleet + nemesis mix
+// from a single seed, run it, and check every safety property the harness
+// knows (SafetyChecker invariants + KvHistoryChecker store/history
+// agreement). Each world is a pure function of (seed, SweepOptions), so a
+// failing verdict carries a single-line repro that replays the exact run in
+// one process — the sweep runner's whole reason to exist.
+//
+// RunSweep fans worlds out across a thread pool, one world per thread at a
+// time, with zero shared mutable state between worlds (each owns its event
+// queue, RNGs, network and disks); verdicts land in per-seed slots, so the
+// result — including each world's execution digest — is identical whether
+// the sweep ran on 1 thread or N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace recraft::harness {
+
+struct SweepOptions {
+  /// Nemesis scenario preset; see NemesisMix::KnownMixes().
+  std::string mix = "all";
+  size_t cluster_size = 5;
+  size_t spares = 2;         // churn-storm fodder
+  size_t clients = 4;
+  /// Chaos window length, in node tick intervals (default tick = 10 ms).
+  uint64_t chaos_ticks = 200;
+  Duration settle_timeout = 60 * kSecond;
+  uint64_t key_space = 512;
+  size_t value_bytes = 16;
+  /// Corrupt the *checked history* (never the system) with one phantom
+  /// write, so every world fails its store/history comparison: proves the
+  /// catch -> repro-line -> deterministic-replay pipeline end to end.
+  bool inject_divergence = false;
+};
+
+struct WorldVerdict {
+  uint64_t seed = 0;
+  std::string mix;
+  uint64_t chaos_ticks = 0;
+  bool injected = false;
+  uint64_t digest = 0;  // EventQueue::execution_digest() at verdict time
+  uint64_t events = 0;
+  Duration sim_end = 0;
+  uint64_t client_ops = 0;
+  uint64_t nemesis_activations = 0;
+  bool converged = false;
+  std::vector<std::string> violations;
+
+  bool ok() const { return converged && violations.empty(); }
+  /// Single-line repro, pasteable as tools/sweep arguments:
+  ///   --seed=S --mix=M --ticks=T digest=D
+  std::string ReproLine() const;
+};
+
+/// Run one seeded world to a verdict. Deterministic: same (opts, seed) ->
+/// same digest, same violations, bit for bit.
+WorldVerdict RunSweepWorld(const SweepOptions& opts, uint64_t seed);
+
+struct SweepResult {
+  std::vector<WorldVerdict> verdicts;  // indexed by seed order
+  size_t failures = 0;
+};
+
+/// Run seeds [first_seed, first_seed + count) across `threads` workers.
+/// Workers only write their own verdict slots; aggregation happens after
+/// the join, so nothing about the result depends on thread interleaving.
+SweepResult RunSweep(const SweepOptions& opts, uint64_t first_seed,
+                     size_t count, size_t threads);
+
+}  // namespace recraft::harness

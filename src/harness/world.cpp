@@ -57,6 +57,12 @@ World::World(WorldOptions opts)
     const auto& m = *std::static_pointer_cast<const raft::Message>(payload);
     if (const auto* reply = std::get_if<raft::ClientReply>(&m)) {
       admin_replies_[reply->req_id] = *reply;
+      // Fire-and-forget senders (nemesis churn storms) never collect their
+      // replies; bound the stash so they cannot grow it without limit.
+      // req_ids are monotone, so the oldest key is the stalest reply.
+      while (admin_replies_.size() > 4096) {
+        admin_replies_.erase(admin_replies_.begin());
+      }
     }
   });
 }
@@ -214,8 +220,21 @@ void World::TickNode(NodeId id, uint64_t gen) {
   auto it = nodes_.find(id);
   if (it == nodes_.end()) return;
   if (!net_.IsCrashed(id)) it->second->Tick();
-  events_.Schedule(opts_.node.tick_interval,
+  events_.Schedule(TickIntervalOf(id),
                    [this, id, gen]() { TickNode(id, gen); });
+}
+
+void World::SetTickInterval(NodeId id, Duration interval) {
+  if (interval == 0) {
+    tick_override_.erase(id);
+  } else {
+    tick_override_[id] = interval;
+  }
+}
+
+Duration World::TickIntervalOf(NodeId id) const {
+  auto it = tick_override_.find(id);
+  return it == tick_override_.end() ? opts_.node.tick_interval : it->second;
 }
 
 core::Node& World::node(NodeId id) {
@@ -250,6 +269,11 @@ void World::Restart(NodeId id) {
 storage::Storage* World::NodeStorage(NodeId id) {
   auto it = storages_.find(id);
   return it == storages_.end() ? nullptr : it->second.get();
+}
+
+storage::SimDisk* World::NodeDisk(NodeId id) {
+  auto it = disks_.find(id);
+  return it == disks_.end() ? nullptr : it->second.get();
 }
 
 Status World::CrashNode(NodeId id, const storage::CrashSpec& spec) {

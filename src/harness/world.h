@@ -102,6 +102,7 @@ class World {
 
   sim::EventQueue& events() { return events_; }
   sim::Network& net() { return net_; }
+  const WorldOptions& options() const { return opts_; }
   TimePoint now() const { return events_.now(); }
   Rng& rng() { return rng_; }
   const NamingService& naming() const { return naming_; }
@@ -123,6 +124,17 @@ class World {
   bool IsDown(NodeId id) const { return nodes_.count(id) == 0; }
   /// The node's storage backend (null in kNone mode or while down).
   storage::Storage* NodeStorage(NodeId id);
+  /// The node's durable medium (null outside kWal mode). Survives CrashNode,
+  /// so nemeses can keep a latency spike or fsync stall armed across a
+  /// reboot.
+  storage::SimDisk* NodeDisk(NodeId id);
+
+  /// Override one node's tick interval (clock skew injection: a fast or
+  /// slow local clock changes election/heartbeat pacing relative to its
+  /// peers). 0 restores WorldOptions::node.tick_interval. Takes effect at
+  /// the node's next tick; survives soft Crash/Restart and CrashNode.
+  void SetTickInterval(NodeId id, Duration interval);
+  Duration TickIntervalOf(NodeId id) const;
 
   // --- time control ---------------------------------------------------------
   void RunFor(Duration d) { events_.RunFor(d); }
@@ -223,6 +235,8 @@ class World {
   /// Incarnation counter per node: stale tick chains from before a
   /// CrashNode notice the bump and die off.
   std::map<NodeId, uint64_t> node_gen_;
+  /// Per-node tick-interval overrides (clock skew injection).
+  std::map<NodeId, Duration> tick_override_;
   NodeId next_node_id_ = 1;
   uint64_t next_tx_id_ = 1;
   uint64_t next_req_id_ = 1;

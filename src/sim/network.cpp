@@ -23,6 +23,7 @@ Network::Network(EventQueue& events, NetworkOptions opts, Rng rng)
   cid_.drop_src_crashed = counters_.Intern("net.dropped.src_crashed");
   cid_.drop_dst_crashed = counters_.Intern("net.dropped.dst_crashed");
   cid_.drop_partition = counters_.Intern("net.dropped.partition");
+  cid_.drop_oneway = counters_.Intern("net.dropped.oneway");
   cid_.drop_random = counters_.Intern("net.dropped.random");
   cid_.drop_unregistered = counters_.Intern("net.dropped.unregistered");
 }
@@ -55,6 +56,12 @@ bool Network::CanCommunicate(NodeId a, NodeId b) const {
     if (ga >= 0 && gb >= 0 && ga != gb) return false;
   }
   return true;
+}
+
+bool Network::CanDeliver(NodeId from, NodeId to) const {
+  if (!CanCommunicate(from, to)) return false;
+  return blocked_oneway_.empty() ||
+         blocked_oneway_.count(PackLink(from, to)) == 0;
 }
 
 Duration Network::DeliveryDelay(NodeId from, NodeId to, size_t bytes) {
@@ -96,10 +103,27 @@ void Network::Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
     counters_.Add(cid_.drop_partition);
     return;
   }
-  if (opts_.drop_probability > 0 && from != to &&
-      rng_.Chance(opts_.drop_probability)) {
-    counters_.Add(cid_.drop_random);
+  if (!blocked_oneway_.empty() &&
+      blocked_oneway_.count(PackLink(from, to)) > 0) {
+    counters_.Add(cid_.drop_oneway);
     return;
+  }
+  double drop_p = opts_.drop_probability;
+  bool drop_overridden = false;
+  if (!link_drop_.empty()) {
+    auto it = link_drop_.find(PackLink(from, to));
+    if (it != link_drop_.end()) {
+      drop_p = it->second;
+      drop_overridden = true;
+    }
+  }
+  if (drop_p > 0 && from != to) {
+    // A per-link override of 1.0 is certain loss: skip the draw so arming
+    // and disarming total one-way loss cannot perturb the RNG stream.
+    if ((drop_overridden && drop_p >= 1.0) || rng_.Chance(drop_p)) {
+      counters_.Add(cid_.drop_random);
+      return;
+    }
   }
   Duration delay = DeliveryDelay(from, to, bytes);
   events_.Schedule(delay, [this, from, to, payload = std::move(payload),
@@ -108,9 +132,10 @@ void Network::Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
       counters_.Add(cid_.drop_dst_crashed);
       return;
     }
-    // Re-check reachability at delivery time: a partition raised while the
-    // message was in flight also loses it (conservative, like TCP resets).
-    if (!CanCommunicate(from, to)) {
+    // Re-check reachability at delivery time: a partition or one-way block
+    // raised while the message was in flight also loses it (conservative,
+    // like TCP resets).
+    if (!CanDeliver(from, to)) {
       counters_.Add(cid_.drop_partition);
       return;
     }
@@ -129,6 +154,22 @@ void Network::Block(NodeId a, NodeId b) {
 
 void Network::Unblock(NodeId a, NodeId b) {
   blocked_.erase(PackLink(std::min(a, b), std::max(a, b)));
+}
+
+void Network::BlockOneWay(NodeId from, NodeId to) {
+  blocked_oneway_.insert(PackLink(from, to));
+}
+
+void Network::UnblockOneWay(NodeId from, NodeId to) {
+  blocked_oneway_.erase(PackLink(from, to));
+}
+
+void Network::HealAll() {
+  partitions_active_ = false;
+  blocked_.clear();
+  blocked_oneway_.clear();
+  link_latency_.clear();
+  link_drop_.clear();
 }
 
 void Network::SetPartitions(const std::vector<std::vector<NodeId>>& groups) {
@@ -150,6 +191,14 @@ void Network::SetLinkLatency(NodeId from, NodeId to, Duration latency) {
 
 void Network::ClearLinkLatency(NodeId from, NodeId to) {
   link_latency_.erase(PackLink(from, to));
+}
+
+void Network::SetLinkDropProbability(NodeId from, NodeId to, double p) {
+  link_drop_[PackLink(from, to)] = p;
+}
+
+void Network::ClearLinkDropProbability(NodeId from, NodeId to) {
+  link_drop_.erase(PackLink(from, to));
 }
 
 }  // namespace recraft::sim

@@ -67,12 +67,26 @@ class Network {
   void Block(NodeId a, NodeId b);
   void Unblock(NodeId a, NodeId b);
 
+  /// Block one direction only: messages from -> to are lost, to -> from
+  /// still flow. This is the gray-failure primitive (a NIC that can send
+  /// but not receive, an asymmetric routing blackhole).
+  void BlockOneWay(NodeId from, NodeId to);
+  void UnblockOneWay(NodeId from, NodeId to);
+
   /// Partition the world into groups; nodes in different groups cannot
   /// communicate. Nodes not mentioned in any group (clients, admin, the
   /// naming service) are unaffected and reach everyone. Replaces any
   /// previous partition.
   void SetPartitions(const std::vector<std::vector<NodeId>>& groups);
   void ClearPartitions() { partitions_active_ = false; }
+
+  /// Heal every injected connectivity fault in one call: partitions,
+  /// pairwise blocks (both kinds) and per-link latency/drop overrides.
+  /// ClearPartitions alone famously does NOT clear pairwise Blocks — tests
+  /// and nemeses that mean "make the network whole again" use this. The
+  /// global drop_probability is configuration, not a fault, and is left
+  /// untouched (reset it with set_drop_probability(0)).
+  void HealAll();
 
   void set_drop_probability(double p) { opts_.drop_probability = p; }
   const NetworkOptions& options() const { return opts_; }
@@ -81,9 +95,24 @@ class Network {
   void SetLinkLatency(NodeId from, NodeId to, Duration latency);
   void ClearLinkLatency(NodeId from, NodeId to);
 
+  /// Override the drop probability for one ordered link (one direction);
+  /// takes precedence over the global drop_probability for that link. The
+  /// RNG draw order is unchanged while no override is installed, and an
+  /// override of 1.0 draws nothing (loss is certain, like a block).
+  void SetLinkDropProbability(NodeId from, NodeId to, double p);
+  void ClearLinkDropProbability(NodeId from, NodeId to);
+
   // --- introspection ----------------------------------------------------
   CounterSet& counters() { return counters_; }
   bool CanCommunicate(NodeId a, NodeId b) const;
+  /// Directional reachability: CanCommunicate minus one-way blocks.
+  bool CanDeliver(NodeId from, NodeId to) const;
+  size_t blocked_link_count() const {
+    return blocked_.size() + blocked_oneway_.size();
+  }
+  size_t link_override_count() const {
+    return link_latency_.size() + link_drop_.size();
+  }
 
  private:
   static uint64_t PackLink(NodeId a, NodeId b) {
@@ -100,16 +129,19 @@ class Network {
   std::vector<DeliveryHandler> handlers_;        // indexed by NodeId
   std::vector<uint8_t> crashed_;                 // indexed by NodeId
   std::unordered_set<uint64_t> blocked_;         // PackLink(min, max)
+  std::unordered_set<uint64_t> blocked_oneway_;  // PackLink(from, to)
   std::vector<int32_t> group_of_;                // -1 = in no group
   bool partitions_active_ = false;
   std::unordered_map<uint64_t, Duration> link_latency_;  // PackLink(from, to)
+  std::unordered_map<uint64_t, double> link_drop_;       // PackLink(from, to)
   CounterSet counters_;
 
   // Pre-interned handles for the per-message counters.
   struct {
     CounterSet::Id sent, bytes, delivered;
     CounterSet::Id drop_src_crashed, drop_dst_crashed;
-    CounterSet::Id drop_partition, drop_random, drop_unregistered;
+    CounterSet::Id drop_partition, drop_oneway, drop_random;
+    CounterSet::Id drop_unregistered;
   } cid_;
 };
 

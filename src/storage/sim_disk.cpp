@@ -8,7 +8,7 @@ namespace recraft::storage {
 const std::vector<uint8_t> SimDisk::kEmpty{};
 
 void SimDisk::ChargeWrite(size_t bytes) {
-  stats_.io_busy += opts_.fsync_latency;
+  stats_.io_busy += opts_.fsync_latency + extra_fsync_latency_;
   if (opts_.throughput_bytes_per_sec > 0) {
     stats_.io_busy += static_cast<Duration>(
         (static_cast<unsigned __int128>(bytes) * kSecond) /

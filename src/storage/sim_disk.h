@@ -61,6 +61,21 @@ class SimDisk {
   size_t PendingSize(const std::string& file) const;
   std::vector<std::string> List(const std::string& prefix) const;
 
+  // --- latency injection (nemesis hooks) ----------------------------------
+  /// Add `extra` microseconds to every fsync completion (a disk-latency
+  /// spike: a shared SSD hiccup, a rebuilding RAID). The owning WalStorage
+  /// defers each group commit by this amount; the charge also lands in
+  /// io_busy so benches see it. 0 restores normal latency.
+  void SetExtraFsyncLatency(Duration extra) { extra_fsync_latency_ = extra; }
+  Duration extra_fsync_latency() const { return extra_fsync_latency_; }
+  /// Stall fsyncs entirely (the classic gray failure: writes buffer but
+  /// never reach the platter). While stalled the owning WalStorage keeps
+  /// batching pending records and re-arming its flush timer; durability —
+  /// and everything gated on it (acks, the leader's own commit vote) —
+  /// waits until the stall clears.
+  void SetFsyncStalled(bool stalled) { fsync_stalled_ = stalled; }
+  bool fsync_stalled() const { return fsync_stalled_; }
+
   // --- crash injection ----------------------------------------------------
   /// Crash: every file loses its pending region.
   void CrashAll();
@@ -89,6 +104,8 @@ class SimDisk {
   Options opts_;
   std::map<std::string, File> files_;
   Stats stats_;
+  Duration extra_fsync_latency_ = 0;
+  bool fsync_stalled_ = false;
   static const std::vector<uint8_t> kEmpty;
 };
 

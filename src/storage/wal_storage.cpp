@@ -72,13 +72,38 @@ void WalStorage::AppendRecord(const Encoder& payload, bool force_sync) {
 
 void WalStorage::ArmFlush() {
   if (flush_event_ != sim::kNoEvent) return;
-  flush_event_ = events_->Schedule(opts_.flush_interval, [this]() {
-    flush_event_ = sim::kNoEvent;
-    FlushNow(/*from_timer=*/true);
-  });
+  flush_event_ =
+      events_->Schedule(opts_.flush_interval, [this]() { OnFlushTimer(); });
+}
+
+Duration WalStorage::StallPollInterval() const {
+  return opts_.flush_interval > 0 ? opts_.flush_interval : 100;
+}
+
+void WalStorage::OnFlushTimer() {
+  flush_event_ = sim::kNoEvent;
+  if (disk_->fsync_stalled()) {
+    // The platter is unreachable: keep batching pending records and poll
+    // until the stall heals. DurableIndex freezes, so follower acks and the
+    // leader's own commit vote wait — delayed, never unsafe.
+    flush_event_ =
+        events_->Schedule(StallPollInterval(), [this]() { OnFlushTimer(); });
+    return;
+  }
+  if (disk_->extra_fsync_latency() > 0 && !flush_deferred_) {
+    // A latency spike defers this group commit once by the injected amount;
+    // the next timer firing flushes whatever accumulated meanwhile.
+    flush_deferred_ = true;
+    flush_event_ = events_->Schedule(disk_->extra_fsync_latency(),
+                                     [this]() { OnFlushTimer(); });
+    return;
+  }
+  flush_deferred_ = false;
+  FlushNow(/*from_timer=*/true);
 }
 
 void WalStorage::FlushNow(bool from_timer) {
+  flush_deferred_ = false;
   if (pending_records_ > 0) {
     disk_->Flush(kWalFile);
     if (from_timer) {

@@ -128,6 +128,11 @@ class WalStorage final : public Storage {
   static std::vector<uint8_t> FrameRecord(const Encoder& payload);
   void AppendRecord(const Encoder& payload, bool force_sync);
   void ArmFlush();
+  /// Flush-timer body: honors the disk's injected fsync stall (re-poll
+  /// until it clears) and latency spike (defer this batch once), so gray
+  /// disk behavior flows through the event schedule, never wall clock.
+  void OnFlushTimer();
+  Duration StallPollInterval() const;
   void FlushNow(bool from_timer);
   void MaybeRewriteWal();
   std::vector<uint8_t> EncodeCheckpoint() const;
@@ -147,6 +152,7 @@ class WalStorage final : public Storage {
   size_t last_snap_record_off_ = 0;
   size_t live_bytes_estimate_ = 0;
   sim::EventId flush_event_ = sim::kNoEvent;
+  bool flush_deferred_ = false;  // latency spike applied to this batch
   Stats stats_;
 };
 

@@ -68,7 +68,7 @@ RunTrace RunChaosScenario(uint64_t seed) {
     w.RunFor(400 * kMillisecond);
   }
   for (NodeId n : down) w.Restart(n);
-  w.net().ClearPartitions();
+  w.net().HealAll();  // partitions and any per-link overrides in one sweep
   w.net().set_drop_probability(0);
   EXPECT_TRUE(w.WaitForLeader(c));
   EXPECT_TRUE(w.Put(c, "final", "ok", 10 * kSecond).ok());

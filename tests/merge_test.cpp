@@ -234,6 +234,8 @@ TEST(Merge, AbortRetransmittedUntilParticipantsAck) {
       10 * kSecond));
   // Let the (doomed) one-shot fan-out window pass while g1 is unreachable.
   w.RunFor(300 * kMillisecond);
+  // Targeted unblock, NOT HealAll(): the g2 -> g0 latency must stay up so
+  // g2's (still-delayed) traffic cannot perturb the retransmission window.
   for (NodeId a : g0) {
     for (NodeId b : g1) w.net().Unblock(a, b);
   }
@@ -252,7 +254,7 @@ TEST(Merge, AbortRetransmittedUntilParticipantsAck) {
       << w.node(g1[0]).config().ToString();
 
   // And g1 is reconfigurable again: a fresh merge with g0 completes.
-  ASSERT_TRUE(w.AdminMerge({g0, g1}, {}, 60 * kSecond).ok());
+  { auto st = w.AdminMerge({g0, g1}, {}, 60 * kSecond); ASSERT_TRUE(st.ok()) << st.ToString(); }
   std::vector<NodeId> merged;
   merged.insert(merged.end(), g0.begin(), g0.end());
   merged.insert(merged.end(), g1.begin(), g1.end());
@@ -363,9 +365,7 @@ TEST(Merge, AbortResumedAfterCoordinatorLeaderChange) {
       },
       15 * kSecond));
   w.RunFor(200 * kMillisecond);
-  for (NodeId a : g0) {
-    for (NodeId b : g1) w.net().Unblock(a, b);
-  }
+  w.net().HealAll();  // drops the whole g0 x g1 block set at once
 
   // The fix: the NEW coordinator leader — which never ran this 2PC —
   // resumes the abort retransmission from its unsettled_aborts_ record, so
@@ -398,7 +398,7 @@ TEST(Merge, AbortResumedAfterCoordinatorLeaderChange) {
       20 * kSecond));
 
   // And both clusters are reconfigurable again.
-  ASSERT_TRUE(w.AdminMerge({g0, g1}, {}, 60 * kSecond).ok());
+  { auto st = w.AdminMerge({g0, g1}, {}, 60 * kSecond); ASSERT_TRUE(st.ok()) << st.ToString(); }
   std::vector<NodeId> merged;
   merged.insert(merged.end(), g0.begin(), g0.end());
   merged.insert(merged.end(), g1.begin(), g1.end());

@@ -63,7 +63,9 @@ class ChaosMonkey {
   void HealAll() {
     for (NodeId n : healing_) w_.Restart(n);
     healing_.clear();
-    w_.net().ClearPartitions();
+    // One sweep clears partitions plus any blocks / per-link overrides;
+    // the global drop probability is not link state, reset it explicitly.
+    w_.net().HealAll();
     w_.net().set_drop_probability(0);
   }
 

@@ -367,6 +367,76 @@ TEST(Network, PairwiseBlock) {
   EXPECT_EQ(f.delivered.size(), 2u);
 }
 
+TEST(Network, BlockOneWayIsDirectional) {
+  NetFixture f;
+  f.net.BlockOneWay(1, 2);
+  f.Send(1, 2);  // blocked direction
+  f.Send(2, 1);  // reverse still flows
+  f.events.RunUntil(kSecond);
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].to, 1u);
+  EXPECT_EQ(f.net.counters().Get("net.dropped.oneway"), 1u);
+  f.net.UnblockOneWay(1, 2);
+  f.Send(1, 2);
+  f.events.RunUntil(2 * kSecond);
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
+TEST(Network, BlockOneWayRaisedMidFlightDropsAtDelivery) {
+  NetworkOptions o;
+  o.base_latency = 500;
+  o.jitter = 0;
+  NetFixture f(o);
+  f.Send(1, 2);
+  f.events.RunUntil(100);  // in flight
+  f.net.BlockOneWay(1, 2);
+  f.events.RunUntil(kSecond);
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_FALSE(f.net.CanDeliver(1, 2));
+  EXPECT_TRUE(f.net.CanDeliver(2, 1));
+  EXPECT_TRUE(f.net.CanCommunicate(1, 2));  // symmetric view unaffected
+}
+
+TEST(Network, LinkDropProbabilityOverride) {
+  NetFixture f;
+  // Certain loss on 1->2 only; reverse and other links untouched. p = 1.0
+  // never draws from the RNG, so arming it cannot shift the jitter stream.
+  f.net.SetLinkDropProbability(1, 2, 1.0);
+  for (int i = 0; i < 20; ++i) f.Send(1, 2);
+  f.Send(2, 1);
+  f.Send(1, 3);
+  f.events.RunUntil(kSecond);
+  EXPECT_EQ(f.delivered.size(), 2u);
+  EXPECT_EQ(f.net.counters().Get("net.dropped.random"), 20u);
+  f.net.ClearLinkDropProbability(1, 2);
+  f.Send(1, 2);
+  f.events.RunUntil(2 * kSecond);
+  EXPECT_EQ(f.delivered.size(), 3u);
+}
+
+TEST(Network, HealAllClearsEveryConnectivityFault) {
+  NetFixture f;
+  f.net.SetPartitions({{1, 2}, {3, 4}});
+  f.net.Block(1, 2);
+  f.net.BlockOneWay(3, 4);
+  f.net.SetLinkLatency(1, 3, 50000);
+  f.net.SetLinkDropProbability(2, 4, 1.0);
+  EXPECT_EQ(f.net.blocked_link_count(), 2u);
+  EXPECT_EQ(f.net.link_override_count(), 2u);
+  f.net.HealAll();
+  EXPECT_EQ(f.net.blocked_link_count(), 0u);
+  EXPECT_EQ(f.net.link_override_count(), 0u);
+  for (NodeId a = 1; a <= 4; ++a) {
+    for (NodeId b = 1; b <= 4; ++b) {
+      EXPECT_TRUE(f.net.CanDeliver(a, b)) << a << "->" << b;
+    }
+  }
+  f.Send(1, 2);
+  f.Send(3, 4);
+  f.events.RunUntil(kSecond);
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
 TEST(Network, DropProbabilityLosesSomeMessages) {
   NetworkOptions o;
   o.drop_probability = 0.5;

@@ -29,8 +29,11 @@ namespace recraft::lint {
 namespace {
 
 // Directories forming the deterministic core (virtual-path scoped).
+// src/harness is in scope too: the nemesis/sweep layer promises per-seed
+// digest-identical replays, so it must be as clock/rand-free as the core.
 const std::vector<std::string> kScopedDirs = {
-    "src/sim", "src/core", "src/raft", "src/shard", "src/storage", "src/sm",
+    "src/sim",     "src/core", "src/raft", "src/shard",
+    "src/storage", "src/sm",   "src/harness",
 };
 
 // Identifiers that are banned when used as a call: `name(...)` with no

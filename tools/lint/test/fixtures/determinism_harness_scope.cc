@@ -1,0 +1,40 @@
+// RECRAFT-TIDY-PATH: src/harness/fixture_determinism_harness_scope.cc
+// The harness layer (worlds, clients, nemeses, the sweep runner) is part of
+// the deterministic scope: a sweep world's verdict must replay bit-for-bit
+// from its (seed, mix, ticks) repro line, so ambient state is banned here
+// exactly as in src/sim.
+
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+// A nemesis drawing phase lengths from the wall clock would make every
+// sweep verdict unreproducible.
+unsigned long NemesisPhaseFromWallClock() {
+  return time(nullptr);  // EXPECT: recraft-determinism
+}
+
+long SweepSeedFromClock() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT: recraft-determinism
+  (void)t;
+  return rand();  // EXPECT: recraft-determinism
+}
+
+// Unordered iteration picking fault victims leaks address order into the
+// executed schedule.
+class VictimPicker {
+ public:
+  int Sum() const {
+    int sum = 0;
+    for (const auto& [id, load] : nodes_) {  // EXPECT: recraft-determinism
+      sum += id + load;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, int> nodes_;
+};
+
+}  // namespace fixture

@@ -1,8 +1,9 @@
 // RECRAFT-TIDY-PATH: tests/fixture_determinism_out_of_scope.cc
 // recraft-determinism is scoped to the deterministic core (src/sim, src/core,
-// src/raft, src/shard, src/storage, src/sm). Outside it — tests, tools —
-// wall-clock and ambient state are legitimate, so this whole file must stay
-// silent even though every construct here would diagnose under src/sim.
+// src/raft, src/shard, src/storage, src/sm, src/harness). Outside it —
+// tests, tools — wall-clock and ambient state are legitimate, so this whole
+// file must stay silent even though every construct here would diagnose
+// under src/sim.
 
 unsigned long WallClockIsFineInTests() {
   unsigned long a = time(nullptr);
