@@ -43,6 +43,9 @@ struct RunStats {
   uint64_t log_entries_added = 0;
   uint64_t ops = 0;
   double appends_per_kop = 0;  // leader AppendEntries RPCs per 1000 ops
+  Duration lat_p50 = 0;        // pooled client latency (sim microseconds)
+  Duration lat_p99 = 0;
+  Duration lat_p999 = 0;
 };
 
 RunStats RunFleet(uint64_t seed, size_t preload, Duration run_for,
@@ -80,6 +83,12 @@ RunStats RunFleet(uint64_t seed, size_t preload, Duration run_for,
   out.ops = fleet.TotalOps();
   out.ops_per_sim_sec = static_cast<double>(out.ops) /
                         (static_cast<double>(w.now() - t0) / kSecond);
+  LatencyRecorder pooled = fleet.PooledLatency();
+  if (pooled.count() > 0) {
+    out.lat_p50 = pooled.Percentile(50.0);
+    out.lat_p99 = pooled.Percentile(99.0);
+    out.lat_p999 = pooled.Percentile(99.9);
+  }
   NodeId l = w.LeaderOf(c);
   if (l == leader && out.ops > 0) {
     out.log_entries_added = w.node(l).last_log_index() - log_before;
@@ -149,6 +158,28 @@ int Run(bool json, const std::string& path, bool smoke) {
                 reduction);
     results.push_back({"append_reduction", reduction, "x"});
   }
+
+  // Client-latency distribution under a skewed YCSB-style workload: 50/50
+  // get/put, Zipfian theta 0.99 (most traffic on a few hot keys). The
+  // percentile axes come from the same pooled LatencyRecorder the sweep
+  // verdicts report, so bench and chaos numbers are comparable.
+  ClientOptions zipf = base;
+  zipf.get_fraction = 0.5;
+  zipf.zipf_theta = 0.99;
+  RunStats zipf_run = RunFleet(13, preload, run_for, zipf);
+  std::printf(
+      "zipf 50/50 (θ=.99) : %10.0f ops/sim-s  lat p50=%lldus p99=%lldus "
+      "p999=%lldus\n",
+      zipf_run.ops_per_sim_sec, static_cast<long long>(zipf_run.lat_p50),
+      static_cast<long long>(zipf_run.lat_p99),
+      static_cast<long long>(zipf_run.lat_p999));
+  results.push_back({"zipf_ops_per_sim_sec", zipf_run.ops_per_sim_sec, "1/s"});
+  results.push_back(
+      {"zipf_client_lat_p50_us", static_cast<double>(zipf_run.lat_p50), "us"});
+  results.push_back(
+      {"zipf_client_lat_p99_us", static_cast<double>(zipf_run.lat_p99), "us"});
+  results.push_back({"zipf_client_lat_p999_us",
+                     static_cast<double>(zipf_run.lat_p999), "us"});
 
   ClientOptions scans = base;
   scans.scan_fraction = 1.0;

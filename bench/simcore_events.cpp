@@ -112,7 +112,8 @@ struct FanoutWorkload {
         receivers(n_receivers) {
     for (NodeId n = 1; n <= receivers; ++n) {
       net.Register(n,
-                   [this](NodeId, std::shared_ptr<const void>, size_t) {
+                   [this](NodeId, std::shared_ptr<const void>, size_t,
+                          obs::TraceCtx) {
                      ++delivered;
                    });
     }
@@ -237,6 +238,9 @@ struct E2eResult {
   double events_per_sec = 0;
   double client_ops_per_sec = 0;
   uint64_t events = 0;
+  Duration lat_p50 = 0;   // pooled client latency, sim microseconds
+  Duration lat_p99 = 0;   // (whole run incl. warmup; closed-loop clients)
+  Duration lat_p999 = 0;
 };
 
 E2eResult RunShardPlane(Duration sim_time) {
@@ -272,6 +276,12 @@ E2eResult RunShardPlane(Duration sim_time) {
     res.client_ops_per_sec =
         static_cast<double>(fleet.TotalOps() - ops0) / res.wall_seconds;
   }
+  LatencyRecorder pooled = fleet.PooledLatency();
+  if (pooled.count() > 0) {
+    res.lat_p50 = pooled.Percentile(50.0);
+    res.lat_p99 = pooled.Percentile(99.0);
+    res.lat_p999 = pooled.Percentile(99.9);
+  }
   fleet.Stop();
   return res;
 }
@@ -303,6 +313,11 @@ int RunJson(const std::string& path, bool smoke) {
       "%.0f client ops/s\n",
       e2e.sim_seconds, e2e.wall_seconds, e2e.events_per_sec / 1e6,
       e2e.client_ops_per_sec);
+  std::printf(
+      "  e2e client latency (sim): p50=%lldus p99=%lldus p999=%lldus\n",
+      static_cast<long long>(e2e.lat_p50),
+      static_cast<long long>(e2e.lat_p99),
+      static_cast<long long>(e2e.lat_p999));
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -331,14 +346,20 @@ int RunJson(const std::string& path, bool smoke) {
                "    \"wall_seconds\": %.3f,\n"
                "    \"events\": %llu,\n"
                "    \"events_per_sec\": %.0f,\n"
-               "    \"client_ops_per_sec\": %.0f\n"
+               "    \"client_ops_per_sec\": %.0f,\n"
+               "    \"client_lat_p50_us\": %lld,\n"
+               "    \"client_lat_p99_us\": %lld,\n"
+               "    \"client_lat_p999_us\": %lld\n"
                "  }\n"
                "}\n",
                smoke ? "true" : "false", churn, sf, fan, st.keys,
                st.put_ops_per_sec, st.get_ops_per_sec,
                st.scan_entries_per_sec, e2e.sim_seconds, e2e.wall_seconds,
                static_cast<unsigned long long>(e2e.events),
-               e2e.events_per_sec, e2e.client_ops_per_sec);
+               e2e.events_per_sec, e2e.client_ops_per_sec,
+               static_cast<long long>(e2e.lat_p50),
+               static_cast<long long>(e2e.lat_p99),
+               static_cast<long long>(e2e.lat_p999));
   std::fclose(f);
   std::printf("  wrote %s\n", path.c_str());
   return e2e.events > 0 ? 0 : 1;

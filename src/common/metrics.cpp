@@ -54,4 +54,90 @@ std::map<std::string, uint64_t> CounterSet::all() const {
   return out;
 }
 
+uint32_t Histogram::BucketOf(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<uint32_t>(v);
+  // Octave o >= 1 covers [2^(kSubBits+o-1), 2^(kSubBits+o)); within it the
+  // kSubBuckets linear sub-buckets each span 2^(o-1) values.
+  const uint32_t msb = 63u - static_cast<uint32_t>(__builtin_clzll(v));
+  const uint32_t octave = msb - kSubBits + 1;
+  const uint32_t sub =
+      static_cast<uint32_t>(v >> (octave - 1)) - kSubBuckets;
+  uint32_t b = octave * kSubBuckets + sub;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(uint32_t b) {
+  if (b < kSubBuckets) return b;
+  const uint32_t octave = b / kSubBuckets;
+  const uint32_t sub = b % kSubBuckets;
+  const uint64_t lower = static_cast<uint64_t>(kSubBuckets + sub)
+                         << (octave - 1);
+  return lower + ((1ULL << (octave - 1)) - 1);
+}
+
+void Histogram::Record(uint64_t v, uint64_t n) {
+  buckets_[BucketOf(v)] += n;
+  count_ += n;
+  sum_ += v * n;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  const uint64_t rank =
+      static_cast<uint64_t>(clamped / 100.0 * double(count_ - 1));
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      return std::max(min_, std::min(BucketUpperBound(b), max_));
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (uint32_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram()).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge()).first;
+  }
+  return it->second;
+}
+
+MetricRegistry::Snapshot MetricRegistry::Snap() const {
+  Snapshot s;
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats st;
+    st.count = h.count();
+    st.min = h.min();
+    st.max = h.max();
+    st.mean = h.Mean();
+    st.p50 = h.Percentile(50.0);
+    st.p99 = h.Percentile(99.0);
+    st.p999 = h.Percentile(99.9);
+    s.histograms.emplace(name, st);
+  }
+  for (const auto& [name, g] : gauges_) s.gauges.emplace(name, g.value());
+  s.counters = counters_.all();
+  return s;
+}
+
 }  // namespace recraft

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -92,6 +93,98 @@ class CounterSet {
   std::unordered_map<std::string, Id, StringHash, std::equal_to<>> index_;
   std::vector<std::string> names_;
   std::vector<uint64_t> values_;
+};
+
+/// HDR-style log-bucketed histogram: values land in 2^exp buckets, each
+/// subdivided into kSubBuckets linear sub-buckets, giving a bounded
+/// relative error (~1/kSubBuckets) with O(1) record and a few hundred
+/// bytes of fixed state — unlike LatencyRecorder there is no per-sample
+/// allocation, so it can sit on always-on paths.
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr uint32_t kSubBuckets = 1u << kSubBits;
+  static constexpr uint32_t kOctaves = 64 - kSubBits;
+  static constexpr uint32_t kBuckets = kOctaves * kSubBuckets;
+
+  void Record(uint64_t v, uint64_t n = 1);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  uint64_t sum() const { return sum_; }
+  double Mean() const { return count_ ? double(sum_) / double(count_) : 0.0; }
+
+  /// Value at percentile p in [0,100]; the representative value of the
+  /// bucket holding the p-th sample (upper bucket bound, clamped to max()).
+  uint64_t Percentile(double p) const;
+
+  void Merge(const Histogram& other);
+  void Clear() { *this = Histogram(); }
+
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  static uint32_t BucketOf(uint64_t v);
+  static uint64_t BucketUpperBound(uint32_t b);
+
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kBuckets, 0);
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+};
+
+/// A last-write-wins instantaneous value (queue depth, shard key count)
+/// that also tracks the high-water mark.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void Add(int64_t d) { Set(value_ + d); }
+  int64_t value() const { return value_; }
+  int64_t max() const { return max_; }
+
+ private:
+  int64_t value_ = 0;
+  int64_t max_ = std::numeric_limits<int64_t>::min();
+};
+
+/// Named registry of histograms, gauges and counters — the reporting
+/// surface for per-node and per-shard metrics. Lookup interns the name on
+/// first use and returns a stable reference; hot paths cache the
+/// reference. Snapshots are name-sorted (deterministic).
+class MetricRegistry {
+ public:
+  Histogram& histogram(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
+
+  struct HistogramStats {
+    uint64_t count = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double mean = 0.0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    uint64_t p999 = 0;
+  };
+
+  struct Snapshot {
+    std::map<std::string, HistogramStats> histograms;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, uint64_t> counters;
+  };
+
+  Snapshot Snap() const;
+
+ private:
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  CounterSet counters_;
 };
 
 }  // namespace recraft

@@ -16,6 +16,15 @@ std::vector<NodeId> QuorumUnion(const raft::QuorumSpec& q) {
 
 void Node::StartElection() {
   counters_.Add(cid_.election_started);
+  if (opts_.recorder != nullptr) {
+    // A re-campaign means the previous round went nowhere: close it lost.
+    if (election_span_ != 0) {
+      opts_.recorder->EndSpan(id_, obs::Name::kElection, election_span_,
+                              obs::Outcome::kLost, term_);
+    }
+    election_span_ = opts_.recorder->BeginSpan(id_, obs::Name::kElection,
+                                               cur_ctx_, term_);
+  }
   role_ = Role::kCandidate;
   leader_ = kNoNode;
   term_ = EpochTerm(term_).NextTerm().raw();
@@ -135,6 +144,11 @@ void Node::HandleVoteReply(NodeId from, const raft::VoteReply& m) {
 
 void Node::BecomeLeader() {
   counters_.Add(cid_.election_won);
+  if (opts_.recorder != nullptr && election_span_ != 0) {
+    opts_.recorder->EndSpan(id_, obs::Name::kElection, election_span_,
+                            obs::Outcome::kOk, term_);
+    election_span_ = 0;
+  }
   RLOG_INFO("elect", "n%u becomes leader at %s (%s)", id_,
             current_et().ToString().c_str(),
             config_.Current().ToString().c_str());

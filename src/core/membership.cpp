@@ -95,8 +95,22 @@ Status Node::StartMemberChange(const raft::MemberChange& mc) {
   } else {
     if (Status s = CheckReconfigPreconditions(); !s.ok()) return s;
   }
+  // Begin before Propose: on a single-node quorum the entry commits and
+  // applies synchronously, and OnMemberChangeCommitted closes this span.
+  if (opts_.recorder != nullptr && member_span_ == 0) {
+    member_span_ = opts_.recorder->BeginSpan(
+        id_, obs::Name::kMemberChange, cur_ctx_,
+        mc.nodes.empty() ? 0 : mc.nodes[0]);
+  }
   auto idx = Propose(raft::ConfMember{mc});
-  if (!idx.ok()) return idx.status();
+  if (!idx.ok()) {
+    if (opts_.recorder != nullptr && member_span_ != 0) {
+      opts_.recorder->EndSpan(id_, obs::Name::kMemberChange, member_span_,
+                              obs::Outcome::kError);
+      member_span_ = 0;
+    }
+    return idx.status();
+  }
   counters_.Add(cid_.member_proposed);
   RLOG_INFO("member", "n%u proposed %s at %llu", id_,
             mc.ToString().c_str(), static_cast<unsigned long long>(*idx));
@@ -112,6 +126,11 @@ void Node::OnMemberChangeCommitted(const raft::ConfMember& cm, Index index) {
   // second use-after-free of the reconfig-reentrancy family). The decisions
   // below are specified against the state as of *this* commit anyway.
   const raft::ConfigState cfg = config_.Current();
+  if (opts_.recorder != nullptr && member_span_ != 0) {
+    opts_.recorder->EndSpan(id_, obs::Name::kMemberChange, member_span_,
+                            obs::Outcome::kOk, index);
+    member_span_ = 0;
+  }
   counters_.Add(cid_.member_committed);
 
   bool membership_changed = cm.change.kind != raft::MemberChangeKind::kResizeQuorum &&

@@ -109,9 +109,18 @@ Status Node::StartMerge(const raft::AdminMerge& req, uint64_t req_id,
   merge_.admin_req_id = req_id;
   merge_.admin_client = client;
   merge_.contact = DefaultContacts(plan);
+  if (opts_.recorder != nullptr) {
+    merge_span_ = opts_.recorder->BeginSpan(id_, obs::Name::kMerge, cur_ctx_,
+                                            plan.tx);
+  }
   auto idx = Propose(raft::ConfMergeTx{plan, /*decision_ok=*/true});
   if (!idx.ok()) {
     merge_ = MergeRuntime{};
+    if (opts_.recorder != nullptr && merge_span_ != 0) {
+      opts_.recorder->EndSpan(id_, obs::Name::kMerge, merge_span_,
+                              obs::Outcome::kError, plan.tx);
+      merge_span_ = 0;
+    }
     return idx.status();
   }
   SendPrepares();
@@ -124,6 +133,10 @@ void Node::SendPrepares() {
     int sj = static_cast<int>(j);
     if (sj == merge_.plan.coordinator) continue;
     if (merge_.prepare_replies.count(sj) > 0) continue;
+    if (opts_.recorder != nullptr && merge_span_ != 0) {
+      opts_.recorder->Emit(id_, obs::Name::kMergePrepareSent, obs::TraceCtx{},
+                           merge_.plan.tx, static_cast<uint64_t>(sj));
+    }
     raft::MergePrepareReq req;
     req.from = id_;
     req.plan = merge_.plan;
@@ -136,6 +149,10 @@ void Node::SendCommits() {
     int sj = static_cast<int>(j);
     if (sj == merge_.plan.coordinator) continue;
     if (merge_.commit_acks.count(sj) > 0) continue;
+    if (opts_.recorder != nullptr && merge_span_ != 0) {
+      opts_.recorder->Emit(id_, obs::Name::kMergeCommitSent, obs::TraceCtx{},
+                           merge_.plan.tx, merge_.outcome_is_commit ? 1 : 0);
+    }
     Send(merge_.contact[sj],
          MakeCommitReq(id_, merge_.plan, merge_.outcome_is_commit));
   }
@@ -440,6 +457,10 @@ void Node::HandleMergeCommitReply(NodeId from,
 void Node::OnMergeOutcomeApplied(const raft::ConfMergeOutcome& oc,
                                  Index index) {
   const raft::MergePlan& plan = oc.plan;
+  if (opts_.recorder != nullptr) {
+    opts_.recorder->Emit(id_, obs::Name::kMergeOutcomeApplied, obs::TraceCtx{},
+                         plan.tx, oc.commit ? 1 : 0);
+  }
   if (!oc.commit) {
     // C_abort: clear the pending transaction; normal operation resumes.
     raft::ConfigState cleared = config_.Current();
@@ -601,6 +622,11 @@ void Node::FinishMergeAsCoordinator() {
     }
     const TxId tx = plan.tx;
     merge_ = MergeRuntime{};
+    if (opts_.recorder != nullptr && merge_span_ != 0) {
+      opts_.recorder->EndSpan(id_, obs::Name::kMerge, merge_span_,
+                              obs::Outcome::kAborted, tx);
+      merge_span_ = 0;
+    }
     counters_.Add(cid_.merge_abort_finalized);
     if (unsettled_aborts_.count(tx) > 0) {
       auto idx = Propose(raft::ConfAbortSettled{tx});
@@ -622,6 +648,11 @@ void Node::FinishMergeAsCoordinator() {
     if (n != id_) Send(n, fin);
   }
   merge_ = MergeRuntime{};
+  if (opts_.recorder != nullptr && merge_span_ != 0) {
+    opts_.recorder->EndSpan(id_, obs::Name::kMerge, merge_span_,
+                            obs::Outcome::kOk, plan.tx);
+    merge_span_ = 0;
+  }
   counters_.Add(cid_.merge_finalized);
   TransitionToMerged(plan);
 }
@@ -762,6 +793,10 @@ void Node::TransitionToMerged(const raft::MergePlan& plan) {
 }
 
 void Node::StartExchange(const raft::MergePlan& plan) {
+  if (opts_.recorder != nullptr && exchange_span_ == 0) {
+    exchange_span_ = opts_.recorder->BeginSpan(
+        id_, obs::Name::kMergeExchange, obs::TraceCtx{}, plan.tx);
+  }
   Exchange ex;
   ex.plan = plan;
   ex.my_source = plan.SourceOf(id_);
@@ -784,6 +819,10 @@ void Node::StartExchange(const raft::MergePlan& plan) {
   // lagging contact cannot stall the exchange.
   for (const auto& [sj, contact] : exchange_->contact) {
     (void)contact;
+    if (opts_.recorder != nullptr && exchange_span_ != 0) {
+      opts_.recorder->Emit(id_, obs::Name::kExchangePull, obs::TraceCtx{},
+                           exchange_->plan.tx, static_cast<uint64_t>(sj));
+    }
     for (NodeId n :
          exchange_->plan.sources[static_cast<size_t>(sj)].members) {
       if (n == id_) continue;
@@ -867,6 +906,13 @@ void Node::MaybeFinishExchange() {
   }
   raft::MergePlan plan = exchange_->plan;
   exchange_.reset();
+  if (opts_.recorder != nullptr && exchange_span_ != 0) {
+    opts_.recorder->Emit(id_, obs::Name::kExchangeDone, obs::TraceCtx{},
+                         plan.tx, machine_->Size());
+    opts_.recorder->EndSpan(id_, obs::Name::kMergeExchange, exchange_span_,
+                            obs::Outcome::kOk, plan.tx);
+    exchange_span_ = 0;
+  }
   counters_.Add(cid_.merge_exchange_done);
   RLOG_INFO("merge", "n%u finished snapshot exchange (%zu items)", id_,
             machine_->Size());

@@ -155,7 +155,13 @@ void Node::OnStorageDurable() {
     if (pa.reply.et == term_ &&
         log_.TermAt(pa.reply.match) == pa.match_term) {
       counters_.Add(cid_.storage_ack_released);
+      if (opts_.recorder != nullptr && pa.ctx.valid()) {
+        opts_.recorder->Emit(id_, obs::Name::kAckReleased, pa.ctx,
+                             pa.reply.match);
+      }
+      cur_ctx_ = pa.ctx;  // ack inherits the causal context of its append
       Send(pa.to, pa.reply);
+      cur_ctx_ = obs::TraceCtx{};
     }
     pending_acks_.pop_front();
   }
@@ -167,7 +173,13 @@ void Node::OnStorageDurable() {
 
 void Node::Send(NodeId to, raft::Message m) {
   counters_.Add(cid_.msg_sent);
-  send_(to, raft::MakeMessage(std::move(m)));
+  auto msg = raft::MakeMessage(std::move(m));
+  // Outbound messages inherit the causal context of the event being
+  // processed (set by Receive); annotation only, wire bytes are unchanged.
+  if (opts_.recorder != nullptr && cur_ctx_.valid()) {
+    msg.set_trace_ctx(cur_ctx_);
+  }
+  send_(to, msg);
 }
 
 void Node::ResetElectionTimer() {
@@ -184,6 +196,11 @@ bool Node::CanCampaign() const {
 }
 
 void Node::BecomeFollower(EpochTerm et, NodeId leader) {
+  if (opts_.recorder != nullptr && election_span_ != 0) {
+    opts_.recorder->EndSpan(id_, obs::Name::kElection, election_span_,
+                            obs::Outcome::kLost, et.raw());
+    election_span_ = 0;
+  }
   bool term_changed = et.raw() != term_;
   if (term_changed) {
     term_ = et.raw();
@@ -320,8 +337,11 @@ void Node::TickBody() {
   }
 }
 
-void Node::Receive(NodeId from, const raft::Message& m) {
+void Node::Receive(NodeId from, const raft::Message& m, obs::TraceCtx ctx) {
   counters_.Add(cid_.msg_recv);
+  // All sends triggered by handling this message inherit its causal context
+  // (see Send); cleared on exit so timer-driven sends stay context-free.
+  cur_ctx_ = ctx;
   std::visit(
       [&](const auto& body) {
         using T = std::decay_t<decltype(body)>;
@@ -375,6 +395,7 @@ void Node::Receive(NodeId from, const raft::Message& m) {
         // NamingRegister / NamingLookupReq are handled by the naming actor.
       },
       m);
+  cur_ctx_ = obs::TraceCtx{};
   // Hard-state chokepoint: everything this event mutated becomes durable
   // before any message it sent can be delivered (delivery has latency, and
   // crash injection lands between events).
@@ -389,6 +410,16 @@ void Node::OnCrash() {
 
 void Node::OnRestart() {
   counters_.Add(cid_.node_restart);
+  // Spans that were open at crash time never see their end; drop the ids so
+  // post-restart protocol runs open fresh spans. Must precede the exchange
+  // resumption below, which opens a new exchange span.
+  cur_ctx_ = obs::TraceCtx{};
+  election_span_ = 0;
+  split_span_ = 0;
+  merge_span_ = 0;
+  exchange_span_ = 0;
+  member_span_ = 0;
+  read_span_ = 0;
   role_ = Role::kFollower;
   leader_ = kNoNode;
   votes_.clear();
@@ -476,8 +507,12 @@ void Node::ApplyEntry(const raft::LogEntry& e) {
     sm::CmdResult res = machine_->Apply(*cmd);
     auto it = pending_.find(e.index);
     if (it != pending_.end()) {
+      if (opts_.recorder != nullptr && it->second.ctx.valid()) {
+        opts_.recorder->Emit(id_, obs::Name::kApply, it->second.ctx, e.index,
+                             e.term);
+      }
       ReplyToClient(it->second.client, it->second.req_id, res.status,
-                    res.payload);
+                    res.payload, it->second.ctx);
       pending_.erase(it);
     }
     return;
@@ -485,7 +520,8 @@ void Node::ApplyEntry(const raft::LogEntry& e) {
   if (std::holds_alternative<raft::NoOp>(e.payload)) {
     auto it = pending_.find(e.index);
     if (it != pending_.end()) {
-      ReplyToClient(it->second.client, it->second.req_id, OkStatus());
+      ReplyToClient(it->second.client, it->second.req_id, OkStatus(), {},
+                    it->second.ctx);
       pending_.erase(it);
     }
     return;
@@ -544,7 +580,8 @@ void Node::ApplyEntry(const raft::LogEntry& e) {
     }
     auto it = pending_.find(e.index);
     if (it != pending_.end()) {
-      ReplyToClient(it->second.client, it->second.req_id, OkStatus());
+      ReplyToClient(it->second.client, it->second.req_id, OkStatus(), {},
+                    it->second.ctx);
       pending_.erase(it);
     }
     return;
@@ -556,7 +593,7 @@ void Node::FailPendingClients(Code code) {
   // network (the SendFn contract forbids synchronous re-entry), so nothing
   // can mutate pending_ mid-loop.
   for (const auto& [idx, pc] : pending_) {
-    ReplyToClient(pc.client, pc.req_id, Status(code), {});
+    ReplyToClient(pc.client, pc.req_id, Status(code), {}, pc.ctx);
   }
   pending_.clear();
   // Pending ReadIndex reads die with the leadership that registered them
@@ -566,7 +603,7 @@ void Node::FailPendingClients(Code code) {
 }
 
 void Node::ReplyToClient(NodeId client, uint64_t req_id, Status s,
-                         std::string value) {
+                         std::string value, obs::TraceCtx ctx) {
   if (client == kNoNode) return;
   raft::ClientReply reply;
   reply.req_id = req_id;
@@ -576,7 +613,16 @@ void Node::ReplyToClient(NodeId client, uint64_t req_id, Status s,
   reply.leader_hint = leader_;
   reply.serving_range = EffectiveRange();
   reply.epoch = current_et().epoch();
+  // An explicit context (reply after an async hop: durability gate, apply)
+  // overrides whatever event context is live; Send picks up cur_ctx_.
+  const obs::TraceCtx saved = cur_ctx_;
+  if (ctx.valid()) cur_ctx_ = ctx;
+  if (opts_.recorder != nullptr && cur_ctx_.valid()) {
+    opts_.recorder->Emit(id_, obs::Name::kReply, cur_ctx_, req_id,
+                         static_cast<uint64_t>(reply.status.code()));
+  }
   Send(client, std::move(reply));
+  cur_ctx_ = saved;
 }
 
 void Node::RegisterWithNaming() {
@@ -632,7 +678,10 @@ void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
     // Register the pending reply *before* proposing: on a single-node
     // cluster Propose commits and applies synchronously.
     Index next = log_.last_index() + 1;
-    pending_[next] = PendingClient{m.req_id, from};
+    pending_[next] = PendingClient{m.req_id, from, cur_ctx_};
+    if (opts_.recorder != nullptr && cur_ctx_.valid()) {
+      opts_.recorder->Emit(id_, obs::Name::kPropose, cur_ctx_, next, term_);
+    }
     auto idx = Propose(*cmd);
     if (!idx.ok()) {
       pending_.erase(next);
@@ -683,7 +732,7 @@ void Node::HandleClientRequest(NodeId from, const raft::ClientRequest& m) {
       return;
     }
     Index next = log_.last_index() + 1;
-    pending_[next] = PendingClient{m.req_id, from};
+    pending_[next] = PendingClient{m.req_id, from, cur_ctx_};
     auto idx = Propose(raft::ConfSetRange{sr->range, sr->absorb});
     if (!idx.ok()) {
       pending_.erase(next);

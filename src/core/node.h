@@ -25,6 +25,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "raft/config.h"
 #include "raft/config_tracker.h"
 #include "raft/epoch_term.h"
@@ -82,6 +83,11 @@ struct Options {
   sm::MachineFactory machine_factory;
   /// Ticks between retransmissions of an unanswered ReadIndex probe round.
   int read_probe_retry_ticks = 3;
+  /// Armed flight recorder (obs/trace.h) shared by the whole world; null =
+  /// disarmed. Strictly observational: the node emits trace records and
+  /// opens protocol spans through it, but no recorded value ever feeds back
+  /// into behavior, so the execution digest is identical either way.
+  obs::Recorder* recorder = nullptr;
 };
 
 enum class Role : uint8_t { kFollower = 0, kCandidate, kLeader };
@@ -119,7 +125,10 @@ class Node {
 
   // --- simulator driver -------------------------------------------------
   void Tick();
-  void Receive(NodeId from, const raft::Message& m);
+  /// `ctx` is the sender's causal trace context (from the network's
+  /// delivery handler); outbound sends triggered by this message inherit
+  /// it, so a client op can be followed across the replication fan-out.
+  void Receive(NodeId from, const raft::Message& m, obs::TraceCtx ctx = {});
   /// Invoked by the storage backend (from the top of the event loop) when a
   /// group-commit flush completes: releases durability-gated follower acks
   /// and re-runs the leader's commit accounting.
@@ -217,7 +226,7 @@ class Node {
   void RecordApplied(const raft::LogEntry& e);
   void FailPendingClients(Code code);
   void ReplyToClient(NodeId client, uint64_t req_id, Status s,
-                     std::string value = {});
+                     std::string value = {}, obs::TraceCtx ctx = {});
   void RegisterWithNaming();
 
   // -- election (election.cpp) ---------------------------------------------
@@ -449,6 +458,7 @@ class Node {
   struct PendingClient {
     uint64_t req_id;
     NodeId client;
+    obs::TraceCtx ctx;  // request's causal context, restored at apply/reply
   };
   std::map<Index, PendingClient> pending_;
   /// Follower acks gated on WAL durability: an AppendReply must not claim
@@ -460,6 +470,7 @@ class Node {
     NodeId to;
     raft::AppendReply reply;
     uint64_t match_term;
+    obs::TraceCtx ctx;  // the gated append's context, restored at release
   };
   std::deque<PendingAck> pending_acks_;
   /// Client requests beyond this tick's admission budget (see
@@ -479,6 +490,7 @@ class Node {
     sm::Command query;
     Index read_index = 0;
     uint64_t seq = 0;  // probe round that must confirm before serving
+    obs::TraceCtx ctx;  // request's causal context, restored at serve time
   };
   std::deque<PendingRead> pending_reads_;
   uint64_t read_seq_ = 0;        // latest probe round launched
@@ -499,6 +511,17 @@ class Node {
 
   std::vector<AppliedRecord> applied_trace_;
   CounterSet counters_;
+  // Flight-recorder runtime (observation only, null/zero when disarmed).
+  // cur_ctx_ is the context of the message being handled — every Send made
+  // while it is set inherits it. Span ids track this node's open protocol
+  // spans; 0 = no span open.
+  obs::TraceCtx cur_ctx_;
+  uint64_t election_span_ = 0;
+  uint64_t split_span_ = 0;
+  uint64_t merge_span_ = 0;
+  uint64_t exchange_span_ = 0;
+  uint64_t member_span_ = 0;
+  uint64_t read_span_ = 0;
   // Pre-interned handles for every counter the node bumps from message /
   // apply / tick paths (see CounterSet). The string Add() API re-hashes the
   // name per increment, so node code always goes through these ids; the

@@ -63,6 +63,7 @@ void Node::HandleReadRequest(NodeId from, uint64_t req_id,
   pr.client = from;
   pr.query = m.query;
   pr.read_index = commit_;
+  pr.ctx = cur_ctx_;
   std::set<NodeId> self{id_};
   if (raft::ElectionQuorum(config_.Current()).Satisfied(self)) {
     // Single-node quorum: our own ack is the proof; the round it needs is
@@ -112,6 +113,10 @@ void Node::MaybeLaunchReadProbe() {
   }
   read_probe_inflight_ = true;
   read_retry_countdown_ = opts_.read_probe_retry_ticks;
+  if (opts_.recorder != nullptr && read_span_ == 0) {
+    read_span_ = opts_.recorder->BeginSpan(id_, obs::Name::kReadRound,
+                                           cur_ctx_, read_seq_);
+  }
   BroadcastReadProbe();
 }
 
@@ -171,6 +176,11 @@ void Node::HandleReadIndexAck(NodeId from, const raft::ReadIndexAck& m) {
   if (!raft::ElectionQuorum(config_.Current()).Satisfied(acks)) return;
   read_confirmed_ = read_seq_;
   read_probe_inflight_ = false;
+  if (opts_.recorder != nullptr && read_span_ != 0) {
+    opts_.recorder->EndSpan(id_, obs::Name::kReadRound, read_span_,
+                            obs::Outcome::kOk, read_seq_);
+    read_span_ = 0;
+  }
   counters_.Add(cid_.read_quorum_confirmed);
   ServeConfirmedReads();
 }
@@ -185,7 +195,7 @@ void Node::ServeConfirmedReads() {
     sm::CmdResult res = machine_->Query(pr.query);
     counters_.Add(cid_.read_served);
     ReplyToClient(pr.client, pr.req_id, std::move(res.status),
-                  std::move(res.payload));
+                  std::move(res.payload), pr.ctx);
     pending_reads_.pop_front();
   }
   MaybeLaunchReadProbe();
@@ -193,11 +203,16 @@ void Node::ServeConfirmedReads() {
 
 void Node::FailPendingReads(Code code) {
   for (const PendingRead& pr : pending_reads_) {
-    ReplyToClient(pr.client, pr.req_id, Status(code), {});
+    ReplyToClient(pr.client, pr.req_id, Status(code), {}, pr.ctx);
   }
   pending_reads_.clear();
   read_probe_inflight_ = false;
   read_acks_.clear();
+  if (opts_.recorder != nullptr && read_span_ != 0) {
+    opts_.recorder->EndSpan(id_, obs::Name::kReadRound, read_span_,
+                            obs::Outcome::kLost);
+    read_span_ = 0;
+  }
 }
 
 }  // namespace recraft::core

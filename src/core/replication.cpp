@@ -220,8 +220,11 @@ void Node::HandleAppendEntries(NodeId from, const raft::AppendEntries& m) {
     Send(from, std::move(reply));
   } else {
     counters_.Add(cid_.storage_ack_deferred);
+    if (opts_.recorder != nullptr && cur_ctx_.valid()) {
+      opts_.recorder->Emit(id_, obs::Name::kAckDeferred, cur_ctx_, last_new);
+    }
     pending_acks_.push_back(
-        PendingAck{from, reply, log_.TermAt(last_new)});
+        PendingAck{from, reply, log_.TermAt(last_new), cur_ctx_});
   }
 }
 

@@ -55,6 +55,10 @@ Status Node::StartSplit(const raft::AdminSplit& req) {
   // commits keep using C_old.
   auto idx = Propose(raft::ConfSplitJoint{std::move(plan)});
   if (!idx.ok()) return idx.status();
+  if (opts_.recorder != nullptr) {
+    split_span_ = opts_.recorder->BeginSpan(id_, obs::Name::kSplit, cur_ctx_,
+                                            req.groups.size());
+  }
   counters_.Add(cid_.split_enter_joint);
   RLOG_INFO("split", "n%u proposed C_joint at %llu", id_,
             static_cast<unsigned long long>(*idx));
@@ -63,6 +67,10 @@ Status Node::StartSplit(const raft::AdminSplit& req) {
 
 void Node::OnSplitJointCommitted(Index index) {
   const auto& cfg = config_.Current();
+  if (opts_.recorder != nullptr && split_span_ != 0) {
+    opts_.recorder->Emit(id_, obs::Name::kSplitJointCommitted,
+                         obs::TraceCtx{}, index);
+  }
   if (role_ != Role::kLeader) return;
   if (cfg.mode != raft::ConfigMode::kSplitJoint || cfg.joint_index != index) {
     return;  // superseded (e.g. we are already leaving)
@@ -84,6 +92,10 @@ Status Node::ProposeSplitLeaveJoint() {
   if (cfg.joint_index > commit_) return Rejected("C_joint not committed");
   auto idx = Propose(raft::ConfSplitNew{cfg.split});
   if (!idx.ok()) return idx.status();
+  if (opts_.recorder != nullptr && split_span_ != 0) {
+    opts_.recorder->Emit(id_, obs::Name::kSplitLeaveProposed, obs::TraceCtx{},
+                         *idx);
+  }
   counters_.Add(cid_.split_leave_joint);
   RLOG_INFO("split", "n%u proposed split C_new at %llu", id_,
             static_cast<unsigned long long>(*idx));
@@ -167,6 +179,11 @@ void Node::CompleteSplit() {
   if (current_et().epoch() < new_epoch) {
     term_ = EpochTerm::Make(new_epoch, current_et().term()).raw();
     voted_for_ = kNoNode;
+  }
+  if (opts_.recorder != nullptr && split_span_ != 0) {
+    opts_.recorder->EndSpan(id_, obs::Name::kSplit, split_span_,
+                            obs::Outcome::kOk, new_epoch);
+    split_span_ = 0;
   }
   counters_.Add(cid_.split_completed);
 

@@ -88,7 +88,8 @@ ClosedLoopClient::ClosedLoopClient(World& world, Router& router, NodeId id,
                 (1.0 - zeta2 / zipf_zetan_);
   }
   world_.net().Register(
-      id_, [this](NodeId, std::shared_ptr<const void> payload, size_t) {
+      id_, [this](NodeId, std::shared_ptr<const void> payload, size_t,
+                  obs::TraceCtx) {
         const auto& m =
             *std::static_pointer_cast<const raft::Message>(payload);
         if (const auto* reply = std::get_if<raft::ClientReply>(&m)) {
@@ -162,6 +163,12 @@ void ClosedLoopClient::IssueNext() {
       op.cmd.op = kv::OpType::kPut;
       op.cmd.value.assign(opts_.value_bytes, 'x');
     }
+    if (opts_.recorder != nullptr) {
+      op.trace_id = opts_.recorder->NewTraceId();
+      op.span = opts_.recorder->BeginSpan(
+          id_, obs::Name::kClientOp, obs::TraceCtx{op.trace_id, 0},
+          static_cast<uint64_t>(op.cmd.op));
+    }
   }
   // Batch per shard: ops bound for the same group leave back-to-back.
   if (round_.size() > 1) {
@@ -211,7 +218,14 @@ void ClosedLoopClient::SendOp(size_t idx) {
     req.body = kv::EncodeCommand(op.cmd);
   }
   auto msg = raft::MakeMessage(raft::Message(req));
-  world_.net().Send(id_, target, msg, msg.wire_bytes());
+  if (op.trace_id != 0) {
+    msg.set_trace_ctx(obs::TraceCtx{op.trace_id, op.span});
+    if (++op.attempts > 1 && opts_.recorder != nullptr) {
+      opts_.recorder->Emit(id_, obs::Name::kClientRetry,
+                           obs::TraceCtx{op.trace_id, op.span}, op.attempts);
+    }
+  }
+  world_.net().Send(id_, target, msg, msg.wire_bytes(), msg.trace_ctx());
 }
 
 void ClosedLoopClient::ScheduleResend(size_t idx, Duration delay) {
@@ -250,6 +264,13 @@ void ClosedLoopClient::OnRoundTimeout(uint64_t generation) {
 void ClosedLoopClient::CompleteOp(PendingOp& op, const raft::ClientReply& reply) {
   op.done = true;
   ++ops_done_;
+  if (op.span != 0 && opts_.recorder != nullptr) {
+    opts_.recorder->EndSpan(id_, obs::Name::kClientOp, op.span,
+                            reply.status.ok() ? obs::Outcome::kOk
+                                              : obs::Outcome::kError,
+                            static_cast<uint64_t>(reply.status.code()),
+                            op.trace_id);
+  }
   if (kv::IsReadOnly(op.cmd.op)) ++reads_done_;
   Duration lat = world_.now() - op.issued_at;
   latency_.Record(lat);

@@ -99,6 +99,10 @@ struct ClientOptions {
   /// subcluster by key (Figs. 7a/8a) or feed the placement driver's load
   /// accounting.
   std::function<void(const std::string& key, TimePoint when)> on_op_complete;
+  /// Armed flight recorder: every issued op gets a trace id and a
+  /// client.op span, and requests carry the causal context into the
+  /// cluster. Null = disarmed (no trace ids are drawn). Observation only.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// A closed-loop client: issues one round of requests, waits for all
@@ -126,6 +130,9 @@ class ClosedLoopClient {
     uint64_t req_id = 0;     // of the latest transmission
     TimePoint issued_at = 0;
     bool done = false;
+    uint64_t trace_id = 0;   // flight-recorder causality (0 when disarmed)
+    uint64_t span = 0;       // open client.op span
+    uint32_t attempts = 0;
   };
 
   void IssueNext();

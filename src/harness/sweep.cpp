@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "harness/checkers.h"
@@ -43,6 +44,7 @@ WorldVerdict RunSweepWorld(const SweepOptions& opts, uint64_t seed) {
   // Group commit (not synchronous flush) so disk-latency and fsync-stall
   // nemeses genuinely delay the durability acks/commit votes are gated on.
   wo.wal.flush_interval = 500;
+  wo.recorder = opts.recorder;
   World world(wo);
 
   auto snapshot_run = [&]() {
@@ -80,6 +82,7 @@ WorldVerdict RunSweepWorld(const SweepOptions& opts, uint64_t seed) {
   copts.cas_fraction = 0.1;
   copts.zipf_theta = 0.9;  // skewed, so hot-key migration matters
   copts.key_offset = mix->hot_key_offset();
+  copts.recorder = opts.recorder;
   ClientFleet fleet(world, router, opts.clients, copts);
   fleet.Start();
 
@@ -149,7 +152,18 @@ WorldVerdict RunSweepWorld(const SweepOptions& opts, uint64_t seed) {
   }
 
   v.client_ops = fleet.TotalOps();
+  LatencyRecorder pooled = fleet.PooledLatency();
+  v.lat_p50 = pooled.Percentile(50.0);
+  v.lat_p99 = pooled.Percentile(99.0);
+  v.lat_p999 = pooled.Percentile(99.9);
   snapshot_run();
+  if (!v.ok()) {
+    // Capture the world's terminal state alongside the verdict: by the time
+    // a caller sees the violation the world is gone.
+    std::ostringstream diag;
+    world.DumpDiagnostics(diag);
+    v.diagnostics = diag.str();
+  }
   return v;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace recraft::harness {
 
@@ -35,6 +36,11 @@ struct SweepOptions {
   /// write, so every world fails its store/history comparison: proves the
   /// catch -> repro-line -> deterministic-replay pipeline end to end.
   bool inject_divergence = false;
+  /// Optional flight recorder, armed for the whole world (nodes, network,
+  /// WALs, clients). Pure observation — the digest is identical armed or
+  /// not — so it is safe to re-run a failing seed with this set and export
+  /// the trace. Never share one recorder across parallel sweep worlds.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct WorldVerdict {
@@ -47,8 +53,16 @@ struct WorldVerdict {
   Duration sim_end = 0;
   uint64_t client_ops = 0;
   uint64_t nemesis_activations = 0;
+  /// Client-op latency percentiles, pooled across the fleet (microseconds).
+  Duration lat_p50 = 0;
+  Duration lat_p99 = 0;
+  Duration lat_p999 = 0;
   bool converged = false;
   std::vector<std::string> violations;
+  /// World::DumpDiagnostics output, captured at verdict time when the world
+  /// failed (empty on clean worlds): per-node roles/indices, network and
+  /// disk counters, event-queue digest.
+  std::string diagnostics;
 
   bool ok() const { return converged && violations.empty(); }
   /// Single-line repro, pasteable as tools/sweep arguments:

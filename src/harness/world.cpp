@@ -1,6 +1,7 @@
 #include "harness/world.h"
 
 #include <cassert>
+#include <ostream>
 #include <string_view>
 
 #include "common/logging.h"
@@ -35,10 +36,15 @@ World::World(WorldOptions opts)
   if (!opts_.node.machine_factory) {
     opts_.node.machine_factory = kv::KvMachineFactory();
   }
+  if (opts_.recorder != nullptr) {
+    opts_.recorder->BindClock(events_.now_ptr());
+    net_.set_recorder(opts_.recorder);
+    opts_.node.recorder = opts_.recorder;
+  }
   if (opts_.with_naming_service) {
     net_.Register(kNamingServiceId,
                   [this](NodeId from, std::shared_ptr<const void> payload,
-                         size_t) {
+                         size_t, obs::TraceCtx ctx) {
                     const auto& m =
                         *std::static_pointer_cast<const raft::Message>(payload);
                     if (const auto* reg = std::get_if<raft::NamingRegister>(&m)) {
@@ -48,12 +54,12 @@ World::World(WorldOptions opts)
                       auto reply = raft::MakeMessage(
                           raft::Message(naming_.Directory()));
                       net_.Send(kNamingServiceId, from, reply,
-                                reply.wire_bytes());
+                                reply.wire_bytes(), ctx);
                     }
                   });
   }
   net_.Register(kAdminId, [this](NodeId, std::shared_ptr<const void> payload,
-                                 size_t) {
+                                 size_t, obs::TraceCtx) {
     const auto& m = *std::static_pointer_cast<const raft::Message>(payload);
     if (const auto* reply = std::get_if<raft::ClientReply>(&m)) {
       admin_replies_[reply->req_id] = *reply;
@@ -84,8 +90,12 @@ storage::Storage* World::MakeStorage(NodeId id, bool fresh_instance) {
         disks_[id] = std::make_shared<storage::SimDisk>(opts_.disk);
       }
       if (fresh_instance || storages_.count(id) == 0) {
-        storages_[id] = std::make_unique<storage::WalStorage>(
-            disks_[id], &events_, opts_.wal);
+        auto wal = std::make_unique<storage::WalStorage>(disks_[id], &events_,
+                                                         opts_.wal);
+        if (opts_.recorder != nullptr) {
+          wal->SetRecorder(opts_.recorder, id);
+        }
+        storages_[id] = std::move(wal);
       }
       return storages_[id].get();
     }
@@ -95,11 +105,13 @@ storage::Storage* World::MakeStorage(NodeId id, bool fresh_instance) {
 
 void World::RegisterNodeHandler(NodeId id) {
   net_.Register(id, [this, id](NodeId from,
-                               std::shared_ptr<const void> payload, size_t) {
+                               std::shared_ptr<const void> payload, size_t,
+                               obs::TraceCtx ctx) {
     auto it = nodes_.find(id);
     if (it == nodes_.end()) return;  // down (CrashNode) — delivery dropped
     it->second->Receive(from,
-                        *std::static_pointer_cast<const raft::Message>(payload));
+                        *std::static_pointer_cast<const raft::Message>(payload),
+                        ctx);
   });
 }
 
@@ -117,7 +129,7 @@ std::vector<NodeId> World::CreateCluster(size_t n, KeyRange range) {
     core::Options node_opts = opts_.node;
     if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
     auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-      net_.Send(id, to, msg, msg.wire_bytes());
+      net_.Send(id, to, msg, msg.wire_bytes(), msg.trace_ctx());
     };
     nodes_[id] = std::make_unique<core::Node>(
         id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
@@ -140,7 +152,7 @@ NodeId World::CreateSpareNode() {
   core::Options node_opts = opts_.node;
   if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
   auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-    net_.Send(id, to, msg, msg.wire_bytes());
+    net_.Send(id, to, msg, msg.wire_bytes(), msg.trace_ctx());
   };
   nodes_[id] = std::make_unique<core::Node>(
       id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
@@ -306,7 +318,7 @@ Status World::RestartNode(NodeId id) {
   core::Options node_opts = opts_.node;
   if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
   auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-    net_.Send(id, to, msg, msg.wire_bytes());
+    net_.Send(id, to, msg, msg.wire_bytes(), msg.trace_ctx());
   };
   // A fresh deterministic RNG stream per incarnation: same seed would replay
   // the same election jitter, different incarnations must not correlate.
@@ -598,6 +610,49 @@ Result<int> World::AdminResizeTo(const std::vector<NodeId>& members,
     if (!wait_settled()) return Timeout("membership change did not settle");
   }
   return Timeout("resize did not finish");
+}
+
+void World::DumpDiagnostics(std::ostream& os) const {
+  os << "=== world diagnostics @ " << FormatTime(events_.now())
+     << " (seed=" << opts_.seed << ") ===\n";
+  os << "-- nodes --\n";
+  for (const auto& [id, n] : nodes_) {
+    Index durable = 0;
+    if (auto it = storages_.find(id); it != storages_.end()) {
+      durable = it->second->DurableIndex();
+    }
+    os << "  node " << id << ": " << core::RoleName(n->role())
+       << " et=" << n->current_et().raw() << " epoch=" << n->epoch()
+       << " commit=" << n->commit_index() << " applied=" << n->last_applied()
+       << " last_log=" << n->last_log_index() << " durable=" << durable
+       << " uid=" << n->cluster_uid()
+       << " merge_phase=" << static_cast<int>(n->merge_phase())
+       << " pending_reads=" << n->pending_read_count()
+       << (net_.IsCrashed(id) ? "  [CRASHED]" : "") << "\n";
+  }
+  for (const auto& [id, disk] : disks_) {
+    if (nodes_.count(id) == 0) {
+      os << "  node " << id << ": DOWN (hard-crashed, durable medium kept)\n";
+    }
+  }
+  os << "-- network --\n";
+  for (const auto& [name, value] : net_.counters().all()) {
+    if (value != 0) os << "  " << name << " = " << value << "\n";
+  }
+  os << "  blocked_links = " << net_.blocked_link_count()
+     << "  link_overrides = " << net_.link_override_count() << "\n";
+  os << "-- disks --\n";
+  for (const auto& [id, disk] : disks_) {
+    const auto& s = disk->stats();
+    os << "  disk " << id << ": flushes=" << s.flushes
+       << " flushed_bytes=" << s.flushed_bytes
+       << " appended_bytes=" << s.appended_bytes << " io_busy=" << s.io_busy
+       << "us crash_lost_bytes=" << s.crash_lost_bytes << "\n";
+  }
+  os << "-- events --\n";
+  os << "  executed=" << events_.events_executed()
+     << " pending=" << events_.pending() << " digest=" << std::hex
+     << events_.execution_digest() << std::dec << "\n";
 }
 
 }  // namespace recraft::harness

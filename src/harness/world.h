@@ -4,12 +4,14 @@
 // and benchmark harnesses drive.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/node.h"
+#include "obs/trace.h"
 #include "kv/kv_machine.h"
 #include "kv/service.h"
 #include "shard/shard_map.h"
@@ -42,6 +44,10 @@ struct WorldOptions {
   StorageMode storage = StorageMode::kNone;
   storage::WalStorage::Options wal;      // kWal only
   storage::SimDisk::Options disk;        // kWal only
+  /// Arm the flight recorder (obs/trace.h): the World binds it to the sim
+  /// clock and hands it to the network, every node and every WAL instance.
+  /// Null = disarmed. Arming must not change the execution digest.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Checked access to the concrete KV store behind a node's machine — for
@@ -207,6 +213,11 @@ class World {
 
   uint64_t NextTxId() { return next_tx_id_++; }
   uint64_t NextReqId() { return next_req_id_++; }
+
+  /// One-call failure forensics: per-node role / term / commit / applied /
+  /// durable horizon plus network and per-disk counters. Used by the sweep
+  /// test failure path and tools so CI failures are self-describing.
+  void DumpDiagnostics(std::ostream& os) const;
 
  private:
   void ScheduleTick(NodeId id);

@@ -1,0 +1,190 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+
+namespace recraft::obs {
+
+namespace {
+
+const char* KindStr(Kind k) {
+  switch (k) {
+    case Kind::kInstant:
+      return "instant";
+    case Kind::kSpanBegin:
+      return "begin";
+    case Kind::kSpanEnd:
+      return "end";
+  }
+  return "?";
+}
+
+const char* OutcomeStr(uint64_t b) {
+  switch (static_cast<Outcome>(b)) {
+    case Outcome::kNone:
+      return "none";
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kLost:
+      return "lost";
+    case Outcome::kAborted:
+      return "aborted";
+    case Outcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void AppendU64(std::string* s, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  s->append(buf);
+}
+
+// One Chrome-trace event object. All names come from the interned table and
+// contain no characters needing JSON escaping.
+std::string EventJson(const TraceRecord& r) {
+  std::string e = "{\"name\":\"";
+  e += NameStr(r.name);
+  e += "\",\"cat\":\"recraft\",\"ph\":\"";
+  switch (r.kind) {
+    case Kind::kInstant:
+      e += "i";
+      break;
+    case Kind::kSpanBegin:
+      e += "b";
+      break;
+    case Kind::kSpanEnd:
+      e += "e";
+      break;
+  }
+  e += "\",\"ts\":";
+  AppendU64(&e, r.ts);
+  e += ",\"pid\":";
+  AppendU64(&e, r.node);
+  e += ",\"tid\":";
+  AppendU64(&e, r.node);
+  if (r.kind == Kind::kInstant) {
+    e += ",\"s\":\"t\"";
+  } else {
+    // Nestable async events pair begin/end through their id.
+    e += ",\"id2\":{\"local\":\"0x";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIx64, r.span);
+    e += buf;
+    e += "\"}";
+  }
+  e += ",\"args\":{";
+  bool first = true;
+  auto arg = [&](const char* k, uint64_t v) {
+    if (!first) e += ",";
+    first = false;
+    e += "\"";
+    e += k;
+    e += "\":";
+    AppendU64(&e, v);
+  };
+  if (r.trace_id != 0) arg("trace", r.trace_id);
+  if (r.parent != 0) arg("parent_span", r.parent);
+  arg("a", r.a);
+  arg("b", r.b);
+  if (r.kind == Kind::kSpanEnd) {
+    if (!first) e += ",";
+    first = false;
+    e += "\"outcome\":\"";
+    e += OutcomeStr(r.b);
+    e += "\"";
+  }
+  e += "}}";
+  return e;
+}
+
+}  // namespace
+
+void ExportChromeTrace(const std::vector<TraceRecord>& records,
+                       std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // Label each node's track. std::set: deterministic ordered iteration.
+  std::set<NodeId> nodes;
+  for (const TraceRecord& r : records) nodes.insert(r.node);
+  for (NodeId n : nodes) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << n
+       << ",\"tid\":" << n << ",\"args\":{\"name\":\"node " << n << "\"}}";
+  }
+  for (const TraceRecord& r : records) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << EventJson(r);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::vector<uint64_t> ClientOpTraceIds(
+    const std::vector<TraceRecord>& records) {
+  std::vector<uint64_t> ids;
+  std::set<uint64_t> seen;
+  for (const TraceRecord& r : records) {
+    if (r.name != Name::kClientOp || r.kind != Kind::kSpanBegin) continue;
+    if (r.trace_id == 0 || !seen.insert(r.trace_id).second) continue;
+    ids.push_back(r.trace_id);
+  }
+  return ids;
+}
+
+uint64_t SlowestClientOp(const std::vector<TraceRecord>& records) {
+  std::map<uint64_t, TimePoint> begin_ts;  // span id -> begin ts
+  std::map<uint64_t, uint64_t> span_trace;
+  uint64_t best_trace = 0;
+  TimePoint best_latency = 0;
+  for (const TraceRecord& r : records) {
+    if (r.name != Name::kClientOp) continue;
+    if (r.kind == Kind::kSpanBegin) {
+      begin_ts[r.span] = r.ts;
+      span_trace[r.span] = r.trace_id;
+    } else if (r.kind == Kind::kSpanEnd) {
+      auto it = begin_ts.find(r.span);
+      if (it == begin_ts.end()) continue;
+      const TimePoint lat = r.ts - it->second;
+      if (lat >= best_latency) {
+        best_latency = lat;
+        best_trace = span_trace[r.span];
+      }
+    }
+  }
+  return best_trace;
+}
+
+void PrintCriticalPath(const std::vector<TraceRecord>& records,
+                       uint64_t trace_id, std::ostream& os) {
+  std::vector<const TraceRecord*> chain;
+  for (const TraceRecord& r : records) {
+    if (r.trace_id == trace_id && trace_id != 0) chain.push_back(&r);
+  }
+  os << "trace " << trace_id << ": " << chain.size() << " record(s)\n";
+  if (chain.empty()) {
+    os << "  (no records — op predates the ring window or id is unknown)\n";
+    return;
+  }
+  const TimePoint t0 = chain.front()->ts;
+  for (const TraceRecord* r : chain) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  +%8" PRIu64 "us  node %-5u  %-22s %-7s a=%" PRIu64
+                  " b=%" PRIu64,
+                  r->ts - t0, r->node, NameStr(r->name), KindStr(r->kind),
+                  r->a, r->b);
+    os << line;
+    if (r->kind == Kind::kSpanEnd) os << "  outcome=" << OutcomeStr(r->b);
+    os << "\n";
+  }
+  os << "  total: " << (chain.back()->ts - t0) << "us\n";
+}
+
+}  // namespace recraft::obs

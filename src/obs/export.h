@@ -1,0 +1,39 @@
+// Trace export: Chrome-trace / Perfetto JSON (load trace-<seed>.json in
+// ui.perfetto.dev or chrome://tracing) and a human-readable critical-path
+// summary for one traced operation. Shared by tools/trace and the sweep
+// violation repro path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace recraft::obs {
+
+/// Write the records as Chrome-trace JSON: one track (pid/tid = node id)
+/// per node, spans as nestable async begin/end events (no nesting
+/// discipline required — concurrent client ops and crossing protocol spans
+/// are the norm), instants as thread-scoped "i" events, plus process_name
+/// metadata so Perfetto labels each track "node <id>". Records must be in
+/// chronological order (TraceBuffer::Snapshot/Recorder::Snapshot order);
+/// per-track timestamps are then monotone by construction.
+void ExportChromeTrace(const std::vector<TraceRecord>& records,
+                       std::ostream& os);
+
+/// Trace ids present in the records, in first-appearance order, restricted
+/// to ids that begin a kClientOp span (i.e. traced client operations).
+std::vector<uint64_t> ClientOpTraceIds(const std::vector<TraceRecord>& records);
+
+/// The traced client op with the longest begin->end latency; 0 if none
+/// completed inside the buffer window.
+uint64_t SlowestClientOp(const std::vector<TraceRecord>& records);
+
+/// Print every record of `trace_id` as a timeline with deltas from the
+/// first record — the critical path of one client op across routing,
+/// replication fan-out, the durability gate, apply and reply.
+void PrintCriticalPath(const std::vector<TraceRecord>& records,
+                       uint64_t trace_id, std::ostream& os);
+
+}  // namespace recraft::obs

@@ -1,0 +1,68 @@
+#include "obs/trace.h"
+
+#include <array>
+
+namespace recraft::obs {
+
+namespace {
+
+constexpr std::array<const char*, static_cast<size_t>(Name::kCount)> kNames = {
+    "none",
+    // network
+    "net.send",
+    "net.deliver",
+    "net.drop.src_crashed",
+    "net.drop.dst_crashed",
+    "net.drop.partition",
+    "net.drop.oneway",
+    "net.drop.random",
+    "net.drop.unregistered",
+    // node causal chain
+    "node.propose",
+    "node.apply",
+    "node.reply",
+    "node.ack_deferred",
+    "node.ack_released",
+    // storage
+    "wal.flush",
+    // client
+    "client.retry",
+    // spans
+    "client.op",
+    "election",
+    "split",
+    "merge",
+    "merge.exchange",
+    "member_change",
+    "read.round",
+    // protocol instants
+    "split.joint_committed",
+    "split.leave_proposed",
+    "merge.prepare_sent",
+    "merge.commit_sent",
+    "merge.outcome_applied",
+    "exchange.pull",
+    "exchange.done",
+};
+
+}  // namespace
+
+const char* NameStr(Name n) {
+  const auto i = static_cast<size_t>(n);
+  if (i >= kNames.size()) return "invalid";
+  return kNames[i];
+}
+
+std::vector<TraceRecord> TraceBuffer::Snapshot() const {
+  std::vector<TraceRecord> out;
+  const size_t live = size();
+  out.reserve(live);
+  const size_t cap = buf_.size();
+  const size_t start = pushed_ > cap ? static_cast<size_t>(pushed_ % cap) : 0;
+  for (size_t i = 0; i < live; ++i) {
+    out.push_back(buf_[(start + i) % cap]);
+  }
+  return out;
+}
+
+}  // namespace recraft::obs

@@ -1,0 +1,23 @@
+// Causal trace context carried in message metadata. Kept in its own tiny
+// header so raft/messages.h can embed it without pulling in the recorder.
+//
+// A TraceCtx is pure annotation: it never feeds back into protocol behavior,
+// wire-byte accounting, or the event schedule, so a world runs to the same
+// execution digest whether contexts are populated or not (asserted by
+// obs_test). trace_id groups every record caused by one logical operation
+// (e.g. a client request and all the replication/durability traffic it
+// spawns); parent_span names the span that emitted the message.
+#pragma once
+
+#include <cstdint>
+
+namespace recraft::obs {
+
+struct TraceCtx {
+  uint64_t trace_id = 0;     // 0 = untraced
+  uint64_t parent_span = 0;  // 0 = no enclosing span
+
+  bool valid() const { return trace_id != 0; }
+};
+
+}  // namespace recraft::obs

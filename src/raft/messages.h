@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace_ctx.h"
 #include "raft/config.h"
 #include "raft/entry.h"
 #include "raft/entry_slab.h"
@@ -367,6 +368,12 @@ const char* MessageName(const Message& m);
 /// message out (heartbeats, commit notifies) used to re-walk the payload
 /// with MessageBytes on every Send. Converts to the network's opaque
 /// payload type; receivers cast back to `const Message`.
+///
+/// Also carries the flight recorder's causal TraceCtx as out-of-band
+/// metadata: pure annotation, excluded from wire_bytes() (MessageBytes
+/// walks msg only), and mutable-after-make because a sender stamps the
+/// context between MakeMessage and Send. Worlds are single-threaded, so
+/// the mutation is unsynchronized by design.
 class MessagePtr {
  public:
   MessagePtr() = default;
@@ -378,6 +385,13 @@ class MessagePtr {
 
   /// On-wire size for bandwidth accounting, memoized at MakeMessage.
   size_t wire_bytes() const { return rec_ ? rec_->bytes : 0; }
+
+  obs::TraceCtx trace_ctx() const {
+    return rec_ ? rec_->ctx : obs::TraceCtx{};
+  }
+  void set_trace_ctx(obs::TraceCtx ctx) const {
+    if (rec_) rec_->ctx = ctx;
+  }
 
   /// View as the network's opaque payload (shares ownership).
   std::shared_ptr<const Message> shared() const {
@@ -391,6 +405,7 @@ class MessagePtr {
  private:
   struct Rec {
     size_t bytes = 0;
+    mutable obs::TraceCtx ctx;  // annotation only; never on the wire
     Message msg;
   };
 

@@ -31,6 +31,7 @@ PlacementDriver::ShardMetrics PlacementDriver::MetricsOf(
   // loop — must be skipped, not dereferenced.
   if (probe != kNoNode && world_.HasNode(probe) && !world_.IsCrashed(probe)) {
     m.keys = world_.node(probe).machine().Size();
+    m.bytes = world_.node(probe).machine().ApproxBytes();
   }
   auto it = ops_since_step_.find(s.id);
   if (it != ops_since_step_.end()) m.ops = it->second;
@@ -181,8 +182,28 @@ Status PlacementDriver::MergeShards(ShardId left_id, ShardId right_id) {
   return OkStatus();
 }
 
+void PlacementDriver::PublishMetrics() {
+  metrics_.gauge("placement.shards").Set(static_cast<int64_t>(map_.size()));
+  metrics_.gauge("placement.spares")
+      .Set(static_cast<int64_t>(spares_.size()));
+  for (const ShardInfo& s : map_.Shards()) {
+    ShardMetrics m = MetricsOf(s);
+    const std::string prefix = "shard." + std::to_string(s.id);
+    metrics_.gauge(prefix + ".keys").Set(static_cast<int64_t>(m.keys));
+    metrics_.gauge(prefix + ".bytes").Set(static_cast<int64_t>(m.bytes));
+    metrics_.histogram("placement.shard_keys").Record(m.keys);
+  }
+}
+
 PlacementDriver::StepReport PlacementDriver::Step() {
   StepReport report;
+  // Publish first: the snapshot reflects the metrics this pass decides on,
+  // and the per-shard op windows are still intact (cleared at the end).
+  PublishMetrics();
+  for (const auto& [id, ops] : ops_since_step_) {
+    // NOLINTNEXTLINE(recraft-hot-path-hygiene): once per policy pass, and the per-shard name is dynamic by design
+    metrics_.counters().Add("shard." + std::to_string(id) + ".ops", ops);
+  }
 
   // -- split pass: the biggest shard over a threshold ----------------------
   if (map_.size() < opts_.max_shards &&

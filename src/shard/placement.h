@@ -10,6 +10,7 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "harness/world.h"
 #include "shard/rebalancer.h"
 #include "shard/shard_map.h"
@@ -61,11 +62,21 @@ class PlacementDriver {
   uint64_t splits_done() const { return splits_done_; }
   uint64_t merges_done() const { return merges_done_; }
 
- private:
   struct ShardMetrics {
     size_t keys = 0;
-    uint64_t ops = 0;
+    size_t bytes = 0;  // machine ApproxBytes() at the probed replica
+    uint64_t ops = 0;  // since the last Step
   };
+
+  /// Refresh the registry from the live shard map: per-shard keys/bytes
+  /// gauges, cumulative per-shard op counters, and a `shards` gauge. Step()
+  /// publishes before acting, so after a Step the snapshot shows the state
+  /// the decisions were made from; callers may also publish on demand.
+  void PublishMetrics();
+  const MetricRegistry& metrics() const { return metrics_; }
+  MetricRegistry& metrics() { return metrics_; }
+
+ private:
   ShardMetrics MetricsOf(const ShardInfo& s) const;
   Result<std::string> PickSplitKey(const ShardInfo& s) const;
   std::vector<NodeId> TakeSpares(size_t n);
@@ -86,6 +97,7 @@ class PlacementDriver {
   std::map<ShardId, uint64_t> ops_since_step_;
   uint64_t splits_done_ = 0;
   uint64_t merges_done_ = 0;
+  MetricRegistry metrics_;
 };
 
 }  // namespace recraft::shard

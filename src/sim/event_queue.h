@@ -156,6 +156,9 @@ class EventQueue {
   void Cancel(EventId id);
 
   TimePoint now() const { return now_; }
+  /// Stable pointer to the simulated clock, for observers (the flight
+  /// recorder timestamps records through it without a virtual call).
+  const TimePoint* now_ptr() const { return &now_; }
   bool empty() const { return live_ == 0; }
   size_t pending() const { return live_; }
 

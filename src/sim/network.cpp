@@ -92,20 +92,32 @@ Duration Network::DeliveryDelay(NodeId from, NodeId to, size_t bytes) {
 }
 
 void Network::Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
-                   size_t bytes) {
+                   size_t bytes, obs::TraceCtx ctx) {
   counters_.Add(cid_.sent);
   counters_.Add(cid_.bytes, bytes);
+  if (recorder_ != nullptr) {
+    recorder_->Emit(from, obs::Name::kNetSend, ctx, to, bytes);
+  }
   if (IsCrashed(from)) {
     counters_.Add(cid_.drop_src_crashed);
+    if (recorder_ != nullptr) {
+      recorder_->Emit(from, obs::Name::kNetDropSrcCrashed, ctx, to, bytes);
+    }
     return;
   }
   if (!CanCommunicate(from, to)) {
     counters_.Add(cid_.drop_partition);
+    if (recorder_ != nullptr) {
+      recorder_->Emit(from, obs::Name::kNetDropPartition, ctx, to, bytes);
+    }
     return;
   }
   if (!blocked_oneway_.empty() &&
       blocked_oneway_.count(PackLink(from, to)) > 0) {
     counters_.Add(cid_.drop_oneway);
+    if (recorder_ != nullptr) {
+      recorder_->Emit(from, obs::Name::kNetDropOneWay, ctx, to, bytes);
+    }
     return;
   }
   double drop_p = opts_.drop_probability;
@@ -122,14 +134,20 @@ void Network::Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
     // and disarming total one-way loss cannot perturb the RNG stream.
     if ((drop_overridden && drop_p >= 1.0) || rng_.Chance(drop_p)) {
       counters_.Add(cid_.drop_random);
+      if (recorder_ != nullptr) {
+        recorder_->Emit(from, obs::Name::kNetDropRandom, ctx, to, bytes);
+      }
       return;
     }
   }
   Duration delay = DeliveryDelay(from, to, bytes);
   events_.Schedule(delay, [this, from, to, payload = std::move(payload),
-                           bytes]() {
+                           bytes, ctx]() {
     if (IsCrashed(to)) {
       counters_.Add(cid_.drop_dst_crashed);
+      if (recorder_ != nullptr) {
+        recorder_->Emit(to, obs::Name::kNetDropDstCrashed, ctx, from, bytes);
+      }
       return;
     }
     // Re-check reachability at delivery time: a partition or one-way block
@@ -137,14 +155,24 @@ void Network::Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
     // like TCP resets).
     if (!CanDeliver(from, to)) {
       counters_.Add(cid_.drop_partition);
+      if (recorder_ != nullptr) {
+        recorder_->Emit(to, obs::Name::kNetDropPartition, ctx, from, bytes);
+      }
       return;
     }
     if (to >= handlers_.size() || !handlers_[to]) {
       counters_.Add(cid_.drop_unregistered);
+      if (recorder_ != nullptr) {
+        recorder_->Emit(to, obs::Name::kNetDropUnregistered, ctx, from,
+                        bytes);
+      }
       return;
     }
     counters_.Add(cid_.delivered);
-    handlers_[to](from, payload, bytes);
+    if (recorder_ != nullptr) {
+      recorder_->Emit(to, obs::Name::kNetDeliver, ctx, from, bytes);
+    }
+    handlers_[to](from, payload, bytes, ctx);
   });
 }
 

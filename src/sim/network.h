@@ -22,6 +22,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace recraft::sim {
@@ -34,11 +35,13 @@ struct NetworkOptions {
   double drop_probability = 0.0;   // uniform message loss
 };
 
-/// A delivery callback: (from, payload, bytes). Payload lifetime is managed
-/// by shared ownership; handlers cast it to the protocol message type.
+/// A delivery callback: (from, payload, bytes, ctx). Payload lifetime is
+/// managed by shared ownership; handlers cast it to the protocol message
+/// type. `ctx` is the sender's causal trace context, forwarded unchanged —
+/// pure annotation, ignored by handlers that don't trace.
 using DeliveryHandler =
     std::function<void(NodeId from, std::shared_ptr<const void> payload,
-                       size_t bytes)>;
+                       size_t bytes, obs::TraceCtx ctx)>;
 
 class Network {
  public:
@@ -50,9 +53,10 @@ class Network {
 
   /// Queue a message for delivery. Applies partitions, drops, latency and
   /// bandwidth. Delivery is skipped if the destination is crashed or
-  /// unregistered *at delivery time*.
+  /// unregistered *at delivery time*. `ctx` rides along to the handler for
+  /// causal tracing; it never affects routing, delay or the RNG stream.
   void Send(NodeId from, NodeId to, std::shared_ptr<const void> payload,
-            size_t bytes);
+            size_t bytes, obs::TraceCtx ctx = {});
 
   // --- fault injection -------------------------------------------------
   void Crash(NodeId node);
@@ -91,6 +95,10 @@ class Network {
   void set_drop_probability(double p) { opts_.drop_probability = p; }
   const NetworkOptions& options() const { return opts_; }
 
+  /// Arm (non-null) or disarm (null) the flight recorder for the send,
+  /// drop and deliver paths. Observation only — see obs/trace.h.
+  void set_recorder(obs::Recorder* rec) { recorder_ = rec; }
+
   /// Override latency for a specific ordered link (one direction).
   void SetLinkLatency(NodeId from, NodeId to, Duration latency);
   void ClearLinkLatency(NodeId from, NodeId to);
@@ -104,6 +112,7 @@ class Network {
 
   // --- introspection ----------------------------------------------------
   CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
   bool CanCommunicate(NodeId a, NodeId b) const;
   /// Directional reachability: CanCommunicate minus one-way blocks.
   bool CanDeliver(NodeId from, NodeId to) const;
@@ -135,6 +144,7 @@ class Network {
   std::unordered_map<uint64_t, Duration> link_latency_;  // PackLink(from, to)
   std::unordered_map<uint64_t, double> link_drop_;       // PackLink(from, to)
   CounterSet counters_;
+  obs::Recorder* recorder_ = nullptr;
 
   // Pre-interned handles for the per-message counters.
   struct {

@@ -106,6 +106,10 @@ void WalStorage::FlushNow(bool from_timer) {
   flush_deferred_ = false;
   if (pending_records_ > 0) {
     disk_->Flush(kWalFile);
+    if (recorder_ != nullptr) {
+      recorder_->Emit(recorder_node_, obs::Name::kWalFlush, obs::TraceCtx{},
+                      pending_records_, from_timer ? 0 : 1);
+    }
     if (from_timer) {
       ++stats_.batch_flushes;
     } else {

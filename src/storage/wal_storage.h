@@ -31,6 +31,7 @@
 #include <string>
 
 #include "common/codec.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "storage/sim_disk.h"
 #include "storage/storage.h"
@@ -98,6 +99,14 @@ class WalStorage final : public Storage {
   const SimDisk& disk() const { return *disk_; }
   size_t wal_file_bytes() const;
 
+  /// Arm the flight recorder for flush instants; `owner` labels the records
+  /// with the node this WAL belongs to. Pure observation — does not change
+  /// flush scheduling or the durable byte stream.
+  void SetRecorder(obs::Recorder* rec, NodeId owner) {
+    recorder_ = rec;
+    recorder_node_ = owner;
+  }
+
  private:
   // Record types — part of the durable format; append-only.
   enum RecordType : uint8_t {
@@ -153,6 +162,8 @@ class WalStorage final : public Storage {
   size_t live_bytes_estimate_ = 0;
   sim::EventId flush_event_ = sim::kNoEvent;
   bool flush_deferred_ = false;  // latency spike applied to this batch
+  obs::Recorder* recorder_ = nullptr;
+  NodeId recorder_node_ = 0;
   Stats stats_;
 };
 

@@ -25,7 +25,8 @@ ClusterManager::ClusterManager(harness::World& world, NodeId id,
                                TcOptions opts)
     : world_(world), id_(id), opts_(opts) {
   world_.net().Register(
-      id_, [this](NodeId from, std::shared_ptr<const void> payload, size_t) {
+      id_, [this](NodeId from, std::shared_ptr<const void> payload, size_t,
+                  obs::TraceCtx) {
         OnMessage(from,
                   *std::static_pointer_cast<const raft::Message>(payload));
       });

@@ -21,9 +21,12 @@ struct RunTrace {
 };
 
 /// A miniature chaos scenario: client traffic under crashes, partitions and
-/// message drops, a membership resize, then heal and converge.
-RunTrace RunChaosScenario(uint64_t seed) {
-  World w(TestWorldOptions(seed));
+/// message drops, a membership resize, then heal and converge. Optionally
+/// runs with the flight recorder armed — which must not change anything.
+RunTrace RunChaosScenario(uint64_t seed, obs::Recorder* rec = nullptr) {
+  WorldOptions wo = TestWorldOptions(seed);
+  wo.recorder = rec;
+  World w(wo);
   auto c = w.CreateCluster(5);
   EXPECT_TRUE(w.WaitForLeader(c));
   Rng chaos(seed * 131 + 17);
@@ -98,6 +101,23 @@ TEST(Determinism, SameSeedSameExecutedTraceAndCounters) {
   EXPECT_EQ(a.node_counters, b.node_counters);
   EXPECT_EQ(a.final_value, "ok");
   EXPECT_EQ(b.final_value, "ok");
+}
+
+TEST(Determinism, TracingArmedDigestIdentical) {
+  // The flight recorder is pure observation: arming it (even with a tiny
+  // ring that wraps constantly) leaves the executed schedule bit-identical.
+  RunTrace plain = RunChaosScenario(7);
+  obs::Recorder armed;
+  RunTrace traced = RunChaosScenario(7, &armed);
+  obs::Recorder tiny(64);
+  RunTrace wrapped = RunChaosScenario(7, &tiny);
+  EXPECT_EQ(plain.digest, traced.digest);
+  EXPECT_EQ(plain.executed, traced.executed);
+  EXPECT_EQ(plain.node_counters, traced.node_counters);
+  EXPECT_EQ(plain.digest, wrapped.digest);
+  EXPECT_EQ(plain.executed, wrapped.executed);
+  EXPECT_GT(armed.buffer().total(), 0u);
+  EXPECT_TRUE(tiny.buffer().wrapped());
 }
 
 TEST(Determinism, DifferentSeedsDiverge) {

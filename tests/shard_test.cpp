@@ -218,6 +218,24 @@ TEST(ShardPlane, NativeSplitAndMergeUpdateMap) {
   auto final_shards = w.shard_map().Shards();
   ASSERT_TRUE(w.Put(final_shards.front().members, "k00000001", "low").ok());
   ASSERT_TRUE(w.Put(final_shards.back().members, "k00009999", "high").ok());
+
+  // Per-shard size/load metrics surface through the driver's registry.
+  driver.RecordOp("k00000001");
+  driver.PublishMetrics();
+  auto snap = driver.metrics().Snap();
+  EXPECT_EQ(snap.gauges.at("placement.shards"), 2);
+  EXPECT_EQ(snap.gauges.at("placement.spares"), 3);
+  bool some_shard_has_keys = false, all_have_bytes_gauge = true;
+  for (const ShardInfo& s : final_shards) {
+    const std::string prefix = "shard." + std::to_string(s.id);
+    auto keys_it = snap.gauges.find(prefix + ".keys");
+    ASSERT_NE(keys_it, snap.gauges.end()) << prefix;
+    if (keys_it->second > 0) some_shard_has_keys = true;
+    all_have_bytes_gauge &= snap.gauges.count(prefix + ".bytes") > 0;
+  }
+  EXPECT_TRUE(some_shard_has_keys);
+  EXPECT_TRUE(all_have_bytes_gauge);
+  EXPECT_GT(snap.histograms.at("placement.shard_keys").count, 0u);
 }
 
 TEST(ShardPlane, TcRebalancerRunsSamePolicy) {

@@ -261,7 +261,7 @@ struct NetFixture {
   NetFixture(NetworkOptions opts = {}) : net(events, opts, Rng(1)) {
     for (NodeId n = 1; n <= 4; ++n) {
       net.Register(n, [this, n](NodeId from, std::shared_ptr<const void> p,
-                                size_t bytes) {
+                                size_t bytes, obs::TraceCtx) {
         delivered.push_back({from, n, bytes, events.now()});
         (void)p;
       });

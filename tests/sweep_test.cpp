@@ -49,7 +49,10 @@ TEST(Sweep, EveryKnownMixRunsClean) {
   for (const auto& mix : NemesisMix::KnownMixes()) {
     SweepOptions opts = QuickOptions(mix);
     auto v = RunSweepWorld(opts, 7);
-    EXPECT_TRUE(v.ok()) << "mix " << mix << ": " << v.ReproLine();
+    // On failure the verdict carries World::DumpDiagnostics output — the
+    // per-node role/term/commit table beats re-running under a debugger.
+    EXPECT_TRUE(v.ok()) << "mix " << mix << ": " << v.ReproLine() << "\n"
+                        << v.diagnostics;
     for (const auto& viol : v.violations) {
       ADD_FAILURE() << "mix " << mix << ": " << viol;
     }
@@ -73,6 +76,8 @@ TEST(Sweep, InjectedRegressionCaughtWithDeterministicRepro) {
   for (const auto& v : result.verdicts) {
     EXPECT_FALSE(v.ok());
     EXPECT_FALSE(v.violations.empty());
+    // Failing verdicts capture the world's diagnostics dump at verdict time.
+    EXPECT_NE(v.diagnostics.find("node"), std::string::npos) << v.diagnostics;
     std::string repro = v.ReproLine();
     EXPECT_NE(repro.find("--seed="), std::string::npos);
     EXPECT_NE(repro.find("--mix=classic"), std::string::npos);

@@ -31,9 +31,12 @@ namespace {
 // Directories forming the deterministic core (virtual-path scoped).
 // src/harness is in scope too: the nemesis/sweep layer promises per-seed
 // digest-identical replays, so it must be as clock/rand-free as the core.
+// src/obs is in scope for the same reason as src/harness: the flight
+// recorder promises digest-neutral observation, so it must never draw a
+// clock or RNG of its own (sim time arrives via Recorder::BindClock).
 const std::vector<std::string> kScopedDirs = {
-    "src/sim",     "src/core", "src/raft", "src/shard",
-    "src/storage", "src/sm",   "src/harness",
+    "src/sim",     "src/core", "src/raft",    "src/shard",
+    "src/storage", "src/sm",   "src/harness", "src/obs",
 };
 
 // Identifiers that are banned when used as a call: `name(...)` with no

@@ -1,0 +1,79 @@
+// recraft-trace-hygiene — the flight-recorder name-interning contract.
+//
+// Trace records are fixed-size PODs: the event name is an `obs::Name` enum
+// value (interned once, stringified only at export), never a string. A
+// string literal inside an Emit/BeginSpan/EndSpan call means someone tried
+// to invent a dynamic event name at an emit site — which would force the
+// record to own heap storage, turn the O(1) ring push into an allocation on
+// hot paths (every network delivery and WAL flush emits), and break the
+// closed-enum guarantee the Perfetto exporter and critical-path scorer rely
+// on. Add a value to obs::Name (and its kNames row) instead.
+//
+// Scope: all of src/ — emit sites live in core, sim, storage, harness and
+// obs itself; the contract is the same everywhere.
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace recraft::lint {
+namespace {
+
+const std::vector<std::string> kScopedDirs = {"src"};
+
+bool IsEmitName(const std::string& s) {
+  return s == "Emit" || s == "BeginSpan" || s == "EndSpan";
+}
+
+class TraceHygieneCheck : public Check {
+ public:
+  std::string name() const override { return "recraft-trace-hygiene"; }
+  std::string description() const override {
+    return "string literal in a trace emit call (event names are interned "
+           "obs::Name enum values)";
+  }
+
+  void Run(const SourceFile& f, std::vector<Diagnostic>* out) override {
+    if (!f.UnderAny(kScopedDirs)) return;
+    const std::vector<Token>& toks = f.tokens();
+    const size_t n = toks.size();
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const Token& t = toks[i];
+      // A trace emit is a method call on a recorder: `rec.Emit(` or
+      // `recorder->BeginSpan(`. Free functions named Emit elsewhere in the
+      // tree are not trace emits and stay out of scope.
+      if (t.kind != Tok::kIdent || !IsEmitName(t.text)) continue;
+      if (i == 0 || !(toks[i - 1].Is(".") || toks[i - 1].Is("->"))) continue;
+      if (!toks[i + 1].Is("(")) continue;
+      int depth = 0;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (toks[j].Is("(")) ++depth;
+        else if (toks[j].Is(")")) {
+          if (--depth == 0) {
+            i = j;
+            break;
+          }
+        } else if (toks[j].kind == Tok::kString) {
+          Diagnostic d;
+          d.file = f.path();
+          d.line = toks[j].line;
+          d.col = toks[j].col;
+          d.check = name();
+          d.message =
+              "trace emit with a string literal: records are fixed-size "
+              "PODs keyed by the obs::Name enum — add an enum value (and "
+              "its kNames row) instead of a dynamic name";
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> MakeTraceHygieneCheck() {
+  return std::make_unique<TraceHygieneCheck>();
+}
+
+}  // namespace recraft::lint

@@ -6,6 +6,7 @@ std::unique_ptr<Check> MakeReentrantRefCheck();
 std::unique_ptr<Check> MakeDeterminismCheck();
 std::unique_ptr<Check> MakeHotPathHygieneCheck();
 std::unique_ptr<Check> MakeEntryCopyCheck();
+std::unique_ptr<Check> MakeTraceHygieneCheck();
 
 std::vector<std::unique_ptr<Check>> MakeAllChecks() {
   std::vector<std::unique_ptr<Check>> out;
@@ -13,6 +14,7 @@ std::vector<std::unique_ptr<Check>> MakeAllChecks() {
   out.push_back(MakeDeterminismCheck());
   out.push_back(MakeHotPathHygieneCheck());
   out.push_back(MakeEntryCopyCheck());
+  out.push_back(MakeTraceHygieneCheck());
   return out;
 }
 

@@ -1,0 +1,29 @@
+// RECRAFT-TIDY-PATH: src/obs/fixture_determinism_obs_scope.cc
+// The flight recorder is digest-neutral by contract: it observes the
+// deterministic world without perturbing it, so src/obs is inside the
+// recraft-determinism scope. A recorder reading a wall clock or drawing
+// randomness of its own would stamp records that differ across replays of
+// the same seed — sim time must arrive via Recorder::BindClock.
+
+#include <chrono>
+
+namespace fixture {
+
+struct TraceRecord {
+  unsigned long ts = 0;
+  unsigned long a = 0;
+};
+
+class Recorder {
+ public:
+  TraceRecord Stamp() {
+    TraceRecord r;
+    r.ts = time(nullptr);  // EXPECT: recraft-determinism
+    auto t = std::chrono::steady_clock::now();  // EXPECT: recraft-determinism
+    (void)t;
+    r.a = rand();  // EXPECT: recraft-determinism
+    return r;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_trace_hygiene_negative.cc
+// Negative fixtures for recraft-trace-hygiene: enum-keyed emits are the
+// sanctioned idiom, and non-recorder calls that merely share a method name
+// are out of scope. Nothing here may diagnose.
+
+namespace fixture {
+
+enum class Name { kPropose, kElection };
+enum class Outcome { kOk };
+struct TraceCtx {};
+
+struct Recorder {
+  void Emit(unsigned node, Name name, TraceCtx ctx = {},
+            unsigned long a = 0, unsigned long b = 0);
+  unsigned long BeginSpan(unsigned node, Name name, TraceCtx ctx = {},
+                          unsigned long a = 0);
+  void EndSpan(unsigned node, Name name, unsigned long span,
+               Outcome outcome = Outcome::kOk);
+};
+
+// A free function named Emit is not a trace emit (no receiver).
+void Emit(const char* message);
+
+class Node {
+ public:
+  void Propose() {
+    if (rec_ != nullptr) {
+      rec_->Emit(id_, Name::kPropose, TraceCtx{}, 1, 2);
+    }
+  }
+
+  void StartElection() {
+    span_ = rec_->BeginSpan(id_, Name::kElection, TraceCtx{}, term_);
+  }
+
+  void BecomeLeader() {
+    rec_->EndSpan(id_, Name::kElection, span_, Outcome::kOk);
+    Emit("became leader");  // free function: out of scope
+  }
+
+ private:
+  Recorder* rec_ = nullptr;
+  unsigned id_ = 0;
+  unsigned long term_ = 0;
+  unsigned long span_ = 0;
+};
+
+}  // namespace fixture

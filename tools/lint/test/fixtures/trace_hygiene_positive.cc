@@ -1,0 +1,46 @@
+// RECRAFT-TIDY-PATH: src/core/fixture_trace_hygiene_positive.cc
+// Positive fixtures for recraft-trace-hygiene — string literals in trace
+// emit calls. Event names are interned obs::Name enum values; a literal at
+// an emit site means a dynamic name, which would put heap storage in a
+// fixed-size POD record on hot paths. Each EXPECT line must diagnose.
+
+namespace fixture {
+
+enum class Name { kPropose, kApply };
+struct TraceCtx {};
+
+struct Recorder {
+  void Emit(unsigned node, Name name, TraceCtx ctx = {},
+            unsigned long a = 0, unsigned long b = 0);
+  void Emit(unsigned node, const char* name, TraceCtx ctx = {});
+  unsigned long BeginSpan(unsigned node, const char* name, TraceCtx ctx = {});
+  void EndSpan(unsigned node, const char* name, unsigned long span);
+};
+
+class Node {
+ public:
+  void Propose() {
+    rec_->Emit(id_, "propose");  // EXPECT: recraft-trace-hygiene
+  }
+
+  void StartElection() {
+    span_ = rec_->BeginSpan(id_,
+                            "election");  // EXPECT: recraft-trace-hygiene
+  }
+
+  void BecomeLeader() {
+    rec_->EndSpan(id_, "election", span_);  // EXPECT: recraft-trace-hygiene
+  }
+
+  void Apply(Recorder& rec) {
+    // Receiver via `.` is an emit site too.
+    rec.Emit(id_, "apply");  // EXPECT: recraft-trace-hygiene
+  }
+
+ private:
+  Recorder* rec_ = nullptr;
+  unsigned id_ = 0;
+  unsigned long span_ = 0;
+};
+
+}  // namespace fixture

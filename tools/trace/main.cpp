@@ -1,0 +1,110 @@
+// Deterministic trace replay + export.
+//
+// Re-runs the exact sweep world named by (--seed, --mix, --ticks) with the
+// flight recorder armed — arming is pure observation, so the world is the
+// same one a sweep (or a repro line) saw, digest and all — then:
+//
+//   * writes Chrome-trace / Perfetto JSON (--out, default trace-<seed>.json;
+//     load it in ui.perfetto.dev or chrome://tracing, one track per node),
+//   * prints a human-readable critical-path timeline for one client op:
+//     the slowest completed op by default, or the one named by --op=<trace>.
+//
+//   trace --seed=1234 --mix=gray --ticks=200 --out=trace-1234.json
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "harness/sweep.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace {
+
+bool ParseU64(const char* arg, const char* prefix, uint64_t* out) {
+  size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  *out = std::strtoull(arg + n, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using recraft::harness::RunSweepWorld;
+  using recraft::harness::SweepOptions;
+
+  SweepOptions opts;
+  uint64_t seed = 1;
+  uint64_t op_trace = 0;  // 0 = pick the slowest completed client op
+  uint64_t capacity = recraft::obs::Recorder::kDefaultCapacity;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseU64(arg, "--seed=", &seed) ||
+        ParseU64(arg, "--ticks=", &opts.chaos_ticks) ||
+        ParseU64(arg, "--op=", &op_trace) ||
+        ParseU64(arg, "--capacity=", &capacity)) {
+      continue;
+    }
+    if (std::strncmp(arg, "--mix=", 6) == 0) {
+      opts.mix = arg + 6;
+      continue;
+    }
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+      continue;
+    }
+    if (std::strcmp(arg, "--inject-divergence") == 0) {
+      opts.inject_divergence = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument: %s\n", arg);
+    std::fprintf(stderr,
+                 "usage: trace --seed=S [--mix=M] [--ticks=T] [--out=F]"
+                 " [--op=TRACE_ID] [--capacity=N] [--inject-divergence]\n");
+    return 2;
+  }
+  if (out_path.empty()) out_path = "trace-" + std::to_string(seed) + ".json";
+
+  recraft::obs::Recorder recorder(static_cast<size_t>(capacity));
+  opts.recorder = &recorder;
+  auto v = RunSweepWorld(opts, seed);
+
+  std::printf("world: seed=%llu mix=%s ticks=%llu digest=%016llx %s\n",
+              static_cast<unsigned long long>(v.seed), v.mix.c_str(),
+              static_cast<unsigned long long>(v.chaos_ticks),
+              static_cast<unsigned long long>(v.digest),
+              v.ok() ? "OK" : "FAIL");
+  for (const auto& viol : v.violations) {
+    std::printf("  violation: %s\n", viol.c_str());
+  }
+
+  auto records = recorder.Snapshot();
+  std::printf("trace: %zu records (%llu emitted%s)\n", records.size(),
+              static_cast<unsigned long long>(recorder.buffer().total()),
+              recorder.buffer().wrapped() ? ", ring wrapped" : "");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  recraft::obs::ExportChromeTrace(records, out);
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (op_trace == 0) op_trace = recraft::obs::SlowestClientOp(records);
+  if (op_trace != 0) {
+    std::printf("\ncritical path of client op trace=%llu:\n",
+                static_cast<unsigned long long>(op_trace));
+    recraft::obs::PrintCriticalPath(records, op_trace, std::cout);
+  } else {
+    std::printf("no completed client op inside the buffer window\n");
+  }
+  return v.ok() ? 0 : 1;
+}
