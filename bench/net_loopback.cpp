@@ -1,0 +1,357 @@
+// Real-network performance: the reliable-UDP link in isolation, then the
+// full daemon stack end to end. Two modes, mirroring bench/storage_wal:
+//
+//   $ ./net_loopback --json [path] --recraftd PATH   # suite -> JSON
+//   $ ./net_loopback --json --smoke --recraftd PATH  # CTest-sized run
+//
+// The --json suite measures, all over 127.0.0.1:
+//
+//   * link micro — two in-process UdpTransports: one-way small-message
+//     throughput through the windowed reliable link, and ping-pong RTT
+//     p50/p99 (the floor under every consensus message exchange);
+//   * e2e — a forked 3-process recraftd cluster driven by closed-loop
+//     net::KvClient threads: client_ops_per_sec and per-op latency
+//     p50/p99, the real-deployment analogue of bench/kv_service.
+//
+// Results land in BENCH_net.json so CI tracks the networking trajectory
+// alongside the sim/storage/kv JSONs. Without --recraftd the e2e section
+// is skipped (the link micro still runs).
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "kv/service.h"
+#include "net/phonebook.h"
+#include "net/udp_client.h"
+#include "net/udp_clock.h"
+#include "net/udp_transport.h"
+#include "raft/messages.h"
+
+namespace recraft::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct JsonResult {
+  std::string name;
+  double value = 0;
+  std::string unit;
+};
+
+// ---------------------------------------------------------------------------
+// Link micro: two UdpTransports in one process, real loopback sockets.
+
+struct LinkPair {
+  net::SystemClock clock;
+  MetricRegistry m1, m2;
+  std::unique_ptr<net::UdpTransport> t1, t2;
+
+  LinkPair() {
+    net::Phonebook placeholder = *net::Phonebook::Parse("9 127.0.0.1:1\n");
+    uint16_t port1 = 0;
+    uint16_t port2 = 0;
+    {
+      // Ephemeral probes learn two free ports, then release them so the
+      // real transports can bind.
+      net::UdpTransport probe1(1, placeholder, &clock, nullptr);
+      net::UdpTransport probe2(2, placeholder, &clock, nullptr);
+      port1 = probe1.bound_port();
+      port2 = probe2.bound_port();
+    }
+    std::string book = "1 127.0.0.1:" + std::to_string(port1) +
+                       "\n2 127.0.0.1:" + std::to_string(port2) + "\n";
+    auto parsed = net::Phonebook::Parse(book);
+    t1 = std::make_unique<net::UdpTransport>(1, *parsed, &clock, &m1);
+    t2 = std::make_unique<net::UdpTransport>(2, *parsed, &clock, &m2);
+    if (!t1->status().ok() || !t2->status().ok()) {
+      std::fprintf(stderr, "net_loopback: socket setup failed\n");
+      std::exit(1);
+    }
+  }
+
+  void Pump() {
+    t1->OnReadable();
+    t2->OnReadable();
+    t1->OnTimer();
+    t2->OnTimer();
+  }
+};
+
+/// One-way throughput: blast `n` small messages 1 -> 2 through the windowed
+/// link (the window paces the socket; retransmission covers any kernel-side
+/// drops) and busy-pump both ends until all arrive.
+double LinkThroughput(size_t n, std::vector<JsonResult>* results) {
+  LinkPair pair;
+  size_t got = 0;
+  pair.t2->Bind(2, [&got](NodeId, const raft::Message&, obs::TraceCtx) {
+    ++got;
+  });
+  auto t0 = Clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    raft::AppendReply r;
+    r.from = 1;
+    r.match = i;
+    pair.t1->Send(1, 2, raft::MakeMessage(r));
+  }
+  while (got < n) pair.Pump();
+  double dt = SecondsSince(t0);
+  double rate = static_cast<double>(n) / dt;
+  const net::ReliableLink* link = pair.t1->link(2);
+  std::printf("link one-way throughput : %10.0f msgs/s (%zu msgs, "
+              "%llu retransmits)\n",
+              rate, n,
+              static_cast<unsigned long long>(
+                  link != nullptr ? link->counters().retransmits : 0));
+  results->push_back({"link_msgs_per_sec", rate, "1/s"});
+  return rate;
+}
+
+/// Ping-pong RTT: node 2 echoes from its delivery callback; one exchange in
+/// flight at a time, so each sample is a clean message round trip through
+/// encode -> socket -> reassemble -> decode, twice.
+void LinkRtt(size_t rounds, std::vector<JsonResult>* results) {
+  LinkPair pair;
+  pair.t2->Bind(2, [&pair](NodeId, const raft::Message& m, obs::TraceCtx) {
+    pair.t2->Send(2, 1, raft::MakeMessage(std::get<raft::AppendReply>(m)));
+  });
+  size_t pongs = 0;
+  pair.t1->Bind(1, [&pongs](NodeId, const raft::Message&, obs::TraceCtx) {
+    ++pongs;
+  });
+  LatencyRecorder rtt;
+  for (size_t i = 0; i < rounds; ++i) {
+    raft::AppendReply ping;
+    ping.from = 1;
+    ping.match = i;
+    auto t0 = Clock::now();
+    pair.t1->Send(1, 2, raft::MakeMessage(ping));
+    size_t want = pongs + 1;
+    while (pongs < want) pair.Pump();
+    rtt.Record(static_cast<Duration>(SecondsSince(t0) * 1e6));
+  }
+  std::printf("link ping-pong RTT      : p50 %llu us, p99 %llu us "
+              "(%zu rounds)\n",
+              static_cast<unsigned long long>(rtt.Percentile(50)),
+              static_cast<unsigned long long>(rtt.Percentile(99)), rounds);
+  results->push_back(
+      {"link_rtt_p50_us", static_cast<double>(rtt.Percentile(50)), "us"});
+  results->push_back(
+      {"link_rtt_p99_us", static_cast<double>(rtt.Percentile(99)), "us"});
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a forked 3-process recraftd cluster on loopback.
+
+pid_t SpawnDaemon(const std::string& exe, NodeId id, const std::string& hosts,
+                  const std::string& data, const std::string& log) {
+  pid_t pid = fork();
+  if (pid != 0) return pid;
+  int fd = open(log.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd >= 0) {
+    dup2(fd, 1);
+    dup2(fd, 2);
+    close(fd);
+  }
+  std::string id_s = std::to_string(id);
+  execl(exe.c_str(), exe.c_str(), "--id", id_s.c_str(), "--hosts",
+        hosts.c_str(), "--data", data.c_str(), "--cluster", "1,2,3",
+        static_cast<char*>(nullptr));
+  _exit(127);
+}
+
+struct E2eStats {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  LatencyRecorder latency;
+};
+
+/// Closed-loop client: 80% puts / 20% gets over a private key range, one op
+/// in flight at a time (KvClient stamps the dedup session on writes).
+void RunE2eClient(NodeId client_id, const net::Phonebook& book, uint64_t ops,
+                  E2eStats* out) {
+  net::KvClient client(client_id, book);
+  for (uint64_t j = 0; j < ops; ++j) {
+    kv::Command cmd;
+    cmd.key = "bench/c" + std::to_string(client_id) + "/k" +
+              std::to_string(j % 64);
+    if (j % 5 == 4) {
+      cmd.op = kv::OpType::kGet;
+    } else {
+      cmd.op = kv::OpType::kPut;
+      cmd.value.assign(64, 'v');
+    }
+    auto t0 = Clock::now();
+    kv::Response r = client.Do(cmd, 30 * kSecond);
+    out->latency.Record(static_cast<Duration>(SecondsSince(t0) * 1e6));
+    if (!r.status.ok() && r.status.code() != Code::kNotFound) ++out->errors;
+    ++out->ops;
+  }
+}
+
+bool RunE2e(const std::string& recraftd, uint64_t clients,
+            uint64_t ops_per_client, std::vector<JsonResult>* results) {
+  namespace fs = std::filesystem;
+  char tmpl[] = "/tmp/net_loopback.XXXXXX";
+  const char* work_c = mkdtemp(tmpl);
+  if (work_c == nullptr) {
+    std::fprintf(stderr, "net_loopback: mkdtemp failed\n");
+    return false;
+  }
+  fs::path work(work_c);
+
+  uint16_t base_port =
+      static_cast<uint16_t>(21000 + (getpid() * 7) % 2000);
+  std::string hosts_text;
+  for (NodeId id = 1; id <= 3; ++id) {
+    hosts_text += std::to_string(id) + " 127.0.0.1:" +
+                  std::to_string(base_port + id) + "\n";
+    fs::create_directories(work / ("n" + std::to_string(id)));
+  }
+  std::string hosts_path = (work / "hosts.txt").string();
+  std::FILE* hf = std::fopen(hosts_path.c_str(), "w");
+  std::fputs(hosts_text.c_str(), hf);
+  std::fclose(hf);
+
+  std::vector<pid_t> daemons;
+  for (NodeId id = 1; id <= 3; ++id) {
+    std::string n = "n" + std::to_string(id);
+    daemons.push_back(SpawnDaemon(recraftd, id, hosts_path,
+                                  (work / n).string(),
+                                  (work / (n + ".log")).string()));
+  }
+  auto shutdown = [&daemons] {
+    for (pid_t pid : daemons) kill(pid, SIGKILL);
+    for (pid_t pid : daemons) waitpid(pid, nullptr, 0);
+  };
+
+  auto book = net::Phonebook::Parse(hosts_text);
+
+  // Wait for a leader: the same probe read recraft-cli's `leader` uses.
+  bool up = false;
+  {
+    net::KvClient probe(static_cast<NodeId>(3999), *book);
+    for (int attempt = 0; attempt < 60 && !up; ++attempt) {
+      kv::Command c;
+      c.op = kv::OpType::kGet;
+      c.key = "\x01__leader_probe";
+      kv::Response r = probe.Do(c, 500 * kMillisecond);
+      up = r.status.ok() || r.status.code() == Code::kNotFound;
+    }
+  }
+  if (!up) {
+    std::fprintf(stderr, "net_loopback: no leader; daemon logs in %s\n",
+                 work_c);
+    shutdown();
+    return false;
+  }
+
+  std::vector<E2eStats> stats(clients);
+  std::vector<std::thread> threads;
+  auto t0 = Clock::now();
+  for (uint64_t i = 0; i < clients; ++i) {
+    threads.emplace_back(RunE2eClient, static_cast<NodeId>(3000 + i),
+                         std::cref(*book), ops_per_client, &stats[i]);
+  }
+  for (auto& t : threads) t.join();
+  double dt = SecondsSince(t0);
+
+  shutdown();
+  fs::remove_all(work);
+
+  E2eStats total;
+  for (const auto& s : stats) {
+    total.ops += s.ops;
+    total.errors += s.errors;
+    total.latency.Merge(s.latency);
+  }
+  double rate = static_cast<double>(total.ops) / dt;
+  std::printf("e2e 3-process cluster   : %10.0f ops/s, p50 %llu us, "
+              "p99 %llu us (%llu ops, %llu errors)\n",
+              rate,
+              static_cast<unsigned long long>(total.latency.Percentile(50)),
+              static_cast<unsigned long long>(total.latency.Percentile(99)),
+              static_cast<unsigned long long>(total.ops),
+              static_cast<unsigned long long>(total.errors));
+  results->push_back({"e2e_client_ops_per_sec", rate, "1/s"});
+  results->push_back({"e2e_op_p50_us",
+                      static_cast<double>(total.latency.Percentile(50)),
+                      "us"});
+  results->push_back({"e2e_op_p99_us",
+                      static_cast<double>(total.latency.Percentile(99)),
+                      "us"});
+  return total.errors == 0;
+}
+
+// ---------------------------------------------------------------------------
+
+void WriteJson(const std::string& path,
+               const std::vector<JsonResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f, "  \"%s\": {\"value\": %.3f, \"unit\": \"%s\"}%s\n",
+                 results[i].name.c_str(), results[i].value,
+                 results[i].unit.c_str(),
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace recraft::bench
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_net.json";
+  std::string recraftd;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--recraftd") == 0 && i + 1 < argc) {
+      recraftd = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json [path]] [--smoke] [--recraftd PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<recraft::bench::JsonResult> results;
+  recraft::bench::LinkThroughput(smoke ? 20000 : 200000, &results);
+  recraft::bench::LinkRtt(smoke ? 1000 : 10000, &results);
+
+  bool ok = true;
+  if (!recraftd.empty()) {
+    ok = recraft::bench::RunE2e(recraftd, /*clients=*/4,
+                                smoke ? 500 : 5000, &results);
+  } else {
+    std::printf("e2e section skipped (no --recraftd)\n");
+  }
+
+  recraft::bench::WriteJson(path, results);
+  return ok ? 0 : 1;
+}

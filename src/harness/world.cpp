@@ -42,25 +42,23 @@ World::World(WorldOptions opts)
     opts_.node.recorder = opts_.recorder;
   }
   if (opts_.with_naming_service) {
-    net_.Register(kNamingServiceId,
-                  [this](NodeId from, std::shared_ptr<const void> payload,
-                         size_t, obs::TraceCtx ctx) {
-                    const auto& m =
-                        *std::static_pointer_cast<const raft::Message>(payload);
-                    if (const auto* reg = std::get_if<raft::NamingRegister>(&m)) {
-                      naming_.HandleRegister(*reg);
-                    } else if (std::get_if<raft::NamingLookupReq>(&m) !=
-                               nullptr) {
-                      auto reply = raft::MakeMessage(
-                          raft::Message(naming_.Directory()));
-                      net_.Send(kNamingServiceId, from, reply,
-                                reply.wire_bytes(), ctx);
-                    }
-                  });
+    transport_.Bind(kNamingServiceId,
+                    [this](NodeId from, const raft::Message& m,
+                           obs::TraceCtx ctx) {
+                      if (const auto* reg =
+                              std::get_if<raft::NamingRegister>(&m)) {
+                        naming_.HandleRegister(*reg);
+                      } else if (std::get_if<raft::NamingLookupReq>(&m) !=
+                                 nullptr) {
+                        auto reply = raft::MakeMessage(
+                            raft::Message(naming_.Directory()));
+                        reply.set_trace_ctx(ctx);
+                        transport_.Send(kNamingServiceId, from, reply);
+                      }
+                    });
   }
-  net_.Register(kAdminId, [this](NodeId, std::shared_ptr<const void> payload,
-                                 size_t, obs::TraceCtx) {
-    const auto& m = *std::static_pointer_cast<const raft::Message>(payload);
+  transport_.Bind(kAdminId, [this](NodeId, const raft::Message& m,
+                                   obs::TraceCtx) {
     if (const auto* reply = std::get_if<raft::ClientReply>(&m)) {
       admin_replies_[reply->req_id] = *reply;
       // Fire-and-forget senders (nemesis churn storms) never collect their
@@ -90,7 +88,7 @@ storage::Storage* World::MakeStorage(NodeId id, bool fresh_instance) {
         disks_[id] = std::make_shared<storage::SimDisk>(opts_.disk);
       }
       if (fresh_instance || storages_.count(id) == 0) {
-        auto wal = std::make_unique<storage::WalStorage>(disks_[id], &events_,
+        auto wal = std::make_unique<storage::WalStorage>(disks_[id], &clock_,
                                                          opts_.wal);
         if (opts_.recorder != nullptr) {
           wal->SetRecorder(opts_.recorder, id);
@@ -104,14 +102,11 @@ storage::Storage* World::MakeStorage(NodeId id, bool fresh_instance) {
 }
 
 void World::RegisterNodeHandler(NodeId id) {
-  net_.Register(id, [this, id](NodeId from,
-                               std::shared_ptr<const void> payload, size_t,
-                               obs::TraceCtx ctx) {
+  transport_.Bind(id, [this, id](NodeId from, const raft::Message& m,
+                                 obs::TraceCtx ctx) {
     auto it = nodes_.find(id);
     if (it == nodes_.end()) return;  // down (CrashNode) — delivery dropped
-    it->second->Receive(from,
-                        *std::static_pointer_cast<const raft::Message>(payload),
-                        ctx);
+    it->second->Receive(from, m, ctx);
   });
 }
 
@@ -129,7 +124,7 @@ std::vector<NodeId> World::CreateCluster(size_t n, KeyRange range) {
     core::Options node_opts = opts_.node;
     if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
     auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-      net_.Send(id, to, msg, msg.wire_bytes(), msg.trace_ctx());
+      transport_.Send(id, to, msg);
     };
     nodes_[id] = std::make_unique<core::Node>(
         id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
@@ -152,7 +147,7 @@ NodeId World::CreateSpareNode() {
   core::Options node_opts = opts_.node;
   if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
   auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-    net_.Send(id, to, msg, msg.wire_bytes(), msg.trace_ctx());
+    transport_.Send(id, to, msg);
   };
   nodes_[id] = std::make_unique<core::Node>(
       id, node_opts, genesis, Rng(Mix64(opts_.seed, 0xabc0 + id)),
@@ -206,7 +201,7 @@ Status World::WipeNode(NodeId id, Duration timeout) {
   req.genesis = raft::ConfigState{};  // memberless: the node becomes a spare
   req.genesis.range = KeyRange::Empty();
   auto msg = raft::MakeMessage(raft::Message(req));
-  net_.Send(kAdminId, id, msg, msg.wire_bytes());
+  transport_.Send(kAdminId, id, msg);
   bool ok = RunUntil(
       [&]() {
         // The node can be hard-crashed by chaos while we wait: that is a
@@ -318,7 +313,7 @@ Status World::RestartNode(NodeId id) {
   core::Options node_opts = opts_.node;
   if (opts_.with_naming_service) node_opts.naming_service = kNamingServiceId;
   auto send = [this, id](NodeId to, raft::MessagePtr msg) {
-    net_.Send(id, to, msg, msg.wire_bytes(), msg.trace_ctx());
+    transport_.Send(id, to, msg);
   };
   // A fresh deterministic RNG stream per incarnation: same seed would replay
   // the same election jitter, different incarnations must not correlate.
@@ -385,7 +380,7 @@ Result<raft::ClientReply> World::Call(NodeId to, raft::ClientBody body,
   req.from = kAdminId;
   req.body = std::move(body);
   auto msg = raft::MakeMessage(raft::Message(req));
-  net_.Send(kAdminId, to, msg, msg.wire_bytes());
+  transport_.Send(kAdminId, to, msg);
   bool got = RunUntil(
       [&]() { return admin_replies_.count(req_id) > 0; }, timeout);
   if (!got) return Timeout("no reply from node " + std::to_string(to));

@@ -14,9 +14,13 @@
 #include "obs/trace.h"
 #include "kv/kv_machine.h"
 #include "kv/service.h"
+#include "net/clock.h"
+#include "net/transport.h"
 #include "shard/shard_map.h"
+#include "sim/clock.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "sim/transport.h"
 #include "storage/sim_disk.h"
 #include "storage/storage.h"
 #include "storage/wal_storage.h"
@@ -108,6 +112,9 @@ class World {
 
   sim::EventQueue& events() { return events_; }
   sim::Network& net() { return net_; }
+  /// The seam views the nodes actually talk through (the sim adapters).
+  net::Transport& transport() { return transport_; }
+  net::Clock& clock() { return clock_; }
   const WorldOptions& options() const { return opts_; }
   TimePoint now() const { return events_.now(); }
   Rng& rng() { return rng_; }
@@ -234,6 +241,11 @@ class World {
   Rng rng_;
   sim::EventQueue events_;
   sim::Network net_;
+  // Seam adapters over events_/net_: every node send, delivery and storage
+  // timer flows through these, exactly as recraftd flows through
+  // UdpTransport/SystemClock. Declared after what they wrap.
+  sim::SimClock clock_{&events_};
+  sim::SimTransport transport_{&net_};
   NamingService naming_;
   shard::ShardMap shard_map_;
   // Durable media outlive node objects: disks (kWal) persist for the whole

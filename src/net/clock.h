@@ -1,0 +1,51 @@
+// The clock half of the net:: seam. Everything below the simulator — the
+// consensus core's tick machinery, WalStorage's group-commit flush timer —
+// reads time and arms timers through this interface, never through
+// sim::EventQueue or an OS clock directly. Two implementations:
+//
+//   * sim::SimClock (src/sim/clock.h)      — forwards to the deterministic
+//     EventQueue; Now() is simulated time and CallAfter is an event, so a
+//     seeded run stays a pure function of (seed, configuration) and the
+//     executed schedule (and its digest) is bit-identical to the
+//     pre-seam wiring.
+//   * net::SystemClock (src/net/udp_clock.h) — the real-process deployment
+//     mode: a monotonic OS clock plus a timer heap pumped by recraftd's
+//     poll loop.
+//
+// The contract both implementations honor: CallAfter never invokes `fn`
+// synchronously (it runs from the owning event/poll loop), timers fire in
+// deadline order, and Cancel of a fired/unknown id is a free no-op. Code
+// below the seam relies on the asynchrony — WalStorage's flush timer pokes
+// the node through the durable callback, which must happen from the top of
+// the loop, never from inside a mutation call.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace recraft::net {
+
+/// Handle to a pending timer. 0 is "no timer" for every implementation
+/// (sim::EventQueue's kNoEvent is 0; SystemClock starts ids at 1).
+using TimerId = uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds. Simulated time for SimClock; monotonic
+  /// process-relative time for SystemClock. Only differences are meaningful.
+  virtual TimePoint Now() const = 0;
+
+  /// Run `fn` once, `delay` microseconds from Now(), from the owning loop —
+  /// never synchronously from inside this call.
+  virtual TimerId CallAfter(Duration delay, std::function<void()> fn) = 0;
+
+  /// Cancel a pending timer. Cancelling a fired, cancelled or unknown id is
+  /// a no-op (timers race with the events that cancel them).
+  virtual void Cancel(TimerId id) = 0;
+};
+
+}  // namespace recraft::net

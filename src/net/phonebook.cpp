@@ -1,0 +1,109 @@
+#include "net/phonebook.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace recraft::net {
+
+namespace {
+
+// Trim ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Status LineError(int lineno, const std::string& why) {
+  return Internal(StrFormat("phonebook line %d: %s", lineno, why.c_str()));
+}
+
+}  // namespace
+
+Result<Phonebook> Phonebook::Parse(const std::string& text) {
+  Phonebook book;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string id_str;
+    std::string addr;
+    std::string extra;
+    fields >> id_str >> addr;
+    if (addr.empty()) {
+      return LineError(lineno, "expected '<id> <host>:<port>'");
+    }
+    if (fields >> extra) {
+      return LineError(lineno, "trailing junk '" + extra + "'");
+    }
+
+    uint64_t id = 0;
+    for (char c : id_str) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return LineError(lineno, "node id '" + id_str + "' is not a number");
+      }
+      id = id * 10 + static_cast<uint64_t>(c - '0');
+      if (id > 0xffffffffull) return LineError(lineno, "node id out of range");
+    }
+
+    size_t colon = addr.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == addr.size()) {
+      return LineError(lineno, "address '" + addr + "' is not host:port");
+    }
+    Endpoint ep;
+    ep.host = addr.substr(0, colon);
+    uint64_t port = 0;
+    for (size_t i = colon + 1; i < addr.size(); ++i) {
+      char c = addr[i];
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return LineError(lineno, "port in '" + addr + "' is not a number");
+      }
+      port = port * 10 + static_cast<uint64_t>(c - '0');
+      if (port > 65535) return LineError(lineno, "port out of range");
+    }
+    if (port == 0) return LineError(lineno, "port 0 is not bindable");
+    ep.port = static_cast<uint16_t>(port);
+
+    auto [it, inserted] =
+        book.entries_.emplace(static_cast<NodeId>(id), std::move(ep));
+    (void)it;
+    if (!inserted) {
+      return LineError(lineno, "duplicate entry for node " + id_str);
+    }
+  }
+  if (book.entries_.empty()) return Internal("phonebook: no entries");
+  return book;
+}
+
+Result<Phonebook> Phonebook::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Internal("phonebook: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+const Endpoint* Phonebook::Find(NodeId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> Phonebook::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, ep] : entries_) out.push_back(id);
+  return out;
+}
+
+}  // namespace recraft::net

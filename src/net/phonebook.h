@@ -1,0 +1,56 @@
+// The hosts config for real-process deployments: a text file mapping node
+// ids to UDP endpoints, one `<id> <host>:<port>` per line (`#` comments,
+// blank lines ignored). Every process in a cluster reads the same phonebook
+// and derives both its own bind address and everyone else's send address
+// from it — there is no discovery protocol; the file IS the topology.
+//
+//   # recraftd cluster
+//   1 127.0.0.1:7101
+//   2 127.0.0.1:7102
+//   3 127.0.0.1:7103
+//
+// Parsing is pure (string in, map out) and strict: duplicate ids, missing
+// ports and junk lines are errors, because a typo here becomes a silent
+// split-brain at runtime. Hostname resolution happens later, in
+// UdpTransport (the impure half).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace recraft::net {
+
+struct Endpoint {
+  std::string host;   // dotted quad or hostname; resolved by the transport
+  uint16_t port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+class Phonebook {
+ public:
+  /// Parse phonebook text. Errors name the offending line.
+  static Result<Phonebook> Parse(const std::string& text);
+
+  /// Read and parse `path`.
+  static Result<Phonebook> Load(const std::string& path);
+
+  /// nullptr when `id` has no entry.
+  const Endpoint* Find(NodeId id) const;
+
+  /// All node ids, ascending.
+  std::vector<NodeId> ids() const;
+
+  size_t size() const { return entries_.size(); }
+  const std::map<NodeId, Endpoint>& entries() const { return entries_; }
+
+ private:
+  std::map<NodeId, Endpoint> entries_;
+};
+
+}  // namespace recraft::net

@@ -1,0 +1,50 @@
+// The message-passing half of the net:: seam. A Transport moves
+// raft::Message values between named endpoints; everything below the
+// simulator addresses peers only by NodeId and never knows whether a send
+// becomes a calendar-queue event or a UDP datagram. Two implementations:
+//
+//   * sim::SimTransport (src/sim/transport.h) — a pass-through adapter over
+//     sim::Network. Same RNG draws, same event schedule, so the seeded
+//     suite's execution digests are bit-identical to pre-seam wiring.
+//   * net::UdpTransport (src/net/udp_transport.h) — non-blocking UDP
+//     sockets plus a retransmitting reliable-link layer; messages are
+//     encoded with net/wire.h and reassembled on the far side.
+//
+// Delivery contract (both implementations): Send never invokes a receive
+// callback synchronously — delivery happens from the owning event/poll
+// loop — and a bound endpoint sees each peer's messages at most once, in
+// an order the protocol must tolerate (the sim can drop and reorder; the
+// reliable link is exactly-once in-order per peer). core::Node's SendFn
+// requires exactly this asynchrony.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "obs/trace_ctx.h"
+#include "raft/messages.h"
+
+namespace recraft::net {
+
+/// Delivery callback for a bound endpoint. `m` is borrowed for the duration
+/// of the call; `ctx` is the sender's causal trace context, forwarded
+/// unchanged (pure annotation).
+using ReceiveFn =
+    std::function<void(NodeId from, const raft::Message& m, obs::TraceCtx ctx)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Register (or replace) the local endpoint `node`; `fn` is invoked from
+  /// the transport's loop for each delivered message.
+  virtual void Bind(NodeId node, ReceiveFn fn) = 0;
+  virtual void Unbind(NodeId node) = 0;
+
+  /// Queue `msg` for delivery from `from` to `to`. Never delivers
+  /// synchronously. The transport shares ownership of the message record,
+  /// so callers may drop their MessagePtr immediately.
+  virtual void Send(NodeId from, NodeId to, const raft::MessagePtr& msg) = 0;
+};
+
+}  // namespace recraft::net

@@ -1,0 +1,152 @@
+// net::UdpTransport — the real-network implementation of the net::Transport
+// seam: one non-blocking UDP socket bound at this process's phonebook
+// endpoint, with a ReliableLink per peer turning the lossy datagram channel
+// into the exactly-once ordered delivery core::Node was written against.
+//
+// Wire shape per application message (before the link fragments it):
+//
+//   [u64 trace_id][u64 parent_span][net::EncodeMessage bytes]
+//
+// so causal tracing survives the process boundary. Peer addresses come from
+// the phonebook; peers NOT in the phonebook (clients) are learned from the
+// source address of their first datagram — the reply path needs no client
+// registry. Session tokens (boot-time ^ pid) let links detect a restarted
+// peer and reset ordering state instead of discarding its fresh seq space.
+//
+// Threading/asynchrony: single-threaded, poll-driven. The owner's event
+// loop calls OnReadable() when fd() is readable and OnTimer() at (or after)
+// NextDeadline(); receive callbacks fire from inside OnReadable, never from
+// Send — the same no-synchronous-delivery contract the simulator provides.
+//
+// Per-link counters (send/recv/retransmit/dedup/...) are folded into the
+// MetricRegistry after every socket interaction, under pre-interned ids.
+//
+// This file is under the src/net/udp_ determinism-gate exemption: syscalls,
+// wall clocks and kernel buffering make it inherently nondeterministic;
+// everything protocol-shaped lives in ReliableLink/wire (in-gate, pure).
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/clock.h"
+#include "net/phonebook.h"
+#include "net/reliable_link.h"
+#include "net/transport.h"
+
+namespace recraft::net {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Options {
+    ReliableLink::Options link;
+  };
+
+  /// Binds a UDP socket at `book`'s entry for `self`, or ephemerally when
+  /// `self` has no entry (clients: servers learn the reply address from
+  /// the datagram source). status() reports failures — callers must check
+  /// before polling. `clock` supplies `now` for the links; `metrics`
+  /// (optional) receives the per-link counters.
+  UdpTransport(NodeId self, Phonebook book, Clock* clock,
+               MetricRegistry* metrics, Options opts = {});
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Socket/bind outcome; not ok() means fd() is unusable.
+  const Status& status() const { return status_; }
+
+  // --- net::Transport -------------------------------------------------------
+  // One process serves one bound node; a second Bind replaces the first.
+  void Bind(NodeId id, ReceiveFn fn) override;
+  void Unbind(NodeId id) override;
+  void Send(NodeId from, NodeId to, const raft::MessagePtr& msg) override;
+
+  // --- event-loop surface ---------------------------------------------------
+  int fd() const { return fd_; }
+  /// Drain the socket; delivers complete messages to the bound receiver.
+  void OnReadable();
+  /// Retransmit expired chunks across all links.
+  void OnTimer();
+  /// Earliest link retransmission deadline, or 0 when nothing is in flight.
+  TimePoint NextDeadline() const;
+
+  // --- test shim ------------------------------------------------------------
+  /// The path a finished datagram takes to the kernel. Tests interpose a
+  /// shim to drop, duplicate, or stash-and-release datagrams; `forward` is
+  /// the real sendto. Production leaves this unset.
+  using RawSendFn =
+      std::function<void(NodeId to, const std::vector<uint8_t>& datagram)>;
+  using SendShim = std::function<void(NodeId to, std::vector<uint8_t> datagram,
+                                      const RawSendFn& forward)>;
+  void set_send_shim(SendShim shim) { shim_ = std::move(shim); }
+
+  uint64_t session() const { return session_; }
+  /// Link state toward `peer` (nullptr before any traffic). Test-facing.
+  const ReliableLink* link(NodeId peer) const;
+  /// Local bound port (useful when the phonebook said port 0... it cannot;
+  /// useful for logging).
+  uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  struct Peer {
+    sockaddr_in addr{};
+    bool addr_known = false;
+    ReliableLink link;
+    ReliableLink::Counters synced;  // last values folded into metrics_
+
+    Peer(NodeId self, uint64_t session, const ReliableLink::Options& o)
+        : link(self, session, o) {}
+  };
+
+  struct CounterIds {
+    CounterSet::Id datagrams_sent = 0;
+    CounterSet::Id datagrams_received = 0;
+    CounterSet::Id retransmits = 0;
+    CounterSet::Id acks_sent = 0;
+    CounterSet::Id acks_received = 0;
+    CounterSet::Id duplicates_dropped = 0;
+    CounterSet::Id out_of_window_dropped = 0;
+    CounterSet::Id messages_sent = 0;
+    CounterSet::Id messages_delivered = 0;
+    CounterSet::Id sessions_reset = 0;
+    CounterSet::Id chunks_abandoned = 0;
+    CounterSet::Id messages_skipped = 0;
+    CounterSet::Id decode_errors = 0;
+    CounterSet::Id garbage_dropped = 0;
+    CounterSet::Id unknown_peer_dropped = 0;
+    CounterSet::Id send_errors = 0;
+  };
+
+  Peer* GetPeer(NodeId id, const sockaddr_in* learned);
+  void Transmit(NodeId to, const std::vector<uint8_t>& datagram);
+  void RawSend(NodeId to, const std::vector<uint8_t>& datagram);
+  void Deliver(NodeId from, std::vector<uint8_t> message);
+  void SyncCounters();
+
+  NodeId self_;
+  Phonebook book_;
+  Clock* clock_;
+  MetricRegistry* metrics_;  // may be null
+  Options opts_;
+  uint64_t session_ = 0;
+
+  int fd_ = -1;
+  uint16_t bound_port_ = 0;
+  Status status_ = OkStatus();
+
+  NodeId bound_id_ = kNoNode;
+  ReceiveFn receive_;
+  std::map<NodeId, Peer> peers_;
+  SendShim shim_;
+  CounterIds ids_;
+};
+
+}  // namespace recraft::net

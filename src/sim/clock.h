@@ -1,0 +1,30 @@
+// net::Clock over the deterministic EventQueue. A pure pass-through:
+// CallAfter is exactly events->Schedule (same delay, same scheduling order,
+// same event ids — EventId and net::TimerId are both uint64_t with a zero
+// sentinel), so code that moves from scheduling events directly to arming
+// timers through this seam leaves the executed schedule, and therefore the
+// execution digest, bit-identical.
+#pragma once
+
+#include "net/clock.h"
+#include "sim/event_queue.h"
+
+namespace recraft::sim {
+
+class SimClock final : public net::Clock {
+ public:
+  explicit SimClock(EventQueue* events) : events_(events) {}
+
+  TimePoint Now() const override { return events_->now(); }
+
+  net::TimerId CallAfter(Duration delay, std::function<void()> fn) override {
+    return events_->Schedule(delay, std::move(fn));
+  }
+
+  void Cancel(net::TimerId id) override { events_->Cancel(id); }
+
+ private:
+  EventQueue* events_;
+};
+
+}  // namespace recraft::sim

@@ -1,0 +1,20 @@
+#include "sim/transport.h"
+
+#include <memory>
+#include <utility>
+
+namespace recraft::sim {
+
+void SimTransport::Bind(NodeId node, net::ReceiveFn fn) {
+  net_->Register(node, [fn = std::move(fn)](
+                           NodeId from, std::shared_ptr<const void> payload,
+                           size_t /*bytes*/, obs::TraceCtx ctx) {
+    fn(from, *std::static_pointer_cast<const raft::Message>(payload), ctx);
+  });
+}
+
+void SimTransport::Send(NodeId from, NodeId to, const raft::MessagePtr& msg) {
+  net_->Send(from, to, msg, msg.wire_bytes(), msg.trace_ctx());
+}
+
+}  // namespace recraft::sim

@@ -1,0 +1,32 @@
+// net::Transport over the simulated Network. A pass-through adapter: Send
+// forwards the message record, its memoized wire size and its trace context
+// to Network::Send with the same arguments the harness used to pass
+// directly, so the RNG draw order (drop test, then jitter) and the event
+// schedule — and therefore the execution digest — are bit-identical to the
+// pre-seam wiring. Bind wraps the seam's typed ReceiveFn into the network's
+// opaque DeliveryHandler; the cast back to raft::Message happens here and
+// nowhere above.
+//
+// Fault injection (partitions, drops, link overrides, crashes) stays on
+// sim::Network itself — the seam carries messages, the simulator owns the
+// physics. Harness code that injects faults keeps talking to the Network.
+#pragma once
+
+#include "net/transport.h"
+#include "sim/network.h"
+
+namespace recraft::sim {
+
+class SimTransport final : public net::Transport {
+ public:
+  explicit SimTransport(Network* net) : net_(net) {}
+
+  void Bind(NodeId node, net::ReceiveFn fn) override;
+  void Unbind(NodeId node) override { net_->Unregister(node); }
+  void Send(NodeId from, NodeId to, const raft::MessagePtr& msg) override;
+
+ private:
+  Network* net_;
+};
+
+}  // namespace recraft::sim

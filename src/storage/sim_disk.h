@@ -19,47 +19,42 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "storage/disk.h"
 
 namespace recraft::storage {
 
-class SimDisk {
+class SimDisk final : public Disk {
  public:
   struct Options {
     Duration fsync_latency = 100;                       // per flush, us
     uint64_t throughput_bytes_per_sec = 512ull << 20;   // sequential write
   };
 
-  struct Stats {
-    uint64_t flushes = 0;          // fsync count (durability barriers)
-    uint64_t flushed_bytes = 0;    // bytes made durable by flushes
-    uint64_t atomic_writes = 0;    // whole-file atomic replacements
-    uint64_t appended_bytes = 0;   // bytes entering the pending region
-    Duration io_busy = 0;          // simulated time the disk spent writing
-    uint64_t crash_lost_bytes = 0; // pending bytes discarded by crashes
-  };
-
   SimDisk() : SimDisk(Options()) {}
   explicit SimDisk(Options opts) : opts_(opts) {}
 
   /// Append bytes to a file's pending region (not durable until Flush).
-  void Append(const std::string& file, const std::vector<uint8_t>& bytes);
+  void Append(const std::string& file,
+              const std::vector<uint8_t>& bytes) override;
 
   /// Make a file's pending bytes durable (fsync). Charges I/O latency.
-  void Flush(const std::string& file);
+  void Flush(const std::string& file) override;
 
   /// Atomically replace a file's contents, durable immediately (models
   /// write-temp + fsync + rename). Old content survives a crash up to the
   /// moment of the rename; the replacement is all-or-nothing.
-  void WriteAtomic(const std::string& file, std::vector<uint8_t> bytes);
+  void WriteAtomic(const std::string& file,
+                   std::vector<uint8_t> bytes) override;
 
-  void Delete(const std::string& file);
-  bool Exists(const std::string& file) const;
+  void Delete(const std::string& file) override;
+  bool Exists(const std::string& file) const override;
   /// Durable contents (pending bytes are invisible to readers — recovery
   /// only ever sees what survived the crash).
-  const std::vector<uint8_t>& ReadDurable(const std::string& file) const;
-  size_t DurableSize(const std::string& file) const;
-  size_t PendingSize(const std::string& file) const;
-  std::vector<std::string> List(const std::string& prefix) const;
+  const std::vector<uint8_t>& ReadDurable(
+      const std::string& file) const override;
+  size_t DurableSize(const std::string& file) const override;
+  size_t PendingSize(const std::string& file) const override;
+  std::vector<std::string> List(const std::string& prefix) const override;
 
   // --- latency injection (nemesis hooks) ----------------------------------
   /// Add `extra` microseconds to every fsync completion (a disk-latency
@@ -67,14 +62,16 @@ class SimDisk {
   /// defers each group commit by this amount; the charge also lands in
   /// io_busy so benches see it. 0 restores normal latency.
   void SetExtraFsyncLatency(Duration extra) { extra_fsync_latency_ = extra; }
-  Duration extra_fsync_latency() const { return extra_fsync_latency_; }
+  Duration extra_fsync_latency() const override {
+    return extra_fsync_latency_;
+  }
   /// Stall fsyncs entirely (the classic gray failure: writes buffer but
   /// never reach the platter). While stalled the owning WalStorage keeps
   /// batching pending records and re-arming its flush timer; durability —
   /// and everything gated on it (acks, the leader's own commit vote) —
   /// waits until the stall clears.
   void SetFsyncStalled(bool stalled) { fsync_stalled_ = stalled; }
-  bool fsync_stalled() const { return fsync_stalled_; }
+  bool fsync_stalled() const override { return fsync_stalled_; }
 
   // --- crash injection ----------------------------------------------------
   /// Crash: every file loses its pending region.
@@ -83,14 +80,15 @@ class SimDisk {
   /// platter first (torn/partial write injection). Other files lose all
   /// pending bytes.
   void CrashKeepingPrefix(const std::string& file, size_t keep_pending_bytes);
-  /// Injection helper: truncate a file's durable contents to `len` bytes
-  /// (simulates the tail sectors of the last acknowledged write being lost
-  /// or torn — the snapshot/log divergence and torn-tail crash points).
-  void TruncateDurable(const std::string& file, size_t len);
+  /// Truncate durable contents to `len` bytes. Doubles as an injection
+  /// helper (simulates the tail sectors of the last acknowledged write
+  /// being lost or torn — the snapshot/log divergence and torn-tail crash
+  /// points) and as recovery's torn-tail cut.
+  void TruncateDurable(const std::string& file, size_t len) override;
   /// Injection helper: flip one durable byte (checksum-detectable rot).
   void CorruptDurable(const std::string& file, size_t offset);
 
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const override { return stats_; }
   size_t file_count() const { return files_.size(); }
 
  private:

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "storage/codec.h"
+#include "storage/sim_disk.h"
 
 namespace recraft::storage {
 
@@ -17,15 +18,15 @@ constexpr char kExMetaFile[] = "exmeta";
 constexpr size_t kRecordHeaderBytes = 8;  // u32 len + u32 crc
 }  // namespace
 
-WalStorage::WalStorage(std::shared_ptr<SimDisk> disk, sim::EventQueue* events,
+WalStorage::WalStorage(std::shared_ptr<Disk> disk, net::Clock* clock,
                        Options opts)
-    : disk_(std::move(disk)), events_(events), opts_(opts) {
+    : disk_(std::move(disk)), clock_(clock), opts_(opts) {
   assert(disk_ != nullptr);
 }
 
 WalStorage::~WalStorage() {
-  if (events_ != nullptr && flush_event_ != sim::kNoEvent) {
-    events_->Cancel(flush_event_);
+  if (clock_ != nullptr && flush_event_ != net::kNoTimer) {
+    clock_->Cancel(flush_event_);
   }
 }
 
@@ -63,17 +64,17 @@ void WalStorage::AppendRecord(const Encoder& payload, bool force_sync) {
   ++pending_records_;
   if (force_sync || opts_.flush_interval == 0) {
     FlushNow(/*from_timer=*/false);
-  } else if (events_ != nullptr) {
+  } else if (clock_ != nullptr) {
     ArmFlush();
   }
-  // events_ == nullptr with a flush interval: manual mode — the owner
+  // clock_ == nullptr with a flush interval: manual mode — the owner
   // drives durability with Sync() (unit tests, crash injection setups).
 }
 
 void WalStorage::ArmFlush() {
-  if (flush_event_ != sim::kNoEvent) return;
+  if (flush_event_ != net::kNoTimer) return;
   flush_event_ =
-      events_->Schedule(opts_.flush_interval, [this]() { OnFlushTimer(); });
+      clock_->CallAfter(opts_.flush_interval, [this]() { OnFlushTimer(); });
 }
 
 Duration WalStorage::StallPollInterval() const {
@@ -81,20 +82,20 @@ Duration WalStorage::StallPollInterval() const {
 }
 
 void WalStorage::OnFlushTimer() {
-  flush_event_ = sim::kNoEvent;
+  flush_event_ = net::kNoTimer;
   if (disk_->fsync_stalled()) {
     // The platter is unreachable: keep batching pending records and poll
     // until the stall heals. DurableIndex freezes, so follower acks and the
     // leader's own commit vote wait — delayed, never unsafe.
     flush_event_ =
-        events_->Schedule(StallPollInterval(), [this]() { OnFlushTimer(); });
+        clock_->CallAfter(StallPollInterval(), [this]() { OnFlushTimer(); });
     return;
   }
   if (disk_->extra_fsync_latency() > 0 && !flush_deferred_) {
     // A latency spike defers this group commit once by the injected amount;
     // the next timer firing flushes whatever accumulated meanwhile.
     flush_deferred_ = true;
-    flush_event_ = events_->Schedule(disk_->extra_fsync_latency(),
+    flush_event_ = clock_->CallAfter(disk_->extra_fsync_latency(),
                                      [this]() { OnFlushTimer(); });
     return;
   }
@@ -324,30 +325,34 @@ void WalStorage::MaybeRewriteWal() {
 // --- crash injection -------------------------------------------------------
 
 void WalStorage::Crash(const CrashSpec& spec) {
-  if (events_ != nullptr && flush_event_ != sim::kNoEvent) {
-    events_->Cancel(flush_event_);
-    flush_event_ = sim::kNoEvent;
+  if (clock_ != nullptr && flush_event_ != net::kNoTimer) {
+    clock_->Cancel(flush_event_);
+    flush_event_ = net::kNoTimer;
   }
+  // Crash *injection* is a simulated-disk concept; a FileDisk-backed node
+  // crashes by dying (SIGKILL) and the kernel decides what survived.
+  auto* sim = dynamic_cast<SimDisk*>(disk_.get());
+  if (sim == nullptr) return;
   const size_t pending_bytes = disk_->PendingSize(kWalFile);
   const size_t pending_start = wal_len_ - pending_bytes;
   switch (spec.point) {
     case CrashPoint::kLosePending:
-      disk_->CrashAll();
+      sim->CrashAll();
       break;
     case CrashPoint::kTornTail: {
       if (pending_record_offsets_.empty()) {
-        disk_->CrashAll();
+        sim->CrashAll();
         break;
       }
       // Every whole record before the last, plus a torn half of the last.
       size_t last_off = pending_record_offsets_.back();
       size_t torn = std::max<size_t>(1, (wal_len_ - last_off) / 2);
-      disk_->CrashKeepingPrefix(kWalFile, last_off - pending_start + torn);
+      sim->CrashKeepingPrefix(kWalFile, last_off - pending_start + torn);
       break;
     }
     case CrashPoint::kPartialBatch: {
       if (pending_record_offsets_.empty()) {
-        disk_->CrashAll();
+        sim->CrashAll();
         break;
       }
       // A whole-record prefix of the batch survives; the tail records of
@@ -356,7 +361,7 @@ void WalStorage::Crash(const CrashSpec& spec) {
       size_t cut = keep_records < pending_record_offsets_.size()
                        ? pending_record_offsets_[keep_records]
                        : wal_len_;
-      disk_->CrashKeepingPrefix(kWalFile, cut - pending_start);
+      sim->CrashKeepingPrefix(kWalFile, cut - pending_start);
       break;
     }
     case CrashPoint::kSnapLogDivergence:
@@ -367,10 +372,10 @@ void WalStorage::Crash(const CrashSpec& spec) {
       if (model_.snap_gen > 0 && last_snap_record_off_ >= pending_start) {
         // The blob survived (it was written atomically first); the marker
         // and everything queued behind it are lost.
-        disk_->CrashKeepingPrefix(kWalFile,
+        sim->CrashKeepingPrefix(kWalFile,
                                   last_snap_record_off_ - pending_start);
       } else {
-        disk_->CrashAll();
+        sim->CrashAll();
       }
       break;
   }

@@ -1,4 +1,5 @@
-// Write-ahead-log storage backend over a SimDisk.
+// Write-ahead-log storage backend over a Disk (SimDisk in simulated
+// worlds, FileDisk under recraftd).
 //
 // Layout on the disk:
 //   "wal"             append-only record stream (framing below)
@@ -14,8 +15,8 @@
 // bytes, the surviving prefix is always a consistent history.
 //
 // Group commit: mutations append records to the disk's pending region and
-// arm a flush timer on the EventQueue (flush_interval); when it fires, one
-// simulated fsync makes every batched record durable and the node is poked
+// arm a flush timer on the net::Clock (flush_interval); when it fires, one
+// fsync makes every batched record durable and the node is poked
 // through the durable callback (acks and commit-quorum votes are gated on
 // DurableIndex, see storage.h). flush_interval == 0 degenerates to a
 // synchronous flush per mutation batch. Term/vote changes and every blob
@@ -31,9 +32,9 @@
 #include <string>
 
 #include "common/codec.h"
+#include "net/clock.h"
 #include "obs/trace.h"
-#include "sim/event_queue.h"
-#include "storage/sim_disk.h"
+#include "storage/disk.h"
 #include "storage/storage.h"
 
 namespace recraft::storage {
@@ -66,10 +67,9 @@ class WalStorage final : public Storage {
     bool snapshot_fallback = false;   // newest snapshot gen was unusable
   };
 
-  WalStorage(std::shared_ptr<SimDisk> disk, sim::EventQueue* events)
-      : WalStorage(std::move(disk), events, Options()) {}
-  WalStorage(std::shared_ptr<SimDisk> disk, sim::EventQueue* events,
-             Options opts);
+  WalStorage(std::shared_ptr<Disk> disk, net::Clock* clock)
+      : WalStorage(std::move(disk), clock, Options()) {}
+  WalStorage(std::shared_ptr<Disk> disk, net::Clock* clock, Options opts);
   ~WalStorage() override;
 
   WalStorage(const WalStorage&) = delete;
@@ -96,7 +96,7 @@ class WalStorage final : public Storage {
   void Crash(const CrashSpec& spec) override;
 
   const Stats& stats() const { return stats_; }
-  const SimDisk& disk() const { return *disk_; }
+  const Disk& disk() const { return *disk_; }
   size_t wal_file_bytes() const;
 
   /// Arm the flight recorder for flush instants; `owner` labels the records
@@ -148,8 +148,8 @@ class WalStorage final : public Storage {
   /// Replay the durable WAL bytes into `model`; updates recovery stats.
   void ReplayWal(const std::vector<uint8_t>& bytes, Model* model);
 
-  std::shared_ptr<SimDisk> disk_;
-  sim::EventQueue* events_;  // may be null (unit tests drive Sync())
+  std::shared_ptr<Disk> disk_;
+  net::Clock* clock_;  // may be null (unit tests drive Sync())
   Options opts_;
   Model model_;
   Index durable_index_ = 0;
@@ -160,7 +160,7 @@ class WalStorage final : public Storage {
   size_t wal_len_ = 0;  // durable + pending bytes
   size_t last_snap_record_off_ = 0;
   size_t live_bytes_estimate_ = 0;
-  sim::EventId flush_event_ = sim::kNoEvent;
+  net::TimerId flush_event_ = net::kNoTimer;
   bool flush_deferred_ = false;  // latency spike applied to this batch
   obs::Recorder* recorder_ = nullptr;
   NodeId recorder_node_ = 0;

@@ -1,0 +1,330 @@
+// Transport conformance suite: one behavioral contract, every
+// implementation. The net::Transport seam promises (src/net/transport.h):
+//
+//   * Send never invokes a receive callback synchronously — delivery
+//     happens from the owning event/poll loop;
+//   * a bound endpoint sees each peer's messages at most once;
+//   * the transport shares ownership of the message record, so the caller
+//     may drop its MessagePtr the moment Send returns;
+//   * TraceCtx rides along unchanged (pure annotation);
+//   * Unbind stops delivery, re-Bind replaces the endpoint.
+//
+// The same TEST_P body runs against sim::SimTransport (calendar-queue
+// delivery over sim::Network) and net::UdpTransport (real loopback sockets
+// plus the reliable-link layer), so a contract drift in either
+// implementation fails here before core::Node ever sees it. The sim
+// cluster runs with zero jitter and zero drops: in that configuration both
+// implementations are exactly-once in-order per link, which lets the suite
+// pin ordering too, not just delivery.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "net/phonebook.h"
+#include "net/transport.h"
+#include "net/udp_clock.h"
+#include "net/udp_transport.h"
+#include "raft/messages.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/transport.h"
+
+namespace recraft {
+namespace {
+
+constexpr NodeId kNodes[] = {1, 2, 3};
+
+// A running cluster of transport endpoints for nodes 1..3, plus a way to
+// drive delivery. `For(id)` returns the Transport object node `id` binds
+// and sends on: the shared adapter for the simulator, the node's own
+// process-local transport for UDP.
+class TransportCluster {
+ public:
+  virtual ~TransportCluster() = default;
+  virtual net::Transport* For(NodeId id) = 0;
+
+  /// Drive delivery until `pred()` or the budget runs out.
+  virtual bool PumpUntil(const std::function<bool()>& pred) = 0;
+
+  /// Drive delivery for "long enough that anything in flight lands" —
+  /// used to prove a negative (nothing further arrives after Unbind).
+  virtual void PumpAWhile() = 0;
+};
+
+class SimCluster final : public TransportCluster {
+ public:
+  SimCluster() : net_(events_, ZeroJitter(), Rng(1)), transport_(&net_) {}
+
+  net::Transport* For(NodeId) override { return &transport_; }
+
+  bool PumpUntil(const std::function<bool()>& pred) override {
+    return events_.RunUntilPred(pred, events_.now() + 60 * kSecond);
+  }
+
+  void PumpAWhile() override { events_.RunFor(1 * kSecond); }
+
+ private:
+  static sim::NetworkOptions ZeroJitter() {
+    sim::NetworkOptions opts;
+    opts.jitter = 0;  // FIFO per link: lets the suite assert ordering
+    return opts;
+  }
+
+  sim::EventQueue events_;
+  sim::Network net_;
+  sim::SimTransport transport_;
+};
+
+class UdpCluster final : public TransportCluster {
+ public:
+  UdpCluster() {
+    // Bind ephemerally to learn ports, then rebuild the phonebook and the
+    // real transports from it (same discovery dance as net_test.cpp).
+    net::Phonebook placeholder = *net::Phonebook::Parse("9 127.0.0.1:1\n");
+    net::UdpTransport::Options opts;
+    opts.link.rto_initial = 5 * kMillisecond;
+    std::string book;
+    for (NodeId id : kNodes) {
+      net::UdpTransport probe(id, placeholder, &clock_, nullptr, opts);
+      EXPECT_TRUE(probe.status().ok()) << probe.status().message();
+      book += std::to_string(id) + " 127.0.0.1:" +
+              std::to_string(probe.bound_port()) + "\n";
+    }
+    auto parsed = net::Phonebook::Parse(book);
+    EXPECT_TRUE(parsed.ok());
+    for (NodeId id : kNodes) {
+      transports_[id] = std::make_unique<net::UdpTransport>(
+          id, *parsed, &clock_, &metrics_[id], opts);
+      EXPECT_TRUE(transports_[id]->status().ok())
+          << transports_[id]->status().message();
+    }
+  }
+
+  net::Transport* For(NodeId id) override { return transports_[id].get(); }
+
+  bool PumpUntil(const std::function<bool()>& pred) override {
+    for (int spent = 0; spent < 5000 && !pred(); ++spent) {
+      Pump();
+      usleep(1000);
+    }
+    return pred();
+  }
+
+  void PumpAWhile() override {
+    for (int i = 0; i < 50; ++i) {
+      Pump();
+      usleep(1000);
+    }
+  }
+
+ private:
+  void Pump() {
+    for (auto& [id, t] : transports_) {
+      t->OnReadable();
+      t->OnTimer();
+    }
+  }
+
+  net::SystemClock clock_;
+  std::map<NodeId, MetricRegistry> metrics_;
+  std::map<NodeId, std::unique_ptr<net::UdpTransport>> transports_;
+};
+
+enum class Impl { kSim, kUdp };
+
+std::string ImplName(const ::testing::TestParamInfo<Impl>& info) {
+  return info.param == Impl::kSim ? "Sim" : "Udp";
+}
+
+class TransportConformance : public ::testing::TestWithParam<Impl> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Impl::kSim) {
+      cluster_ = std::make_unique<SimCluster>();
+    } else {
+      cluster_ = std::make_unique<UdpCluster>();
+    }
+  }
+
+  TransportCluster& C() { return *cluster_; }
+
+  static raft::MessagePtr Vote(NodeId candidate, uint64_t tag) {
+    raft::RequestVote v;
+    v.candidate = candidate;
+    v.last_idx = tag;
+    return raft::MakeMessage(v);
+  }
+
+  static uint64_t Tag(const raft::Message& m) {
+    return std::get<raft::RequestVote>(m).last_idx;
+  }
+
+  std::unique_ptr<TransportCluster> cluster_;
+};
+
+TEST_P(TransportConformance, DeliversWithSenderIdentityExactlyOnceInOrder) {
+  // Every node sends 20 tagged messages to every other node; each receiver
+  // must see exactly 20 per peer, tagged in send order, with the true
+  // sender id.
+  std::map<NodeId, std::map<NodeId, std::vector<uint64_t>>> got;
+  for (NodeId id : kNodes) {
+    C().For(id)->Bind(id, [&got, id](NodeId from, const raft::Message& m,
+                                     obs::TraceCtx) {
+      got[id][from].push_back(Tag(m));
+    });
+  }
+  for (NodeId from : kNodes) {
+    for (NodeId to : kNodes) {
+      if (from == to) continue;
+      for (uint64_t i = 0; i < 20; ++i) {
+        C().For(from)->Send(from, to, Vote(from, i));
+      }
+    }
+  }
+  auto all_in = [&got] {
+    for (NodeId to : kNodes) {
+      for (NodeId from : kNodes) {
+        if (from == to) continue;
+        if (got[to][from].size() < 20) return false;
+      }
+    }
+    return true;
+  };
+  ASSERT_TRUE(C().PumpUntil(all_in));
+  C().PumpAWhile();  // at-most-once: nothing extra may trickle in
+  for (NodeId to : kNodes) {
+    for (NodeId from : kNodes) {
+      if (from == to) continue;
+      ASSERT_EQ(got[to][from].size(), 20u)
+          << "n" << to << " from n" << from;
+      for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(got[to][from][i], i);
+    }
+  }
+}
+
+TEST_P(TransportConformance, SendNeverDeliversSynchronously) {
+  // core::Node's SendFn is called mid-mutation; a transport that ran the
+  // receive callback inside Send would reenter the node. The callback must
+  // only fire from the event/poll loop.
+  bool delivered = false;
+  C().For(2)->Bind(2, [&delivered](NodeId, const raft::Message&,
+                                   obs::TraceCtx) { delivered = true; });
+  C().For(1)->Send(1, 2, Vote(1, 7));
+  EXPECT_FALSE(delivered) << "Send delivered synchronously";
+  ASSERT_TRUE(C().PumpUntil([&delivered] { return delivered; }));
+}
+
+TEST_P(TransportConformance, CallerMayDropMessagePtrImmediately) {
+  // The transport shares ownership: the payload must survive the caller's
+  // MessagePtr going out of scope before delivery.
+  uint64_t seen = 0;
+  C().For(2)->Bind(2, [&seen](NodeId, const raft::Message& m, obs::TraceCtx) {
+    seen = Tag(m);
+  });
+  {
+    raft::MessagePtr msg = Vote(1, 0xabcdef);
+    C().For(1)->Send(1, 2, msg);
+  }  // msg destroyed here, well before any pumping
+  ASSERT_TRUE(C().PumpUntil([&seen] { return seen != 0; }));
+  EXPECT_EQ(seen, 0xabcdefu);
+}
+
+TEST_P(TransportConformance, TraceCtxForwardedUnchanged) {
+  obs::TraceCtx seen;
+  C().For(2)->Bind(2, [&seen](NodeId, const raft::Message&,
+                              obs::TraceCtx ctx) { seen = ctx; });
+  raft::MessagePtr msg = Vote(1, 1);
+  obs::TraceCtx ctx;
+  ctx.trace_id = 0x1122334455667788ull;
+  ctx.parent_span = 99;
+  msg.set_trace_ctx(ctx);
+  C().For(1)->Send(1, 2, msg);
+  ASSERT_TRUE(C().PumpUntil([&seen] { return seen.trace_id != 0; }));
+  EXPECT_EQ(seen.trace_id, 0x1122334455667788ull);
+  EXPECT_EQ(seen.parent_span, 99u);
+}
+
+TEST_P(TransportConformance, UnbindStopsDeliveryAndRebindReplaces) {
+  std::vector<uint64_t> first, second;
+  C().For(2)->Bind(2, [&first](NodeId, const raft::Message& m,
+                               obs::TraceCtx) { first.push_back(Tag(m)); });
+  C().For(1)->Send(1, 2, Vote(1, 1));
+  ASSERT_TRUE(C().PumpUntil([&first] { return first.size() == 1; }));
+
+  C().For(2)->Unbind(2);
+  C().For(1)->Send(1, 2, Vote(1, 2));
+  C().PumpAWhile();
+  EXPECT_EQ(first.size(), 1u) << "delivery after Unbind";
+
+  // Re-Bind installs a replacement endpoint; only it sees new traffic.
+  C().For(2)->Bind(2, [&second](NodeId, const raft::Message& m,
+                                obs::TraceCtx) { second.push_back(Tag(m)); });
+  C().For(1)->Send(1, 2, Vote(1, 3));
+  ASSERT_TRUE(C().PumpUntil([&second] { return !second.empty(); }));
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.back(), 3u);
+}
+
+TEST_P(TransportConformance, LargeMessageSurvivesTheLink) {
+  // An AppendEntries batch far past one UDP datagram: the reliable link
+  // must fragment and reassemble it; the sim charges bandwidth delay. The
+  // payload must arrive byte-identical either way.
+  auto slab = std::make_shared<raft::EntrySlab>(64);
+  sm::Command cmd;
+  cmd.key = "k";
+  cmd.body.assign(8000, 'x');
+  for (uint64_t i = 1; i <= 64; ++i) {
+    raft::LogEntry e;
+    e.index = i;
+    e.term = raft::EpochTerm::Make(1, 1).raw();
+    e.payload = cmd;
+    slab->PushBack(std::move(e));
+  }
+  raft::AppendEntries ae;
+  ae.leader = 1;
+  ae.prev_idx = 0;
+  ae.entries.PushSegment(slab, 0, 64);
+
+  size_t entries_seen = 0;
+  size_t op_bytes = 0;
+  C().For(2)->Bind(2, [&](NodeId, const raft::Message& m, obs::TraceCtx) {
+    const auto& got = std::get<raft::AppendEntries>(m);
+    entries_seen = got.entries.size();
+    for (const auto& e : got.entries) {
+      op_bytes += std::get<sm::Command>(e.payload).body.size();
+    }
+  });
+  C().For(1)->Send(1, 2, raft::MakeMessage(std::move(ae)));
+  ASSERT_TRUE(C().PumpUntil([&] { return entries_seen != 0; }));
+  EXPECT_EQ(entries_seen, 64u);
+  EXPECT_EQ(op_bytes, 64u * 8000u);
+}
+
+TEST_P(TransportConformance, PingPongRoundTrips) {
+  // Request/reply traffic in both directions across the same pair of
+  // endpoints — the shape of every real RPC exchange in the protocol.
+  int rounds = 0;
+  C().For(2)->Bind(2, [this](NodeId from, const raft::Message& m,
+                             obs::TraceCtx) {
+    C().For(2)->Send(2, from, Vote(2, Tag(m) + 1));
+  });
+  C().For(1)->Bind(1, [this, &rounds](NodeId, const raft::Message& m,
+                                      obs::TraceCtx) {
+    if (++rounds < 10) C().For(1)->Send(1, 2, Vote(1, Tag(m) + 1));
+  });
+  C().For(1)->Send(1, 2, Vote(1, 0));
+  ASSERT_TRUE(C().PumpUntil([&rounds] { return rounds >= 10; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, TransportConformance,
+                         ::testing::Values(Impl::kSim, Impl::kUdp), ImplName);
+
+}  // namespace
+}  // namespace recraft

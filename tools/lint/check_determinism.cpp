@@ -34,10 +34,31 @@ namespace {
 // src/obs is in scope for the same reason as src/harness: the flight
 // recorder promises digest-neutral observation, so it must never draw a
 // clock or RNG of its own (sim time arrives via Recorder::BindClock).
+// src/net is split down the middle: the seam headers and the reliable-link
+// engine are driven by the simulator (times arrive as parameters, so they
+// stay in the gate), while the udp_* files ARE the real-world half — their
+// whole job is reading CLOCK_MONOTONIC and the kernel — and are exempted
+// by filename prefix below.
 const std::vector<std::string> kScopedDirs = {
-    "src/sim",     "src/core", "src/raft",    "src/shard",
-    "src/storage", "src/sm",   "src/harness", "src/obs",
+    "src/sim", "src/core",    "src/raft", "src/shard",   "src/storage",
+    "src/sm",  "src/harness", "src/obs",  "src/net",
 };
+
+// Path prefixes inside the scoped dirs that are exempt: the real-socket /
+// real-clock implementations of the net seam (and nothing else).
+const std::vector<std::string> kExemptPrefixes = {
+    "src/net/udp_",
+};
+
+bool ExemptPath(const std::string& virtual_path) {
+  for (const std::string& p : kExemptPrefixes) {
+    size_t at = virtual_path.find(p);
+    if (at != std::string::npos && (at == 0 || virtual_path[at - 1] == '/')) {
+      return true;
+    }
+  }
+  return false;
+}
 
 // Identifiers that are banned when used as a call: `name(...)` with no
 // object receiver (a method named `time` on a sim type is fine).
@@ -70,6 +91,7 @@ class DeterminismCheck : public Check {
 
   void Run(const SourceFile& f, std::vector<Diagnostic>* out) override {
     if (!f.UnderAny(kScopedDirs)) return;
+    if (ExemptPath(f.virtual_path())) return;
     const std::vector<Token>& toks = f.tokens();
     const size_t n = toks.size();
 

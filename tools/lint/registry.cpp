@@ -7,6 +7,7 @@ std::unique_ptr<Check> MakeDeterminismCheck();
 std::unique_ptr<Check> MakeHotPathHygieneCheck();
 std::unique_ptr<Check> MakeEntryCopyCheck();
 std::unique_ptr<Check> MakeTraceHygieneCheck();
+std::unique_ptr<Check> MakeLayeringCheck();
 
 std::vector<std::unique_ptr<Check>> MakeAllChecks() {
   std::vector<std::unique_ptr<Check>> out;
@@ -15,6 +16,7 @@ std::vector<std::unique_ptr<Check>> MakeAllChecks() {
   out.push_back(MakeHotPathHygieneCheck());
   out.push_back(MakeEntryCopyCheck());
   out.push_back(MakeTraceHygieneCheck());
+  out.push_back(MakeLayeringCheck());
   return out;
 }
 

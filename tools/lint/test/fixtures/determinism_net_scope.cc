@@ -1,0 +1,16 @@
+// RECRAFT-TIDY-PATH: src/net/fixture_determinism_net_scope.cc
+// The sim-facing half of src/net — seam headers, wire codec, the
+// reliable-link engine — runs inside deterministic worlds (time arrives as
+// a parameter, never read), so it sits inside the recraft-determinism
+// scope like the core it serves.
+
+namespace fixture {
+
+class LinkEngine {
+ public:
+  unsigned long Jitter() {
+    return rand();  // EXPECT: recraft-determinism
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// RECRAFT-TIDY-PATH: src/net/udp_fixture_determinism_exempt.cc
+// The udp_* files are the real-world half of the net seam: reading
+// CLOCK_MONOTONIC and talking to the kernel is their entire purpose, so
+// the src/net/udp_ prefix is exempt from recraft-determinism. Nothing here
+// may diagnose.
+
+#include <ctime>
+
+namespace fixture {
+
+class SystemClockImpl {
+ public:
+  unsigned long NowUs() {
+    timespec ts{};
+    clock_gettime(0, &ts);  // the exemption: no EXPECT line
+    return static_cast<unsigned long>(ts.tv_nsec) / 1000;
+  }
+};
+
+}  // namespace fixture

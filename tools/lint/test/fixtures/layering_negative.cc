@@ -1,0 +1,19 @@
+// RECRAFT-TIDY-PATH: src/harness/fixture_layering_negative.cc
+// Above the line the arrow points the right way: the harness exists to
+// wrap sim worlds around the core, so its sim/ includes are the design,
+// not a violation. Same for src/shard (checked via the scoping list, not
+// here): the placement plane drives harness worlds by construction.
+
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "harness/checkers.h"
+
+namespace fixture {
+
+struct WorldDriver {
+  std::string name;
+};
+
+}  // namespace fixture
